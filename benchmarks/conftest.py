@@ -1,0 +1,21 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints the series it regenerates (the paper's figure
+as rows) and asserts the *shape* properties the paper reports: who
+wins, roughly by how much, and where the curves change character.
+Absolute agreement with the published microseconds is recorded in
+EXPERIMENTS.md, not asserted here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_series(title: str, text: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n")
+
+
+@pytest.fixture
+def show():
+    return print_series

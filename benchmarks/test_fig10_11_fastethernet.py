@@ -1,0 +1,103 @@
+"""FIG10 & FIG11: transfer time and throughput on Fast Ethernet.
+
+Regenerates the two Fast Ethernet plots (paper Section V-B) from the
+calibrated simulation and checks every shape statement the text makes:
+
+* "The latency of the C MPI library is the lowest of all ...
+  mpijava follows C MPI ... MPJ/Ibis and MPJ Express use pure Java,
+  which is the main cause of slightly higher latency."
+* "The latency of MPJ Express is 164 microseconds, which is higher
+  than MPJ/Ibis (144 ... 143 ...).  The latency of mpjdev is slightly
+  lower than MPJ Express."
+* "The throughput achieved at 16 Mbyte message size is more than 84%
+  of the maximum for all systems.  mpijava achieves 84% ... LAM/MPI,
+  MPJ/Ibis achieve 90%, followed by MPICH and MPJ Express."
+* "The drop at 128 Kbytes message size for MPICH, mpijava, and MPJ
+  Express is due to change of communication protocol."
+"""
+
+import pytest
+
+from repro.bench import (
+    figure10_transfer_time_fast_ethernet,
+    figure11_throughput_fast_ethernet,
+    format_figure,
+    format_latency_table,
+)
+from repro.netsim import libraries_for
+
+
+@pytest.fixture(scope="module")
+def libs():
+    return libraries_for("FastEthernet")
+
+
+def latency_us(libs, name):
+    return libs[name].one_way_time(1) * 1e6
+
+
+def bw16(libs, name):
+    return libs[name].bandwidth_mbps(16 << 20)
+
+
+class TestFigure10TransferTime:
+    def test_regenerate(self, benchmark, show):
+        fig = benchmark(figure10_transfer_time_fast_ethernet)
+        show("Figure 10 (regenerated)", format_figure(fig, sizes=[1, 256, 4096, 16384]))
+        assert set(fig.series) == {
+            "MPJ Express", "mpjdev", "MPICH", "mpijava", "LAM/MPI",
+            "MPJ/Ibis (TCPIbis)", "MPJ/Ibis (NIOIbis)",
+        }
+
+    def test_latency_ordering(self, libs, show):
+        show("Fast Ethernet summary", format_latency_table("FastEthernet"))
+        # C MPI lowest; mpijava next; pure Java highest.
+        assert latency_us(libs, "LAM/MPI") < latency_us(libs, "MPICH") < latency_us(libs, "mpijava")
+        assert latency_us(libs, "mpijava") < latency_us(libs, "MPJ/Ibis (NIOIbis)")
+        assert latency_us(libs, "MPJ/Ibis (NIOIbis)") < latency_us(libs, "MPJ/Ibis (TCPIbis)")
+        assert latency_us(libs, "MPJ/Ibis (TCPIbis)") < latency_us(libs, "MPJ Express")
+
+    def test_published_latency_values(self, libs):
+        """Paper's stated numbers: MPJE 164 µs, TCPIbis 144, NIOIbis 143."""
+        assert latency_us(libs, "MPJ Express") == pytest.approx(164, abs=2)
+        assert latency_us(libs, "MPJ/Ibis (TCPIbis)") == pytest.approx(144, abs=2)
+        assert latency_us(libs, "MPJ/Ibis (NIOIbis)") == pytest.approx(143, abs=2)
+
+    def test_mpjdev_slightly_below_mpje(self, libs):
+        gap = latency_us(libs, "MPJ Express") - latency_us(libs, "mpjdev")
+        assert 0 < gap < 20  # "slightly lower"
+
+
+class TestFigure11Throughput:
+    def test_regenerate(self, benchmark, show):
+        fig = benchmark(figure11_throughput_fast_ethernet)
+        show(
+            "Figure 11 (regenerated)",
+            format_figure(fig, sizes=[1024, 65536, 1 << 20, 16 << 20]),
+        )
+
+    def test_all_above_84_percent(self, libs):
+        for name in libs:
+            assert bw16(libs, name) >= 83.5, f"{name} below 84% of 100 Mbps"
+
+    def test_leaders_reach_90_percent(self, libs):
+        for name in ("LAM/MPI", "MPJ/Ibis (TCPIbis)", "MPJ/Ibis (NIOIbis)"):
+            assert bw16(libs, name) == pytest.approx(90.0, abs=1.0)
+
+    def test_mpijava_at_84_percent(self, libs):
+        assert bw16(libs, "mpijava") == pytest.approx(84.0, abs=1.0)
+
+    def test_mpich_and_mpje_between(self, libs):
+        for name in ("MPICH", "MPJ Express"):
+            assert 84.0 < bw16(libs, name) < 90.0
+
+    def test_drop_at_128k_for_threshold_libraries(self, libs):
+        """The eager→rendezvous protocol switch dents throughput just
+        past 128 KB for MPICH, mpijava and MPJ Express — not for the
+        streaming libraries."""
+        for name in ("MPICH", "mpijava", "MPJ Express"):
+            lib = libs[name]
+            assert lib.bandwidth_mbps(128 * 1024) > lib.bandwidth_mbps(128 * 1024 + 1)
+        for name in ("LAM/MPI", "MPJ/Ibis (TCPIbis)"):
+            lib = libs[name]
+            assert lib.bandwidth_mbps(128 * 1024 + 1) >= lib.bandwidth_mbps(128 * 1024) * 0.999

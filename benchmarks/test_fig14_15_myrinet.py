@@ -1,0 +1,91 @@
+"""FIG14 & FIG15: transfer time and throughput on Myrinet (Section V-D).
+
+Shape statements:
+
+* "The latency of MPICH-MX is 4 microseconds.  MPJ Express and mpijava
+  have latency of 23 microseconds and 12 microseconds respectively."
+* "Throughput achieved by MPICH-MX is 1800 Mbps for 16 Mbytes.  It is
+  followed by MPJ Express that achieves 1097 Mbps."
+* "mpijava achieves a maximum of 1347 Mbps for 64 Kbytes messages.
+  After this, there is a drop, bringing throughput down to 868 Mbps."
+* "mpjdev achieves 1826 Mbps for 16 Mbyte message, which is more than
+  what MPICH-MX achieves" — the direct-buffer argument.
+* MPJ/Ibis net.gm (quoted from [1]): 42 µs and 1100 Mbps.
+"""
+
+import pytest
+
+from repro.bench import (
+    figure14_transfer_time_myrinet,
+    figure15_throughput_myrinet,
+    format_figure,
+    format_latency_table,
+)
+from repro.netsim import libraries_for
+
+
+@pytest.fixture(scope="module")
+def libs():
+    return libraries_for("Myrinet2G")
+
+
+def latency_us(libs, name):
+    return libs[name].one_way_time(1) * 1e6
+
+
+def bw(libs, name, nbytes):
+    return libs[name].bandwidth_mbps(nbytes)
+
+
+class TestFigure14TransferTime:
+    def test_regenerate(self, benchmark, show):
+        fig = benchmark(figure14_transfer_time_myrinet)
+        show("Figure 14 (regenerated)", format_figure(fig, sizes=[1, 1024, 16384]))
+
+    def test_published_latencies(self, libs, show):
+        show("Myrinet summary", format_latency_table("Myrinet2G"))
+        assert latency_us(libs, "MPICH-MX") == pytest.approx(4, abs=0.5)
+        assert latency_us(libs, "mpijava") == pytest.approx(12, abs=1)
+        assert latency_us(libs, "MPJ Express") == pytest.approx(23, abs=1)
+        assert latency_us(libs, "MPJ/Ibis (net.gm)") == pytest.approx(42, abs=2)
+
+    def test_myrinet_much_faster_than_ethernet(self, libs):
+        gige = libraries_for("GigabitEthernet")
+        assert latency_us(libs, "MPJ Express") < gige["MPJ Express"].one_way_time(1) * 1e6 / 4
+
+
+class TestFigure15Throughput:
+    def test_regenerate(self, benchmark, show):
+        fig = benchmark(figure15_throughput_myrinet)
+        show(
+            "Figure 15 (regenerated)",
+            format_figure(fig, sizes=[65536, 512 * 1024, 16 << 20]),
+        )
+
+    def test_published_16mb_values(self, libs):
+        assert bw(libs, "MPICH-MX", 16 << 20) == pytest.approx(1800, rel=0.02)
+        assert bw(libs, "MPJ Express", 16 << 20) == pytest.approx(1097, rel=0.02)
+        assert bw(libs, "mpjdev", 16 << 20) == pytest.approx(1826, rel=0.02)
+        assert bw(libs, "mpijava", 16 << 20) == pytest.approx(868, rel=0.03)
+
+    def test_mpjdev_beats_mpich_mx(self, libs):
+        """The headline: a Java device out-throughputs the C stack
+        because direct buffers avoid the host copy."""
+        assert bw(libs, "mpjdev", 16 << 20) > bw(libs, "MPICH-MX", 16 << 20)
+
+    def test_mpijava_peaks_then_drops(self, libs):
+        """The cache knee: peak near 64 KB (~1347 Mbps), then a fall to
+        868 Mbps at 16 MB as the JNI copy falls out of cache."""
+        peak_region = max(bw(libs, "mpijava", n) for n in (32768, 65536, 131072, 262144))
+        assert peak_region == pytest.approx(1347, rel=0.05)
+        assert bw(libs, "mpijava", 16 << 20) < peak_region * 0.70
+        # Monotone increase up to the knee, decrease after it.
+        assert bw(libs, "mpijava", 65536) > bw(libs, "mpijava", 4096)
+        assert bw(libs, "mpijava", 16 << 20) < bw(libs, "mpijava", 512 * 1024)
+
+    def test_mpje_above_net_gm_at_scale(self, libs):
+        """MPJE's 1097 Mbps is on par with the quoted net.gm 1100 —
+        with real MPJ/Ibis overhead on top, MPJE wins (Section V-D)."""
+        assert bw(libs, "MPJ Express", 16 << 20) == pytest.approx(
+            bw(libs, "MPJ/Ibis (net.gm)", 16 << 20), rel=0.05
+        )

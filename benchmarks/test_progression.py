@@ -1,0 +1,83 @@
+"""PROG — the ProgressionTest as a benchmark (paper Section IV-B).
+
+Beyond the pass/fail test (a blocked thread must not halt siblings),
+this measures *how much* a blocked thread costs: ping-pong latency
+between two ranks with 0 vs 8 threads blocked in Recv on each side.
+With the progress-engine design, blocked receivers park on condition
+variables, so the added latency should be small; a polling design
+(ibisdev) pays for every parked receive.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+ROUNDS = 150
+
+
+def pingpong_with_parked_threads(env, n_blocked: int):
+    comm = env.COMM_WORLD
+    rank = comm.rank()
+    peer = 1 - rank
+
+    # Park n_blocked threads in receives that resolve only at the end.
+    parked = []
+    for i in range(n_blocked):
+        buf = np.zeros(1)
+        req = comm.Irecv(buf, 0, 1, mpi.DOUBLE, peer, 5000 + i)
+
+        def waiter(r=req):
+            r.wait(timeout=120)
+
+        t = threading.Thread(target=waiter, daemon=True)
+        t.start()
+        parked.append(t)
+
+    comm.Barrier()
+    payload = np.zeros(8)
+    t0 = time.perf_counter()
+    for _ in range(ROUNDS):
+        if rank == 0:
+            comm.Send(payload, 0, 8, mpi.DOUBLE, peer, 1)
+            comm.Recv(payload, 0, 8, mpi.DOUBLE, peer, 1)
+        else:
+            comm.Recv(payload, 0, 8, mpi.DOUBLE, peer, 1)
+            comm.Send(payload, 0, 8, mpi.DOUBLE, peer, 1)
+    elapsed = (time.perf_counter() - t0) / ROUNDS / 2
+
+    # Release the parked threads.
+    for i in range(n_blocked):
+        comm.Send(np.zeros(1), 0, 1, mpi.DOUBLE, peer, 5000 + i)
+    for t in parked:
+        t.join(60)
+    return elapsed
+
+
+class TestProgressionCost:
+    def test_blocked_threads_cost_little(self, benchmark, show):
+        def run():
+            clean = max(run_spmd(pingpong_with_parked_threads, 2, args=(0,), timeout=240))
+            loaded = max(run_spmd(pingpong_with_parked_threads, 2, args=(8,), timeout=240))
+            return clean, loaded
+
+        clean, loaded = benchmark.pedantic(run, rounds=1, iterations=1)
+        show(
+            "ProgressionTest cost: ping-pong latency with parked receivers",
+            f"0 blocked threads: {clean * 1e6:9.1f} µs one-way\n"
+            f"8 blocked threads: {loaded * 1e6:9.1f} µs one-way\n"
+            f"overhead: {(loaded / clean - 1) * 100:+.0f}%",
+        )
+        # Parked (non-polling) receivers must not multiply the latency.
+        assert loaded < clean * 5
+
+    def test_correctness_preserved_under_load(self, benchmark):
+        def run():
+            return run_spmd(pingpong_with_parked_threads, 2, args=(4,), timeout=240)
+
+        times = benchmark.pedantic(run, rounds=1, iterations=1)
+        assert all(t > 0 for t in times)

@@ -1,0 +1,118 @@
+"""QUAL-A — Section V-A: the ANY_SOURCE overlap experiment, run live.
+
+The paper: "Each process calls non blocking receive with
+MPI.ANY_SOURCE for hundred messages at the start, does multiplication
+of two square matrix (3000x3000).  At the end of this computation,
+each process sends hundred messages to the other process. ... We found
+out that matrix multiplication at process 0 was 11% faster when using
+MPJ Express [than MPJ/Ibis]."
+
+Here the experiment *actually runs* on two devices built in this
+repository: ``smdev`` (MPJ Express architecture: single progress
+engine, indexed matching) versus ``ibisdev`` (thread-per-message
+baseline: one polling thread per posted receive).  The polling threads
+steal CPU from the matrix multiplication, so compute takes measurably
+longer under the baseline — the effect the paper quantifies at 11% on
+its hardware.  Matrix size is scaled down for laptop wall-clock.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+N_MESSAGES = 100
+MATRIX = 220
+REPEATS = 3
+
+
+def overlap_workload(env):
+    """Post N irecv(ANY_SOURCE), multiply matrices, then send N.
+
+    Barriers align the two thread-ranks' compute phases (the paper had
+    one physical node per process; here both ranks share one machine,
+    so without alignment, startup skew — e.g. the baseline spending
+    tens of ms spawning its 100 receive threads — would contaminate
+    the measurement instead of isolating the polling overhead).
+    """
+    comm = env.COMM_WORLD
+    rank = comm.rank()
+    peer = 1 - rank
+
+    bufs = [np.zeros(1) for _ in range(N_MESSAGES)]
+    reqs = [
+        comm.Irecv(bufs[i], 0, 1, mpi.DOUBLE, mpi.ANY_SOURCE, i)
+        for i in range(N_MESSAGES)
+    ]
+    comm.Barrier()
+
+    rng = np.random.default_rng(rank)
+    a = rng.random((MATRIX, MATRIX))
+    b = rng.random((MATRIX, MATRIX))
+    start = time.perf_counter()
+    best = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        c = a @ b
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    compute_time = best
+
+    comm.Barrier()
+    for i in range(N_MESSAGES):
+        comm.Send(np.array([float(i)]), 0, 1, mpi.DOUBLE, peer, i)
+    mpi.waitall(reqs, timeout=120)
+    assert all(bufs[i][0] == float(i) for i in range(N_MESSAGES))
+    return compute_time
+
+
+def run_device(device: str) -> float:
+    """Rank-0 compute time with N receives outstanding, on *device*."""
+    results = run_spmd(overlap_workload, 2, device=device, timeout=240)
+    return results[0]
+
+
+class TestQualAAnySourceOverlap:
+    def test_mpje_faster_than_ibis_baseline(self, benchmark, show):
+        mpje_time = benchmark(run_device, "smdev")
+        ibis_time = run_device("ibisdev")
+        speedup = (ibis_time - mpje_time) / ibis_time
+        show(
+            "QUAL-A: matmul time with 100 pending ANY_SOURCE receives",
+            f"MPJ Express architecture (smdev):   {mpje_time * 1e3:8.2f} ms\n"
+            f"thread-per-message baseline (ibis): {ibis_time * 1e3:8.2f} ms\n"
+            f"compute speedup from progress-engine design: {speedup:6.1%}\n"
+            f"(paper reports 11% on its 2-CPU Xeon testbed)",
+        )
+        # Shape assertion: the progress-engine design must win.
+        assert mpje_time < ibis_time, (
+            "baseline polling threads did not slow the computation"
+        )
+
+    def test_both_architectures_deliver_correctly(self, benchmark):
+        # Correctness portion of the experiment on the baseline too.
+        benchmark.pedantic(run_device, args=("ibisdev",), rounds=1, iterations=1)
+
+    def test_analytic_model_matches_paper_on_paper_hardware(self, benchmark, show):
+        """Project the experiment onto the paper's dual-Xeon node: the
+        analytic polling model lands on the published 11%."""
+        from repro.netsim.qualitative import (
+            HostModel,
+            PAPER_EXPERIMENT,
+            STARBUG_NODE,
+            speedup_percent,
+        )
+
+        predicted = benchmark(speedup_percent, STARBUG_NODE, PAPER_EXPERIMENT)
+        single = speedup_percent(HostModel(cpus=1), PAPER_EXPERIMENT)
+        show(
+            "QUAL-A analytic projection",
+            f"predicted speedup on the paper's dual-Xeon node: {predicted:5.1f}%\n"
+            f"paper reports:                                    11.0%\n"
+            f"predicted on a single-CPU host (this machine's\n"
+            f"regime — live measurement above is larger still): {single:5.1f}%",
+        )
+        assert predicted == pytest.approx(11.0, abs=2.0)

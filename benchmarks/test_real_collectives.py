@@ -1,0 +1,106 @@
+"""Live collectives over thread-ranks: scaling and algorithm choice.
+
+Measures this library's actual collectives (smdev, threads) across
+rank counts and between algorithm variants.  On a shared-memory host
+the absolute numbers mean little; the structural expectations checked
+are that everything completes, results stay correct while timing, and
+that per-operation cost does not explode with rank count.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+ROUNDS = 20
+
+
+def timed_collective(env, kind: str, count: int, algorithm=None):
+    comm = env.COMM_WORLD
+    if algorithm:
+        collective, algo = algorithm
+        comm.set_collective_algorithm(collective, algo)
+    send = np.full(count, comm.rank() + 1, dtype=np.float64)
+    recv = np.zeros(count * (comm.size() if kind == "allgather" else 1))
+    comm.Barrier()
+    t0 = time.perf_counter()
+    for _ in range(ROUNDS):
+        if kind == "allreduce":
+            comm.Allreduce(send, 0, recv, 0, count, mpi.DOUBLE, mpi.SUM)
+        elif kind == "bcast":
+            comm.Bcast(send, 0, count, mpi.DOUBLE, 0)
+        elif kind == "allgather":
+            comm.Allgather(send, 0, count, mpi.DOUBLE, recv, 0, count, mpi.DOUBLE)
+        elif kind == "barrier":
+            comm.Barrier()
+    elapsed = (time.perf_counter() - t0) / ROUNDS
+    if kind == "allreduce":
+        expected = count and sum(range(1, comm.size() + 1))
+        assert recv[0] == expected
+    return elapsed
+
+
+class TestScalingWithRanks:
+    @pytest.mark.parametrize("kind", ["barrier", "bcast", "allreduce"])
+    def test_rank_scaling(self, benchmark, show, kind):
+        def sweep():
+            rows = []
+            for p in (2, 4, 8):
+                times = run_spmd(
+                    timed_collective, p, args=(kind, 64), timeout=240
+                )
+                rows.append((p, max(times)))
+            return rows
+
+        rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        show(
+            f"Live {kind} scaling over thread-ranks",
+            "\n".join(f"p={p}:  {t * 1e6:9.1f} µs/op" for p, t in rows),
+        )
+        # Cost may grow with p, but not catastrophically (log-ish
+        # algorithms; generous bound tolerates 1-core contention).
+        assert rows[-1][1] < rows[0][1] * 40
+
+
+class TestAlgorithmVariants:
+    def test_allreduce_variants_complete(self, benchmark, show):
+        def run():
+            out = {}
+            for algo in ("reduce_bcast", "recursive_doubling"):
+                times = run_spmd(
+                    timed_collective, 4,
+                    args=("allreduce", 256, ("allreduce", algo)),
+                    timeout=240,
+                )
+                out[algo] = max(times)
+            return out
+
+        out = benchmark.pedantic(run, rounds=1, iterations=1)
+        show(
+            "Live allreduce algorithm variants (4 ranks, 256 doubles)",
+            "\n".join(f"{k:20s} {v * 1e6:9.1f} µs/op" for k, v in out.items()),
+        )
+        assert set(out) == {"reduce_bcast", "recursive_doubling"}
+
+    def test_bcast_variants_complete(self, benchmark, show):
+        def run():
+            out = {}
+            for algo in ("binomial", "linear", "scatter_allgather"):
+                algorithm = None if algo == "binomial" else ("bcast", algo)
+                times = run_spmd(
+                    timed_collective, 4,
+                    args=("bcast", 4096, algorithm),
+                    timeout=240,
+                )
+                out[algo] = max(times)
+            return out
+
+        out = benchmark.pedantic(run, rounds=1, iterations=1)
+        show(
+            "Live bcast algorithm variants (4 ranks, 4096 doubles)",
+            "\n".join(f"{k:20s} {v * 1e6:9.1f} µs/op" for k, v in out.items()),
+        )
+        assert len(out) == 3

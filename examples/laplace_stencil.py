@@ -1,0 +1,103 @@
+"""Jacobi solver for the Laplace equation with halo exchange.
+
+Demonstrates the paper's derived-datatype machinery in its natural
+habitat: a 1-D domain decomposition by *columns*, where each boundary
+column is non-contiguous in the row-major grid and travels as a
+``Vector(nrows, 1, ncols)`` datatype — exactly the matrix-column
+example of Section IV-C, doing real work.
+
+The grid is ``n x n`` with fixed boundary values (top edge = 1); ranks
+own contiguous column bands plus one ghost column per interior side.
+
+Run::
+
+    python examples/laplace_stencil.py --np 4 --n 64 --iters 200
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import mpi
+from repro.runtime import run_spmd
+
+
+def laplace(env, n: int, iters: int, tol: float = 1e-6):
+    comm = env.COMM_WORLD
+    rank, size = comm.rank(), comm.size()
+    if n % size:
+        raise ValueError("grid columns must divide evenly across ranks")
+    local_cols = n // size
+    # Local band with one ghost column on each interior side.
+    has_left = rank > 0
+    has_right = rank < size - 1
+    width = local_cols + int(has_left) + int(has_right)
+    grid = np.zeros((n, width))
+    grid[0, :] = 1.0  # hot top edge (global boundary condition)
+
+    column = mpi.DOUBLE.vector(n, 1, width)
+    flat = grid.reshape(-1)
+    first_own = int(has_left)
+    last_own = first_own + local_cols - 1
+
+    residual = np.zeros(1)
+    for iteration in range(iters):
+        # Halo exchange: boundary columns to neighbours, ghosts in.
+        requests = []
+        if has_left:
+            requests.append(comm.Isend(flat, first_own, 1, column, rank - 1, 1))
+            requests.append(comm.Irecv(flat, 0, 1, column, rank - 1, 2))
+        if has_right:
+            requests.append(comm.Isend(flat, last_own, 1, column, rank + 1, 2))
+            requests.append(comm.Irecv(flat, width - 1, 1, column, rank + 1, 1))
+        mpi.waitall(requests)
+
+        # Jacobi sweep on interior points of owned columns.
+        new = grid.copy()
+        new[1:-1, 1:-1] = 0.25 * (
+            grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+        )
+        # Global boundary columns and rows stay fixed.
+        if rank == 0:
+            new[:, first_own] = grid[:, first_own]
+        if rank == size - 1:
+            new[:, last_own] = grid[:, last_own]
+        new[0, :] = 1.0
+        new[-1, :] = 0.0
+
+        local_res = np.array([float(np.abs(new - grid).max())])
+        comm.Allreduce(local_res, 0, residual, 0, 1, mpi.DOUBLE, mpi.MAX)
+        grid = new
+        flat = grid.reshape(-1)
+        if residual[0] < tol:
+            break
+
+    # Assemble the full solution at rank 0 for inspection.
+    own = np.ascontiguousarray(grid[:, first_own : last_own + 1]).reshape(-1)
+    full = np.zeros(n * n) if rank == 0 else np.zeros(0)
+    comm.Gather(own, 0, own.size, mpi.DOUBLE, full, 0, own.size, mpi.DOUBLE, 0)
+    if rank == 0:
+        # Gathered band-by-band: reshape to (size, n, local_cols).
+        bands = full.reshape(size, n, local_cols)
+        solution = np.concatenate(list(bands), axis=1)
+        return iteration + 1, float(residual[0]), solution.mean()
+    return iteration + 1, float(residual[0]), None
+
+
+def main(env, n=32, iters=100):
+    return laplace(env, n, iters)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--np", type=int, default=4)
+    parser.add_argument("--n", type=int, default=64)
+    parser.add_argument("--iters", type=int, default=200)
+    parser.add_argument("--device", default="smdev")
+    args = parser.parse_args()
+    results = run_spmd(main, args.np, device=args.device, args=(args.n, args.iters))
+    iters, res, mean = results[0]
+    print(f"converged after {iters} iterations, residual {res:.2e}, mean {mean:.4f}")
+    # Sanity: solution must be between the boundary values.
+    assert 0.0 < mean < 1.0
+    print("laplace OK")

@@ -1,0 +1,138 @@
+"""A miniature Gadget-2: parallel gravitational N-body simulation.
+
+The paper closes by porting Gadget-2 — "a massively parallel structure
+formation code" used for the Millennium Simulation — to Java over MPJ
+Express, reaching ~70% of the C version (Section VI).  This example is
+a laptop-scale stand-in with the same communication skeleton:
+
+* particles are block-distributed across ranks;
+* each step, every rank's particle block travels the ring of ranks
+  (systolic all-pairs force computation — the classic N-body pattern
+  and a close cousin of Gadget's domain-decomposed tree walk);
+* leapfrog (kick-drift-kick) integration, as in Gadget-2;
+* an ``Allreduce`` gathers global energy diagnostics each step.
+
+Run::
+
+    python examples/nbody_gadget.py --np 4 --particles 256 --steps 10
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import mpi
+from repro.runtime import run_spmd
+
+G = 1.0  # gravitational constant in code units
+SOFTENING = 0.05  # Plummer softening, as in Gadget
+
+
+def accelerations(my_pos: np.ndarray, other_pos: np.ndarray, other_mass: np.ndarray) -> np.ndarray:
+    """Softened gravitational acceleration of my particles from others."""
+    # Pairwise displacement tensor: (mine, theirs, 3).
+    delta = other_pos[None, :, :] - my_pos[:, None, :]
+    dist2 = (delta ** 2).sum(axis=2) + SOFTENING ** 2
+    inv_r3 = dist2 ** -1.5
+    return G * (delta * (other_mass[None, :, None] * inv_r3[:, :, None])).sum(axis=1)
+
+
+def potential_energy(my_pos, my_mass, other_pos, other_mass, self_block: bool) -> float:
+    delta = other_pos[None, :, :] - my_pos[:, None, :]
+    dist = np.sqrt((delta ** 2).sum(axis=2) + SOFTENING ** 2)
+    pair = -G * my_mass[:, None] * other_mass[None, :] / dist
+    if self_block:
+        np.fill_diagonal(pair, 0.0)
+        return 0.5 * float(pair.sum())
+    return 0.5 * float(pair.sum())
+
+
+def nbody(env, n_particles: int, steps: int, dt: float):
+    comm = env.COMM_WORLD
+    rank, size = comm.rank(), comm.size()
+    if n_particles % size:
+        raise ValueError("particles must divide evenly across ranks")
+    local_n = n_particles // size
+
+    # Reproducible cold collapse initial conditions: every rank draws
+    # the full set and keeps its block, so no initial scatter is needed.
+    rng = np.random.default_rng(2005)
+    all_pos = rng.normal(scale=1.0, size=(n_particles, 3))
+    all_mass = np.full(n_particles, 1.0 / n_particles)
+    sl = slice(rank * local_n, (rank + 1) * local_n)
+    pos = np.ascontiguousarray(all_pos[sl])
+    vel = np.zeros_like(pos)
+    mass = np.ascontiguousarray(all_mass[sl])
+
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    energies = []
+
+    def total_force_and_potential(pos):
+        """Systolic loop: circulate blocks around the ring."""
+        acc = np.zeros_like(pos)
+        pot = 0.0
+        travel_pos = pos.copy()
+        travel_mass = mass.copy()
+        owner = rank
+        for step in range(size):
+            acc += accelerations(pos, travel_pos, travel_mass)
+            pot += potential_energy(pos, mass, travel_pos, travel_mass, owner == rank)
+            if size == 1:
+                break
+            # Pass the travelling block to the right, receive from left.
+            out = np.concatenate([travel_pos.reshape(-1), travel_mass])
+            incoming = np.zeros_like(out)
+            comm.Sendrecv(
+                out, 0, out.size, mpi.DOUBLE, right, 7,
+                incoming, 0, out.size, mpi.DOUBLE, left, 7,
+            )
+            travel_pos = incoming[: 3 * local_n].reshape(local_n, 3).copy()
+            travel_mass = incoming[3 * local_n :].copy()
+            owner = (owner - 1) % size
+        # Self-interaction (i == j in the resident block) contributes
+        # zero force: the displacement is zero, only softening remains.
+        return acc, pot
+
+    acc, _ = total_force_and_potential(pos)
+    for step in range(steps):
+        # Leapfrog KDK, the Gadget-2 integrator.
+        vel += 0.5 * dt * acc
+        pos += dt * vel
+        acc, pot = total_force_and_potential(pos)
+        vel += 0.5 * dt * acc
+
+        kinetic = 0.5 * float((mass[:, None] * vel ** 2).sum())
+        local = np.array([kinetic, pot])
+        glob = np.zeros(2)
+        comm.Allreduce(local, 0, glob, 0, 2, mpi.DOUBLE, mpi.SUM)
+        energies.append(float(glob[0] + glob[1]))
+        if rank == 0 and (step % max(1, steps // 5) == 0):
+            print(
+                f"step {step:3d}  E_kin={glob[0]:9.5f}  E_pot={glob[1]:9.5f}  "
+                f"E_tot={energies[-1]:9.5f}"
+            )
+    return energies
+
+
+def main(env, n_particles=128, steps=8, dt=0.01):
+    return nbody(env, n_particles, steps, dt)
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--np", type=int, default=4)
+    parser.add_argument("--particles", type=int, default=128)
+    parser.add_argument("--steps", type=int, default=8)
+    parser.add_argument("--dt", type=float, default=0.01)
+    parser.add_argument("--device", default="smdev")
+    args = parser.parse_args()
+    results = run_spmd(
+        main, args.np, device=args.device,
+        args=(args.particles, args.steps, args.dt),
+    )
+    # Every rank agrees on the global energy series.
+    assert all(r == results[0] for r in results)
+    drift = abs(results[0][-1] - results[0][0]) / max(abs(results[0][0]), 1e-12)
+    print(f"energy drift over run: {drift:.3%}")
+    print("nbody OK")

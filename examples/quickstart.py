@@ -1,0 +1,59 @@
+"""Quickstart: hello, point-to-point, and a collective.
+
+Run it directly (ranks are threads in this process)::
+
+    python examples/quickstart.py
+
+or with more ranks / another device::
+
+    python examples/quickstart.py --np 8 --device niodev
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import mpi
+from repro.runtime import run_spmd
+
+
+def main(env):
+    comm = env.COMM_WORLD
+    rank, size = comm.rank(), comm.size()
+    print(f"hello from rank {rank} of {size} (device: {env.device.device_name})")
+
+    # Point-to-point: a ring of pickled Python objects.
+    token = {"from": rank, "hops": 0}
+    if rank == 0:
+        comm.send(token, dest=(rank + 1) % size, tag=0)
+        token = comm.recv(source=size - 1, tag=0)
+        print(f"rank 0 got the token back after {token['hops'] + 1} hops")
+    else:
+        token = comm.recv(source=rank - 1, tag=0)
+        token["hops"] += 1
+        comm.send(token, dest=(rank + 1) % size, tag=0)
+
+    # Arrays with explicit datatypes (the mpijava-style API).
+    mine = np.array([rank ** 2], dtype=np.int64)
+    squares = np.zeros(size, dtype=np.int64)
+    comm.Allgather(mine, 0, 1, mpi.LONG, squares, 0, 1, mpi.LONG)
+
+    # And a reduction.
+    total = np.zeros(1, dtype=np.int64)
+    comm.Allreduce(mine, 0, total, 0, 1, mpi.LONG, mpi.SUM)
+    if rank == 0:
+        print(f"squares: {squares.tolist()}  sum: {int(total[0])}")
+    return int(total[0])
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--np", type=int, default=4, help="number of ranks")
+    parser.add_argument(
+        "--device", default="smdev", choices=["smdev", "niodev", "mxdev", "ibisdev"]
+    )
+    args = parser.parse_args()
+    results = run_spmd(main, args.np, device=args.device)
+    expected = sum(r * r for r in range(args.np))
+    assert results == [expected] * args.np
+    print("quickstart OK")

@@ -1,0 +1,33 @@
+"""Benchmark harness regenerating every table/figure of the paper.
+
+See DESIGN.md's per-experiment index.  Each figure has a generator in
+:mod:`repro.bench.figures` returning the plotted series as plain data,
+plus a text renderer in :mod:`repro.bench.report`; the pytest-benchmark
+entries under ``benchmarks/`` drive these and assert the shape
+properties (orderings, crossovers, dips) the paper reports.
+"""
+
+from repro.bench.figures import (
+    FIGURES,
+    FigureSeries,
+    figure10_transfer_time_fast_ethernet,
+    figure11_throughput_fast_ethernet,
+    figure12_transfer_time_gigabit,
+    figure13_throughput_gigabit,
+    figure14_transfer_time_myrinet,
+    figure15_throughput_myrinet,
+)
+from repro.bench.report import format_figure, format_latency_table
+
+__all__ = [
+    "FIGURES",
+    "FigureSeries",
+    "figure10_transfer_time_fast_ethernet",
+    "figure11_throughput_fast_ethernet",
+    "figure12_transfer_time_gigabit",
+    "figure13_throughput_gigabit",
+    "figure14_transfer_time_myrinet",
+    "figure15_throughput_myrinet",
+    "format_figure",
+    "format_latency_table",
+]

@@ -1,0 +1,91 @@
+"""Print every regenerated figure/table: ``python -m repro.bench``.
+
+Options::
+
+    python -m repro.bench                 # all six figures + summaries
+    python -m repro.bench FIG13           # one figure
+    python -m repro.bench --summaries     # latency/throughput tables only
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import FIGURES
+from repro.bench.report import format_figure, format_latency_table
+
+_SUMMARY_SIZES = [1, 1024, 64 * 1024, 1 << 20, 16 << 20]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "figures", nargs="*", metavar="FIGxx",
+        help="figure ids to print (default: all)",
+    )
+    parser.add_argument(
+        "--summaries", action="store_true",
+        help="print only the per-fabric latency/throughput summaries",
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR",
+        help="write each figure as DIR/<FIGxx>.csv instead of printing",
+    )
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="draw ASCII charts instead of tables",
+    )
+    ns = parser.parse_args(argv)
+
+    if ns.plot:
+        from repro.bench.plot import ascii_plot
+
+        wanted = [f.upper() for f in ns.figures] or sorted(FIGURES)
+        for figure_id in wanted:
+            if figure_id not in FIGURES:
+                print(f"unknown figure {figure_id}", file=sys.stderr)
+                return 2
+            fig = FIGURES[figure_id]()
+            log_y = "Time" in fig.ylabel  # latency curves span decades
+            print(ascii_plot(fig, log_y=log_y))
+            print()
+        return 0
+
+    if ns.csv:
+        from pathlib import Path
+
+        out_dir = Path(ns.csv)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        wanted = [f.upper() for f in ns.figures] or sorted(FIGURES)
+        for figure_id in wanted:
+            if figure_id not in FIGURES:
+                print(f"unknown figure {figure_id}", file=sys.stderr)
+                return 2
+            fig = FIGURES[figure_id]()
+            path = out_dir / f"{figure_id}.csv"
+            path.write_text(fig.to_csv() + "\n", encoding="utf-8")
+            print(f"wrote {path}")
+        return 0
+
+    if ns.summaries:
+        for fabric in ("FastEthernet", "GigabitEthernet", "Myrinet2G"):
+            print(format_latency_table(fabric))
+            print()
+        return 0
+
+    wanted = [f.upper() for f in ns.figures] or sorted(FIGURES)
+    unknown = [f for f in wanted if f not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {unknown}; known: {sorted(FIGURES)}", file=sys.stderr)
+        return 2
+    for figure_id in wanted:
+        fig = FIGURES[figure_id]()
+        sizes = [s for s in _SUMMARY_SIZES if s in fig.sizes]
+        print(format_figure(fig, sizes=sizes))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,177 @@
+"""Generators for Figures 10-15: the paper's six evaluation plots.
+
+Each generator returns a :class:`FigureSeries` holding, per messaging
+system, the x-axis (message sizes in bytes) and the y series (transfer
+time in µs, or throughput in Mbps).  Series are produced by the
+event-driven ping-pong over the calibrated library models — the
+modified-benchmark configuration (no polling jitter), which is what
+the paper's own figures used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.netsim.libraries import LibraryModel, libraries_for
+from repro.netsim.pingpong import MESSAGE_SIZES, sweep
+
+
+@dataclass
+class FigureSeries:
+    """One regenerated figure: per-library series over message sizes."""
+
+    figure_id: str
+    title: str
+    ylabel: str
+    sizes: tuple[int, ...]
+    #: library name -> y values (same length as sizes)
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def library(self, name: str) -> list[float]:
+        return self.series[name]
+
+    def at_size(self, name: str, nbytes: int) -> float:
+        return self.series[name][self.sizes.index(nbytes)]
+
+    def to_csv(self) -> str:
+        """The figure as CSV (size column + one column per library),
+        ready for external plotting tools."""
+        names = list(self.series)
+        lines = [",".join(["size_bytes"] + names)]
+        for i, size in enumerate(self.sizes):
+            row = [str(size)] + [f"{self.series[n][i]:.6g}" for n in names]
+            lines.append(",".join(row))
+        return "\n".join(lines)
+
+
+def _figure(
+    figure_id: str,
+    title: str,
+    fabric: str,
+    ylabel: str,
+    value: Callable[[LibraryModel, int, float], float],
+    sizes: Sequence[int] = MESSAGE_SIZES,
+) -> FigureSeries:
+    libs = libraries_for(fabric)
+    fig = FigureSeries(figure_id, title, ylabel, tuple(sizes))
+    for name, lib in libs.items():
+        rows = sweep(lib, sizes=sizes, polling=False)
+        fig.series[name] = [value(lib, n, t) for (n, t, _bw) in rows]
+    return fig
+
+
+def _us(_lib: LibraryModel, _n: int, t: float) -> float:
+    return t * 1e6
+
+
+def _mbps(_lib: LibraryModel, n: int, t: float) -> float:
+    return (n * 8.0) / t / 1e6
+
+
+#: Transfer-time figures plot the small/medium range; throughput
+#: figures emphasise the large-message range (as in the paper's axes).
+_TT_SIZES = tuple(s for s in MESSAGE_SIZES if s <= 16 * 1024)
+_BW_SIZES = tuple(s for s in MESSAGE_SIZES if s >= 1024)
+
+
+def figure10_transfer_time_fast_ethernet() -> FigureSeries:
+    """Fig. 10: transfer time comparison on Fast Ethernet."""
+    return _figure(
+        "FIG10", "Transfer Time Comparison on Fast Ethernet",
+        "FastEthernet", "Time (us)", _us, sizes=_TT_SIZES,
+    )
+
+
+def figure11_throughput_fast_ethernet() -> FigureSeries:
+    """Fig. 11: throughput comparison on Fast Ethernet."""
+    return _figure(
+        "FIG11", "Throughput Comparison on Fast Ethernet",
+        "FastEthernet", "Bandwidth (Mbps)", _mbps, sizes=_BW_SIZES,
+    )
+
+
+def figure12_transfer_time_gigabit() -> FigureSeries:
+    """Fig. 12: transfer time comparison on Gigabit Ethernet."""
+    return _figure(
+        "FIG12", "Transfer Time Comparison on Gigabit Ethernet",
+        "GigabitEthernet", "Time (us)", _us, sizes=_TT_SIZES,
+    )
+
+
+def figure13_throughput_gigabit() -> FigureSeries:
+    """Fig. 13: throughput comparison on Gigabit Ethernet."""
+    return _figure(
+        "FIG13", "Throughput Comparison on Gigabit Ethernet",
+        "GigabitEthernet", "Bandwidth (Mbps)", _mbps, sizes=_BW_SIZES,
+    )
+
+
+def figure14_transfer_time_myrinet() -> FigureSeries:
+    """Fig. 14: transfer time comparison on Myrinet."""
+    return _figure(
+        "FIG14", "Transfer Time Comparison on Myrinet",
+        "Myrinet2G", "Time (us)", _us, sizes=_TT_SIZES,
+    )
+
+
+def figure15_throughput_myrinet() -> FigureSeries:
+    """Fig. 15: throughput comparison on Myrinet."""
+    return _figure(
+        "FIG15", "Throughput Comparison on Myrinet",
+        "Myrinet2G", "Bandwidth (Mbps)", _mbps, sizes=_BW_SIZES,
+    )
+
+
+def figure_pingpong_variability(
+    runs: int = 12, samples: int = 8, fabric: str = "FastEthernet",
+    library: str = "MPICH",
+) -> FigureSeries:
+    """VAR: naive vs modified ping-pong run-to-run spread by size.
+
+    Not a numbered figure in the paper (the authors "omit the details
+    ... and plan to present it in a separate publication"), but the
+    effect behind their benchmark methodology, regenerated: for each
+    message size, the standard deviation across independent runs of
+    the naive estimator versus the paper's random-delay estimator.
+    """
+    import statistics
+
+    from repro.netsim.pingpong import PingPong
+
+    lib = libraries_for(fabric)[library]
+    sizes = tuple(s for s in MESSAGE_SIZES if s <= 64 * 1024)
+    fig = FigureSeries(
+        "VAR",
+        f"Ping-pong estimator spread on {fabric} ({library})",
+        "run-to-run std dev (us)",
+        sizes,
+    )
+    naive_series, modified_series = [], []
+    for nbytes in sizes:
+        naive_means, modified_means = [], []
+        for seed in range(runs):
+            naive = PingPong(lib, polling=True, seed=seed)
+            naive_means.append(
+                statistics.mean(naive.measure_naive(nbytes, samples))
+            )
+            modified = PingPong(lib, polling=True, seed=seed)
+            modified_means.append(
+                statistics.mean(modified.measure_modified(nbytes, samples * 3))
+            )
+        naive_series.append(statistics.stdev(naive_means) * 1e6)
+        modified_series.append(statistics.stdev(modified_means) * 1e6)
+    fig.series["naive ping-pong"] = naive_series
+    fig.series["modified (random delay)"] = modified_series
+    return fig
+
+
+FIGURES: dict[str, Callable[[], FigureSeries]] = {
+    "FIG10": figure10_transfer_time_fast_ethernet,
+    "FIG11": figure11_throughput_fast_ethernet,
+    "FIG12": figure12_transfer_time_gigabit,
+    "FIG13": figure13_throughput_gigabit,
+    "FIG14": figure14_transfer_time_myrinet,
+    "FIG15": figure15_throughput_myrinet,
+    "VAR": figure_pingpong_variability,
+}

@@ -1,0 +1,75 @@
+"""ASCII line plots for regenerated figures — no plotting deps needed.
+
+`python -m repro.bench --plot FIG11` draws the figure in the terminal:
+log-x (message size), linear-y, one glyph per library.  Good enough to
+eyeball the shapes the paper's plots show — the 128 KB dip, mpijava's
+Myrinet knee, the bandwidth plateaus.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.figures import FigureSeries
+
+GLYPHS = "*+xo#@%&"
+
+
+def _fmt(value: float) -> str:
+    if value >= 1000:
+        return f"{value:8.0f}"
+    if value >= 1:
+        return f"{value:8.1f}"
+    return f"{value:8.3f}"
+
+
+def _size_label(nbytes: int) -> str:
+    if nbytes >= 1 << 20:
+        return f"{nbytes >> 20}M"
+    if nbytes >= 1 << 10:
+        return f"{nbytes >> 10}K"
+    return str(nbytes)
+
+
+def ascii_plot(
+    fig: FigureSeries,
+    width: int = 72,
+    height: int = 20,
+    log_y: bool = False,
+) -> str:
+    """Render the figure as an ASCII chart with a legend."""
+    names = list(fig.series)
+    all_values = [v for series in fig.series.values() for v in series]
+    lo, hi = min(all_values), max(all_values)
+    if log_y:
+        lo, hi = math.log10(max(lo, 1e-12)), math.log10(max(hi, 1e-12))
+    if hi <= lo:
+        hi = lo + 1.0
+
+    # x positions: log2(size), scaled to the canvas width.
+    xs = [math.log2(s) for s in fig.sizes]
+    x_lo, x_hi = xs[0], xs[-1] if xs[-1] > xs[0] else xs[0] + 1
+
+    canvas = [[" "] * width for _ in range(height)]
+    for gi, name in enumerate(names):
+        glyph = GLYPHS[gi % len(GLYPHS)]
+        for x_val, y_val in zip(xs, fig.series[name]):
+            y = math.log10(max(y_val, 1e-12)) if log_y else y_val
+            col = round((x_val - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - lo) / (hi - lo) * (height - 1))
+            canvas[height - 1 - row][col] = glyph
+
+    top = 10 ** hi if log_y else hi
+    bottom = 10 ** lo if log_y else lo
+    lines = [f"{fig.title}  [{fig.ylabel}]"]
+    for i, row in enumerate(canvas):
+        label = _fmt(top) if i == 0 else (_fmt(bottom) if i == height - 1 else " " * 8)
+        lines.append(f"{label} |{''.join(row)}|")
+    axis = f"{'':8} +{'-' * width}+"
+    lines.append(axis)
+    left, right = _size_label(fig.sizes[0]), _size_label(fig.sizes[-1])
+    lines.append(f"{'':10}{left}{' ' * (width - len(left) - len(right))}{right}")
+    lines.append("")
+    for gi, name in enumerate(names):
+        lines.append(f"  {GLYPHS[gi % len(GLYPHS)]}  {name}")
+    return "\n".join(lines)

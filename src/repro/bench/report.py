@@ -1,0 +1,48 @@
+"""Plain-text rendering of regenerated figures and tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.figures import FigureSeries
+from repro.netsim.libraries import libraries_for
+
+
+def _size_label(nbytes: int) -> str:
+    if nbytes >= 1 << 20:
+        return f"{nbytes >> 20}M"
+    if nbytes >= 1 << 10:
+        return f"{nbytes >> 10}K"
+    return str(nbytes)
+
+
+def format_figure(fig: FigureSeries, sizes: Sequence[int] | None = None) -> str:
+    """Render a figure's series as a fixed-width table."""
+    sizes = list(sizes) if sizes is not None else list(fig.sizes)
+    names = list(fig.series)
+    width = max(len(n) for n in names) + 2
+    header = f"{fig.figure_id}: {fig.title} [{fig.ylabel}]"
+    lines = [header, "-" * len(header)]
+    size_row = " " * width + "".join(f"{_size_label(s):>10}" for s in sizes)
+    lines.append(size_row)
+    for name in names:
+        values = [fig.at_size(name, s) for s in sizes]
+        lines.append(
+            f"{name:<{width}}" + "".join(f"{v:>10.1f}" for v in values)
+        )
+    return "\n".join(lines)
+
+
+def format_latency_table(fabric: str) -> str:
+    """1-byte latency and 16 MB throughput summary for one fabric."""
+    libs = libraries_for(fabric)
+    lines = [
+        f"{fabric}: 1-byte latency and 16 MB throughput",
+        f"{'library':<24}{'latency (us)':>14}{'bw@16M (Mbps)':>16}",
+    ]
+    for name, lib in libs.items():
+        lines.append(
+            f"{name:<24}{lib.one_way_time(1) * 1e6:>14.1f}"
+            f"{lib.bandwidth_mbps(16 << 20):>16.1f}"
+        )
+    return "\n".join(lines)

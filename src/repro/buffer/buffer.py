@@ -1,0 +1,370 @@
+"""The two-section mpjbuf message buffer.
+
+A :class:`Buffer` holds a **static section** — a sequence of
+``(header, primitive payload)`` records — and a **dynamic section** — a
+sequence of length-prefixed pickled objects.  The split mirrors mpjbuf
+(paper Section IV-A.3): primitives go in the static section so they can
+be moved as raw bytes; objects go in the dynamic section because they
+need serialization.  ``mxdev`` transmits the two sections as a segment
+list in one ``mx_isend`` call, exactly as the paper describes.
+
+Wire format
+-----------
+Static section record::
+
+    +------+---------------+-----------------------+
+    | type | count (int32) | count * sizeof(type)  |
+    | (u8) | little endian | raw little-endian data|
+    +------+---------------+-----------------------+
+
+Dynamic section record::
+
+    +----------------+---------------+
+    | length (int32) | pickle bytes  |
+    +----------------+---------------+
+
+A whole buffer on the wire is ``static_size (int64) | dynamic_size
+(int64) | static bytes | dynamic bytes`` (see :meth:`Buffer.to_wire`).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.buffer.raw import RawBuffer
+from repro.buffer.types import SectionType, dtype_for, section_type_for_dtype
+
+_HEADER = struct.Struct("<Bi")  # type code, element count
+_OBJ_HEADER = struct.Struct("<i")  # pickled length
+_WIRE_HEADER = struct.Struct("<qq")  # static size, dynamic size
+
+
+class BufferFormatError(Exception):
+    """Raised when a buffer's wire content cannot be decoded."""
+
+
+@dataclass(frozen=True)
+class SectionHeader:
+    """Decoded static-section header: element type and count."""
+
+    type: SectionType
+    count: int
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size in bytes of the section this header fronts."""
+        return self.count * dtype_for(self.type).itemsize
+
+
+class Buffer:
+    """An mpjbuf-style message buffer with static and dynamic sections.
+
+    Typical sender usage::
+
+        buf = Buffer()
+        buf.write(np.arange(10, dtype=np.int32))   # static section
+        buf.write_object({"meta": 1})              # dynamic section
+        buf.commit()
+        segments = buf.segments()                  # zero-copy views
+
+    Receiver usage::
+
+        buf = Buffer.from_wire(wire_bytes)
+        hdr = buf.read_section_header()
+        data = buf.read(hdr.count, dtype_for(hdr.type))
+        obj = buf.read_object()
+    """
+
+    __slots__ = ("_static", "_dynamic", "_committed", "_pool")
+
+    def __init__(self, capacity: int = 256, _pool: Any = None) -> None:
+        self._static = RawBuffer(capacity)
+        self._dynamic = RawBuffer(16)
+        self._committed = False
+        self._pool = _pool
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def committed(self) -> bool:
+        return self._committed
+
+    def commit(self) -> "Buffer":
+        """Freeze the buffer for transmission.
+
+        Further writes raise; reading is allowed.  Mirrors mpjbuf's
+        ``commit()`` which flips the buffer from write to read mode.
+        """
+        self._committed = True
+        return self
+
+    def clear(self) -> None:
+        """Reset to empty, writable state (buffer reuse)."""
+        self._static.clear()
+        self._dynamic.clear()
+        self._committed = False
+
+    def free(self) -> None:
+        """Return this buffer to its pool, if it came from one."""
+        if self._pool is not None:
+            self._pool.release(self)
+
+    @property
+    def static_size(self) -> int:
+        """Bytes in the static section."""
+        return self._static.size
+
+    @property
+    def dynamic_size(self) -> int:
+        """Bytes in the dynamic section."""
+        return self._dynamic.size
+
+    @property
+    def size(self) -> int:
+        """Total payload bytes (both sections, excluding wire header)."""
+        return self.static_size + self.dynamic_size
+
+    def _check_writable(self) -> None:
+        if self._committed:
+            raise BufferFormatError("buffer is committed; writes are frozen")
+
+    # ------------------------------------------------------------------
+    # static-section writes
+
+    def write(self, data: np.ndarray | Sequence[Any], section_type: SectionType | None = None) -> None:
+        """Append one primitive section.
+
+        *data* is coerced to a contiguous 1-D numpy array.  The section
+        type is inferred from the dtype unless given explicitly.  The
+        payload is written directly into the backing store through a
+        writable view — the single copy in the whole send pipeline,
+        standing in for the paper's pack-onto-direct-buffer step.
+        """
+        self._check_writable()
+        arr = np.ascontiguousarray(data)
+        if arr.ndim != 1:
+            arr = arr.reshape(-1)
+        if section_type is None:
+            section_type = section_type_for_dtype(arr.dtype)
+        wire_dtype = dtype_for(section_type)
+        if arr.dtype != wire_dtype:
+            if arr.dtype.kind == "u" and wire_dtype.kind == "i":
+                arr = arr.view(wire_dtype) if arr.dtype.itemsize == wire_dtype.itemsize else arr.astype(wire_dtype)
+            else:
+                arr = arr.astype(wire_dtype)
+        self._static.write(_HEADER.pack(int(section_type), arr.size))
+        dest = self._static.writable_view(arr.nbytes)
+        np.frombuffer(dest, dtype=wire_dtype)[:] = arr
+
+    def write_scalar(self, value: Any, section_type: SectionType) -> None:
+        """Append a single-element section (convenience for headers)."""
+        self.write(np.array([value], dtype=dtype_for(section_type)), section_type)
+
+    def write_string(self, text: str) -> None:
+        """Append a string as a CHAR section (UTF-16 code units).
+
+        Java's ``char`` is a UTF-16 code unit, so this is the natural
+        wire representation for mpjbuf's CHAR type — and strings stay
+        readable by a hypothetical Java peer.
+        """
+        units = np.frombuffer(text.encode("utf-16-le"), dtype="<u2")
+        self.write(units, SectionType.CHAR)
+
+    def read_string(self) -> str:
+        """Consume a CHAR section written by :meth:`write_string`."""
+        hdr = self.read_section_header()
+        if hdr.type != SectionType.CHAR:
+            raise BufferFormatError(
+                f"expected a CHAR section, found {hdr.type.name}"
+            )
+        units = self.read(hdr.count, dtype_for(SectionType.CHAR))
+        return units.tobytes().decode("utf-16-le")
+
+    # ------------------------------------------------------------------
+    # dynamic-section writes
+
+    def write_object(self, obj: Any) -> None:
+        """Append one object record (pickled) to the dynamic section."""
+        self._check_writable()
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        self._dynamic.write(_OBJ_HEADER.pack(len(payload)))
+        self._dynamic.write(payload)
+
+    # ------------------------------------------------------------------
+    # static-section reads
+
+    def read_section_header(self) -> SectionHeader:
+        """Consume and decode the next static-section header."""
+        try:
+            raw = self._static.read(_HEADER.size)
+        except EOFError:
+            raise BufferFormatError("no further static sections") from None
+        code, count = _HEADER.unpack(raw)
+        try:
+            stype = SectionType(code)
+        except ValueError:
+            raise BufferFormatError(f"unknown section type code {code}") from None
+        if count < 0:
+            raise BufferFormatError(f"negative section count {count}")
+        return SectionHeader(stype, count)
+
+    def peek_section_header(self) -> SectionHeader | None:
+        """Decode the next static-section header without consuming it."""
+        try:
+            raw = self._static.peek(_HEADER.size)
+        except EOFError:
+            return None
+        code, count = _HEADER.unpack(raw)
+        return SectionHeader(SectionType(code), count)
+
+    def has_static_data(self) -> bool:
+        """True if unread static sections remain."""
+        return self._static.remaining > 0
+
+    def read(self, count: int, dtype: np.dtype, out: np.ndarray | None = None) -> np.ndarray:
+        """Consume *count* elements of *dtype* from the current section.
+
+        If *out* is given the elements are unpacked into it in place
+        (the paper's copy-onto-user-array step); otherwise a new array
+        is returned.  The caller must already have consumed the header.
+        """
+        dtype = np.dtype(dtype)
+        view = self._static.read(count * dtype.itemsize)
+        src = np.frombuffer(view, dtype=dtype, count=count)
+        if out is None:
+            return src.copy()
+        flat = out.reshape(-1)
+        if flat.size < count:
+            raise BufferFormatError(
+                f"destination holds {flat.size} elements, message has {count}"
+            )
+        flat[:count] = src[:count]
+        return out
+
+    def read_section(self, out: np.ndarray | None = None) -> np.ndarray:
+        """Read one complete section: header then payload."""
+        hdr = self.read_section_header()
+        return self.read(hdr.count, dtype_for(hdr.type), out=out)
+
+    def skip_section(self) -> SectionHeader:
+        """Consume and discard the next static section (selective unpack).
+
+        Returns the skipped section's header so callers can log what
+        they stepped over.
+        """
+        hdr = self.read_section_header()
+        self._static.skip(hdr.nbytes)
+        return hdr
+
+    def iter_sections(self) -> Iterator[tuple[SectionHeader, np.ndarray]]:
+        """Yield every remaining static section as (header, data)."""
+        while self.has_static_data():
+            hdr = self.read_section_header()
+            yield hdr, self.read(hdr.count, dtype_for(hdr.type))
+
+    # ------------------------------------------------------------------
+    # dynamic-section reads
+
+    def has_objects(self) -> bool:
+        """True if unread dynamic records remain."""
+        return self._dynamic.remaining > 0
+
+    def read_object(self) -> Any:
+        """Consume and unpickle the next dynamic-section record."""
+        try:
+            raw = self._dynamic.read(_OBJ_HEADER.size)
+        except EOFError:
+            raise BufferFormatError("no further objects in dynamic section") from None
+        (length,) = _OBJ_HEADER.unpack(raw)
+        if length < 0:
+            raise BufferFormatError(f"negative object length {length}")
+        payload = self._dynamic.read(length)
+        try:
+            return pickle.loads(bytes(payload))
+        except Exception as exc:
+            raise BufferFormatError(f"object deserialization failed: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # wire conversion
+
+    def segments(self) -> list[memoryview]:
+        """Zero-copy wire segments: [wire header, static, dynamic].
+
+        This is the segment list handed to ``mxdev`` — both sections in
+        one gather-send, matching the paper's use of ``mx_isend``'s
+        ``segments_list``.
+        """
+        header = _WIRE_HEADER.pack(self.static_size, self.dynamic_size)
+        segs = [memoryview(header)]
+        if self.static_size:
+            segs.append(self._static.contents())
+        if self.dynamic_size:
+            segs.append(self._dynamic.contents())
+        return segs
+
+    def to_wire(self) -> bytes:
+        """Flatten the buffer to one bytes object (for stream transports)."""
+        return b"".join(bytes(s) for s in self.segments())
+
+    def load_wire(self, data: bytes | bytearray | memoryview) -> "Buffer":
+        """Fill *this* buffer from wire bytes, in place.
+
+        The receive path loads incoming data into the buffer the user
+        posted with the receive — the paper's "copied onto the memory
+        specified by the user" step — so pooled buffers are reused
+        rather than reallocated per message.
+        """
+        view = memoryview(data)
+        if len(view) < _WIRE_HEADER.size:
+            raise BufferFormatError(
+                f"wire data of {len(view)} bytes is shorter than the header"
+            )
+        static_size, dynamic_size = _WIRE_HEADER.unpack(view[: _WIRE_HEADER.size])
+        if static_size < 0 or dynamic_size < 0:
+            raise BufferFormatError("negative section size on the wire")
+        expected = _WIRE_HEADER.size + static_size + dynamic_size
+        if len(view) != expected:
+            raise BufferFormatError(
+                f"wire data is {len(view)} bytes, header promises {expected}"
+            )
+        start = _WIRE_HEADER.size
+        self._static.load(view[start : start + static_size])
+        self._dynamic.load(view[start + static_size : start + static_size + dynamic_size])
+        self._committed = True
+        return self
+
+    @classmethod
+    def from_wire(cls, data: bytes | bytearray | memoryview, pool: Any = None) -> "Buffer":
+        """Reconstruct a committed buffer from :meth:`to_wire` output."""
+        view = memoryview(data)
+        if len(view) < _WIRE_HEADER.size:
+            raise BufferFormatError(
+                f"wire data of {len(view)} bytes is shorter than the header"
+            )
+        static_size, dynamic_size = _WIRE_HEADER.unpack(view[: _WIRE_HEADER.size])
+        if static_size < 0 or dynamic_size < 0:
+            raise BufferFormatError("negative section size on the wire")
+        expected = _WIRE_HEADER.size + static_size + dynamic_size
+        if len(view) != expected:
+            raise BufferFormatError(
+                f"wire data is {len(view)} bytes, header promises {expected}"
+            )
+        buf = cls(capacity=max(static_size, 16), _pool=pool)
+        start = _WIRE_HEADER.size
+        buf._static.load(view[start : start + static_size])
+        buf._dynamic.load(view[start + static_size : start + static_size + dynamic_size])
+        buf._committed = True
+        return buf
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "committed" if self._committed else "writable"
+        return (
+            f"Buffer(static={self.static_size}B, dynamic={self.dynamic_size}B, "
+            f"{state})"
+        )

@@ -1,0 +1,82 @@
+"""Buffer pooling.
+
+The companion paper [3] ("An Approach to Buffer Management in Java HPC
+Messaging") motivates reusing direct byte buffers: allocating them is
+expensive and the garbage collector does not reclaim native memory
+promptly.  In Python, allocation is cheaper, but pooling still removes
+per-message ``bytearray`` churn on the critical path and is the natural
+home for the device-level temporary buffers the eager protocol assumes
+("the receiver has got an unlimited device level memory", Section
+IV-A.1).
+
+The pool is thread-safe: any user thread may acquire, and the
+input-handler thread releases on message completion.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.buffer.buffer import Buffer
+
+
+class BufferPool:
+    """Size-bucketed free list of :class:`Buffer` objects.
+
+    Buffers are bucketed by power-of-two capacity so a request is served
+    by a buffer at most 2x larger than needed.  ``max_buffers_per_bucket``
+    bounds retained memory; excess releases simply drop the buffer.
+    """
+
+    def __init__(self, max_buffers_per_bucket: int = 32) -> None:
+        if max_buffers_per_bucket < 0:
+            raise ValueError("max_buffers_per_bucket must be >= 0")
+        self._max_per_bucket = max_buffers_per_bucket
+        self._buckets: dict[int, list[Buffer]] = {}
+        self._lock = threading.Lock()
+        self._acquired = 0
+        self._reused = 0
+
+    @staticmethod
+    def _bucket_for(capacity: int) -> int:
+        bucket = 16
+        while bucket < capacity:
+            bucket *= 2
+        return bucket
+
+    def acquire(self, capacity: int = 256) -> Buffer:
+        """Return a clear, writable buffer with at least *capacity* bytes."""
+        bucket = self._bucket_for(capacity)
+        with self._lock:
+            self._acquired += 1
+            free = self._buckets.get(bucket)
+            if free:
+                self._reused += 1
+                buf = free.pop()
+                buf.clear()
+                return buf
+        return Buffer(capacity=bucket, _pool=self)
+
+    def release(self, buf: Buffer) -> None:
+        """Return *buf* to the pool (drops it if the bucket is full)."""
+        buf.clear()
+        bucket = self._bucket_for(buf._static.capacity)
+        with self._lock:
+            free = self._buckets.setdefault(bucket, [])
+            if len(free) < self._max_per_bucket:
+                free.append(buf)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Counters: total acquires, how many were served from the pool."""
+        with self._lock:
+            pooled = sum(len(v) for v in self._buckets.values())
+            return {
+                "acquired": self._acquired,
+                "reused": self._reused,
+                "pooled": pooled,
+            }
+
+
+#: Process-wide default pool used by devices unless given their own.
+DEFAULT_POOL = BufferPool()

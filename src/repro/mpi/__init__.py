@@ -1,0 +1,188 @@
+"""repro.mpi — the MPI-like API level (mpijava 1.2 semantics, Python spellings).
+
+This package is the top of the paper's Fig. 1 stack: the high level
+(collectives) and base level (point-to-point) of an MPI binding,
+implemented over mpjdev/xdev.
+
+Quick use (with the SPMD launcher)::
+
+    from repro.runtime.launcher import run_spmd
+    from repro import mpi
+
+    def main(env):
+        comm = env.COMM_WORLD
+        if comm.rank() == 0:
+            comm.send({"hello": comm.size()}, dest=1, tag=0)
+        elif comm.rank() == 1:
+            print(comm.recv(source=0, tag=0))
+
+    run_spmd(main, nprocs=2)
+
+Wildcards, datatypes, reduction ops and thread-level constants are all
+re-exported here, mpijava-style (``mpi.ANY_SOURCE``, ``mpi.INT``,
+``mpi.SUM``, ``mpi.THREAD_MULTIPLE``...).
+"""
+
+from repro.xdev.constants import ANY_SOURCE, ANY_TAG
+
+from repro.mpi.exceptions import (
+    CommunicatorError,
+    CountMismatchError,
+    DatatypeError,
+    InvalidRankError,
+    InvalidTagError,
+    MPIException,
+    TopologyError,
+)
+from repro.mpi.datatype import (
+    BOOLEAN,
+    BYTE,
+    CHAR,
+    ContiguousType,
+    Datatype,
+    DOUBLE,
+    FLOAT,
+    INT,
+    IndexedType,
+    LONG,
+    OBJECT,
+    SHORT,
+    StructType,
+    VectorType,
+    datatype_for,
+)
+from repro.mpi.op import (
+    BAND,
+    BOR,
+    BXOR,
+    LAND,
+    LOR,
+    LXOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    Op,
+    PROD,
+    SUM,
+)
+from repro.mpi.group import Group, IDENT, SIMILAR, UNDEFINED, UNEQUAL
+from repro.mpi.status import MPIStatus
+from repro.mpi.request import (
+    CompletedMPIRequest,
+    MPIRequest,
+    testall,
+    testany,
+    testsome,
+    waitall,
+    waitany,
+    waitsome,
+)
+from repro.mpi.comm import Comm
+from repro.mpi.intracomm import ContextCounter, Intracomm
+from repro.mpi.intercomm import Intercomm
+from repro.mpi.cartcomm import CartComm, dims_create
+from repro.mpi.graphcomm import GraphComm
+from repro.mpi.environment import (
+    MPJEnvironment,
+    THREAD_FUNNELED,
+    THREAD_MULTIPLE,
+    THREAD_SERIALIZED,
+    THREAD_SINGLE,
+)
+from repro.mpi.persistent import Prequest, startall, waitall_persistent
+from repro.mpi.packing import PACKED, Packer, Unpacker, pack_size
+from repro.mpi.attributes import create_keyval, free_keyval
+from repro.mpi.nbc import (
+    NBCRequest,
+    iallgather,
+    iallreduce,
+    ibarrier,
+    ibcast,
+    igather_objects,
+)
+
+#: MPI_PROC_NULL analogue used by Cart shift at open boundaries.
+PROC_NULL = UNDEFINED
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BAND",
+    "BOOLEAN",
+    "BOR",
+    "BXOR",
+    "BYTE",
+    "CHAR",
+    "CartComm",
+    "Comm",
+    "CommunicatorError",
+    "CompletedMPIRequest",
+    "ContextCounter",
+    "ContiguousType",
+    "CountMismatchError",
+    "create_keyval",
+    "free_keyval",
+    "Datatype",
+    "DatatypeError",
+    "DOUBLE",
+    "FLOAT",
+    "GraphComm",
+    "Group",
+    "IDENT",
+    "INT",
+    "IndexedType",
+    "Intercomm",
+    "Intracomm",
+    "InvalidRankError",
+    "InvalidTagError",
+    "LAND",
+    "LONG",
+    "LOR",
+    "LXOR",
+    "MAX",
+    "MAXLOC",
+    "MIN",
+    "MINLOC",
+    "MPIException",
+    "MPIRequest",
+    "MPIStatus",
+    "MPJEnvironment",
+    "NBCRequest",
+    "OBJECT",
+    "iallgather",
+    "iallreduce",
+    "ibarrier",
+    "ibcast",
+    "igather_objects",
+    "Op",
+    "PACKED",
+    "Packer",
+    "Prequest",
+    "Unpacker",
+    "pack_size",
+    "startall",
+    "waitall_persistent",
+    "PROC_NULL",
+    "PROD",
+    "SHORT",
+    "SIMILAR",
+    "StructType",
+    "SUM",
+    "THREAD_FUNNELED",
+    "THREAD_MULTIPLE",
+    "THREAD_SERIALIZED",
+    "THREAD_SINGLE",
+    "TopologyError",
+    "UNDEFINED",
+    "UNEQUAL",
+    "VectorType",
+    "datatype_for",
+    "dims_create",
+    "testall",
+    "testany",
+    "testsome",
+    "waitall",
+    "waitany",
+    "waitsome",
+]

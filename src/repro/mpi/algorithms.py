@@ -1,0 +1,292 @@
+"""Alternative collective algorithms, selectable per communicator.
+
+The high level of MPJ Express implements its collectives in pure Java
+over point-to-point; production MPI libraries ship *several* algorithms
+per collective and pick by message size and process count.  This module
+provides the classic alternatives so the choice can be ablated
+(``benchmarks/test_ablation_collectives.py``) and tuned:
+
+=============  ===========================  ============================
+collective     default                      alternatives
+=============  ===========================  ============================
+Bcast          binomial tree                linear, scatter+ring-allgather
+Reduce         binomial tree                linear gather-fold
+Allreduce      Reduce + Bcast               recursive doubling
+Allgather      ring                         gather + bcast
+=============  ===========================  ============================
+
+Select with ``comm.set_collective_algorithm("bcast", "linear")``.
+
+All functions here speak the same internal interface as Intracomm's
+built-ins: rank-addressed ``_coll_send``/``_coll_recv`` on the
+communicator's collective context.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.mpi import op as ops
+from repro.mpi.comm import TAG_ALLGATHER, TAG_BCAST, TAG_REDUCE
+from repro.mpi.datatype import Datatype
+from repro.mpi.exceptions import MPIException
+
+# ----------------------------------------------------------------------
+# Bcast variants
+
+
+def bcast_linear(comm, buf: Any, offset: int, count: int, datatype: Datatype, root: int) -> None:
+    """Root sends to everyone: p-1 serial messages (the naive tree)."""
+    rank, size = comm.rank(), comm.size()
+    if rank == root:
+        requests = [
+            comm._coll_isend(buf, offset, count, datatype, r, TAG_BCAST)
+            for r in range(size)
+            if r != root
+        ]
+        for req in requests:
+            req.wait()
+    else:
+        comm._coll_recv(buf, offset, count, datatype, root, TAG_BCAST)
+
+
+def bcast_scatter_allgather(
+    comm, buf: Any, offset: int, count: int, datatype: Datatype, root: int
+) -> None:
+    """Van de Geijn broadcast: scatter segments, then ring allgather.
+
+    Bandwidth-optimal for large messages (each byte crosses each link
+    ~2x instead of log2(p)x).  Requires a primitive-based contiguous
+    datatype; falls back to the binomial tree otherwise or when the
+    message is smaller than one element per rank.
+    """
+    rank, size = comm.rank(), comm.size()
+    if (
+        size == 1
+        or datatype.base_dtype is None
+        or datatype.extent != datatype.block_count
+        or count < size
+    ):
+        comm._bcast_binomial(buf, offset, count, datatype, root)
+        return
+
+    base_count = count * datatype.block_count  # in base elements
+    flat = np.asarray(buf).reshape(-1)
+    base_offset = offset * datatype.extent
+
+    # Segment bounds in base elements (first ranks take the remainder).
+    per = base_count // size
+    rem = base_count % size
+    counts = [per + (1 if r < rem else 0) for r in range(size)]
+    displs = [sum(counts[:r]) for r in range(size)]
+
+    from repro.mpi.datatype import _BY_DTYPE  # base datatype for dtype
+
+    base_dt = _BY_DTYPE[np.dtype(datatype.base_dtype)]
+
+    # Phase 1: binomial-scatter from root (relative ranks).
+    relrank = (rank - root) % size
+
+    def abs_rank(rel: int) -> int:
+        return (rel + root) % size
+
+    # Each relative rank r is responsible for segment r (by relrank).
+    # Standard binomial scatter: at each step, a holder passes the
+    # upper half of its span to a partner.
+    span = 1
+    while span < size:
+        span *= 2
+    my_span_start, my_span_len = 0, size  # root's initial span
+    if relrank != 0:
+        # Receive my span from the parent.
+        mask = 1
+        while mask < size:
+            if relrank & mask:
+                parent_rel = relrank - mask
+                my_span_start = relrank
+                my_span_len = min(mask, size - relrank)
+                seg_lo = displs[my_span_start]
+                seg_len = sum(counts[my_span_start : my_span_start + my_span_len])
+                comm._coll_recv(
+                    flat, base_offset + seg_lo, seg_len, base_dt,
+                    abs_rank(parent_rel), TAG_BCAST,
+                )
+                break
+            mask <<= 1
+        mask >>= 1
+    else:
+        mask = span // 2
+    # Send halves of my span downward.
+    while mask > 0:
+        child_rel = relrank + mask
+        if child_rel < my_span_start + my_span_len and child_rel < size:
+            child_len = min(mask, my_span_start + my_span_len - child_rel)
+            seg_lo = displs[child_rel]
+            seg_len = sum(counts[child_rel : child_rel + child_len])
+            if seg_len:
+                comm._coll_send(
+                    flat, base_offset + seg_lo, seg_len, base_dt,
+                    abs_rank(child_rel), TAG_BCAST,
+                )
+            my_span_len = child_rel - my_span_start
+        mask >>= 1
+
+    # Phase 2: ring allgather of the segments (by relative rank).
+    right = abs_rank((relrank + 1) % size)
+    left = abs_rank((relrank - 1) % size)
+    for step in range(size - 1):
+        send_seg = (relrank - step) % size
+        recv_seg = (relrank - step - 1) % size
+        rreq = comm._coll_irecv(
+            flat, base_offset + displs[recv_seg], counts[recv_seg], base_dt,
+            left, TAG_ALLGATHER,
+        )
+        sreq = comm._coll_isend(
+            flat, base_offset + displs[send_seg], counts[send_seg], base_dt,
+            right, TAG_ALLGATHER,
+        )
+        rreq.wait()
+        sreq.wait()
+
+
+# ----------------------------------------------------------------------
+# Reduce variants
+
+
+def reduce_linear(
+    comm, sendbuf, sendoffset, recvbuf, recvoffset, count, datatype, op, root
+) -> None:
+    """Everyone sends to root; root folds in rank order.
+
+    Correct for non-commutative operations; p-1 messages into one node.
+    """
+    rank, size = comm.rank(), comm.size()
+    acc = comm._reduce_local(sendbuf, sendoffset, count, datatype)
+    n = acc.size
+    if rank != root:
+        comm._coll_send(acc, 0, n, None, root, TAG_REDUCE)
+        return
+    parts = []
+    for r in range(size):
+        if r == rank:
+            parts.append(acc)
+        else:
+            tmp = np.empty_like(acc)
+            comm._coll_recv(tmp, 0, n, None, r, TAG_REDUCE)
+            parts.append(tmp.copy())
+    result = parts[0]
+    for part in parts[1:]:
+        result = op.reduce_arrays(result, part)
+    flat = comm._writable_flat(recvbuf)
+    flat[recvoffset : recvoffset + n] = result
+
+
+# ----------------------------------------------------------------------
+# Allreduce variants
+
+
+def allreduce_recursive_doubling(
+    comm, sendbuf, sendoffset, recvbuf, recvoffset, count, datatype, op
+) -> None:
+    """Recursive doubling: log2(p) exchange rounds, everyone finishes
+    together.  Requires a commutative op (falls back otherwise)."""
+    rank, size = comm.rank(), comm.size()
+    if not op.commute:
+        comm.Reduce(sendbuf, sendoffset, recvbuf, recvoffset, count, datatype, op, 0)
+        comm.Bcast(recvbuf, recvoffset, count, datatype, 0)
+        return
+    acc = comm._reduce_local(sendbuf, sendoffset, count, datatype)
+    n = acc.size
+    tmp = np.empty_like(acc)
+
+    # Fold the non-power-of-two remainder into the lower ranks.
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            comm._coll_send(acc, 0, n, None, rank + 1, TAG_REDUCE)
+            newrank = -1
+        else:
+            comm._coll_recv(tmp, 0, n, None, rank - 1, TAG_REDUCE)
+            acc = op.reduce_arrays(acc, tmp)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+
+    if newrank != -1:
+        mask = 1
+        while mask < pof2:
+            partner_new = newrank ^ mask
+            partner = (
+                partner_new * 2 + 1 if partner_new < rem else partner_new + rem
+            )
+            rreq = comm._coll_irecv(tmp, 0, n, None, partner, TAG_REDUCE)
+            sreq = comm._coll_isend(acc, 0, n, None, partner, TAG_REDUCE)
+            rreq.wait()
+            sreq.wait()
+            acc = op.reduce_arrays(acc, tmp)
+            mask <<= 1
+
+    # Unfold: deliver results back to the folded-away even ranks.
+    if rank < 2 * rem:
+        if rank % 2 == 1:
+            comm._coll_send(acc, 0, n, None, rank - 1, TAG_REDUCE)
+        else:
+            comm._coll_recv(acc, 0, n, None, rank + 1, TAG_REDUCE)
+
+    flat = comm._writable_flat(recvbuf)
+    flat[recvoffset : recvoffset + n] = acc
+
+
+# ----------------------------------------------------------------------
+# Allgather variants
+
+
+def allgather_gather_bcast(
+    comm, sendbuf, sendoffset, sendcount, sendtype,
+    recvbuf, recvoffset, recvcount, recvtype,
+) -> None:
+    """Gather to rank 0, then broadcast the assembled array."""
+    size = comm.size()
+    comm.Gather(sendbuf, sendoffset, sendcount, sendtype,
+                recvbuf, recvoffset, recvcount, recvtype, 0)
+    comm.Bcast(recvbuf, recvoffset, size * recvcount, recvtype, 0)
+
+
+#: Registry: collective name -> {algorithm name -> callable}.
+REGISTRY: dict[str, dict[str, Any]] = {
+    "bcast": {
+        "binomial": None,  # built-in default
+        "linear": bcast_linear,
+        "scatter_allgather": bcast_scatter_allgather,
+    },
+    "reduce": {
+        "binomial": None,
+        "linear": reduce_linear,
+    },
+    "allreduce": {
+        "reduce_bcast": None,
+        "recursive_doubling": allreduce_recursive_doubling,
+    },
+    "allgather": {
+        "ring": None,
+        "gather_bcast": allgather_gather_bcast,
+    },
+}
+
+
+def validate(collective: str, algorithm: str) -> None:
+    if collective not in REGISTRY:
+        raise MPIException(
+            f"no algorithm choices for collective {collective!r}; "
+            f"tunable: {sorted(REGISTRY)}"
+        )
+    if algorithm not in REGISTRY[collective]:
+        raise MPIException(
+            f"unknown {collective} algorithm {algorithm!r}; "
+            f"known: {sorted(REGISTRY[collective])}"
+        )

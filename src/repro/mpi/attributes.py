@@ -1,0 +1,94 @@
+"""Communicator attribute caching (MPI-1 keyvals).
+
+Libraries layered over MPI stash per-communicator state — cached
+sub-communicators, tuned parameters, topology metadata — in
+communicator attributes keyed by process-local *keyvals*.  The MPI-1
+interface, pythonified:
+
+```python
+KEY = mpi.create_keyval(copy_on_dup=True)
+comm.set_attr(KEY, {"level": 3})
+comm.get_attr(KEY)            # -> {"level": 3} (None if unset)
+dup = comm.dup()              # copies the attribute (copy_on_dup)
+comm.delete_attr(KEY)
+mpi.free_keyval(KEY)
+```
+
+``copy_on_dup`` may be ``True`` (shallow-copy the value to the new
+communicator), ``False`` (do not propagate — MPI_NULL_COPY_FN), or a
+callable ``fn(value) -> new_value`` (MPI's user copy function;
+returning ``None`` drops the attribute).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Optional, Union
+
+from repro.mpi.exceptions import MPIException
+
+_keyval_counter = itertools.count(1)
+_keyval_lock = threading.Lock()
+#: keyval -> copy policy (True / False / callable)
+_keyvals: dict[int, Union[bool, Callable[[Any], Any]]] = {}
+
+
+def create_keyval(copy_on_dup: Union[bool, Callable[[Any], Any]] = False) -> int:
+    """Allocate a new attribute key (MPI_Keyval_create)."""
+    with _keyval_lock:
+        keyval = next(_keyval_counter)
+        _keyvals[keyval] = copy_on_dup
+        return keyval
+
+
+def free_keyval(keyval: int) -> None:
+    """Release a key (MPI_Keyval_free); existing attributes survive."""
+    with _keyval_lock:
+        _keyvals.pop(keyval, None)
+
+
+def _copy_policy(keyval: int) -> Union[bool, Callable[[Any], Any], None]:
+    with _keyval_lock:
+        return _keyvals.get(keyval)
+
+
+class AttributeMixin:
+    """Attribute storage mixed into Comm."""
+
+    def _attrs(self) -> dict[int, Any]:
+        attrs = getattr(self, "_attributes", None)
+        if attrs is None:
+            attrs = {}
+            self._attributes = attrs
+        return attrs
+
+    def set_attr(self, keyval: int, value: Any) -> None:
+        """Attach *value* under *keyval* (MPI_Attr_put)."""
+        if _copy_policy(keyval) is None:
+            raise MPIException(f"keyval {keyval} was never created (or freed)")
+        self._attrs()[keyval] = value
+
+    def get_attr(self, keyval: int) -> Optional[Any]:
+        """Value under *keyval*, or None (MPI_Attr_get)."""
+        return self._attrs().get(keyval)
+
+    def delete_attr(self, keyval: int) -> None:
+        """Remove the attribute if present (MPI_Attr_delete)."""
+        self._attrs().pop(keyval, None)
+
+    def _copy_attrs_to(self, other: "AttributeMixin") -> None:
+        """Propagate attributes on dup() according to copy policies."""
+        for keyval, value in self._attrs().items():
+            policy = _copy_policy(keyval)
+            if policy is True:
+                other._attrs()[keyval] = value
+            elif callable(policy):
+                copied = policy(value)
+                if copied is not None:
+                    other._attrs()[keyval] = copied
+            # False / None: do not propagate.
+
+    Set_attr = set_attr
+    Get_attr = get_attr
+    Delete_attr = delete_attr

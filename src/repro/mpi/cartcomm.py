@@ -1,0 +1,200 @@
+"""Cartesian virtual topology (MPI ``Cart_create`` family).
+
+One of the "higher-level features of MPI like derived datatypes ...
+virtual topologies, and inter-communicators" that the paper notes
+MPJ/Ibis does not implement but MPJ Express does (Section II).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.mpi.exceptions import TopologyError
+from repro.mpi.group import UNDEFINED
+from repro.mpi.intracomm import Intracomm
+
+
+def dims_create(nnodes: int, ndims: int, dims: Optional[Sequence[int]] = None) -> list[int]:
+    """Balanced dimension sizes for *nnodes* over *ndims* (MPI_Dims_create).
+
+    Entries of *dims* that are nonzero are kept fixed; zeros are filled
+    so the product equals *nnodes*, as square as possible.
+    """
+    out = list(dims) if dims is not None else [0] * ndims
+    if len(out) != ndims:
+        raise TopologyError(f"dims has {len(out)} entries for ndims={ndims}")
+    fixed = 1
+    free_slots = [i for i, d in enumerate(out) if d == 0]
+    for d in out:
+        if d < 0:
+            raise TopologyError("dims entries must be non-negative")
+        if d:
+            fixed *= d
+    if fixed == 0 or nnodes % fixed != 0:
+        raise TopologyError(f"cannot fit {nnodes} nodes into fixed dims {out}")
+    remaining = nnodes // fixed
+    # Greedy: repeatedly give the largest prime factor to the smallest slot.
+    factors: list[int] = []
+    n = remaining
+    f = 2
+    while f * f <= n:
+        while n % f == 0:
+            factors.append(f)
+            n //= f
+        f += 1
+    if n > 1:
+        factors.append(n)
+    sizes = [1] * len(free_slots)
+    for factor in sorted(factors, reverse=True):
+        sizes[int(np.argmin(sizes))] *= factor
+    for slot, s in zip(free_slots, sorted(sizes, reverse=True)):
+        out[slot] = s
+    return out
+
+
+class CartComm(Intracomm):
+    """Intracommunicator with an attached Cartesian grid."""
+
+    def __init__(self, *args, dims: Sequence[int], periods: Sequence[bool], **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._dims = tuple(int(d) for d in dims)
+        self._periods = tuple(bool(p) for p in periods)
+
+    @classmethod
+    def _construct(
+        cls,
+        parent: Intracomm,
+        contexts: tuple[int, int],
+        dims: Sequence[int],
+        periods: Sequence[bool],
+        reorder: bool,
+    ) -> Optional["CartComm"]:
+        nnodes = int(np.prod(dims)) if len(dims) else 1
+        if len(dims) != len(periods):
+            raise TopologyError("dims and periods must have equal length")
+        if any(d < 1 for d in dims):
+            raise TopologyError("every dimension must be >= 1")
+        if nnodes > parent.size():
+            raise TopologyError(
+                f"grid of {nnodes} does not fit communicator of {parent.size()}"
+            )
+        rank = parent.rank()
+        # reorder is a permission, not an obligation: identity mapping.
+        if rank >= nnodes:
+            return None
+        ranks = list(range(nnodes))
+        group = parent.group().incl(ranks)
+        return cls(
+            parent._devcomm.sub_comm(ranks, rank),
+            group,
+            contexts,
+            pool=parent._pool,
+            env=parent._env,
+            context_counter=parent._context_counter,
+            dims=dims,
+            periods=periods,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def get_topo(self) -> tuple[tuple[int, ...], tuple[bool, ...], tuple[int, ...]]:
+        """(dims, periods, my coords) — MPI_Cart_get."""
+        return self._dims, self._periods, self.coords(self.rank())
+
+    @property
+    def ndims(self) -> int:
+        return len(self._dims)
+
+    @property
+    def dims(self) -> tuple[int, ...]:
+        return self._dims
+
+    @property
+    def periods(self) -> tuple[bool, ...]:
+        return self._periods
+
+    def cart_rank(self, coords: Sequence[int]) -> int:
+        """Row-major rank of *coords*; periodic dims wrap."""
+        if len(coords) != self.ndims:
+            raise TopologyError(f"expected {self.ndims} coordinates")
+        rank = 0
+        for dim, period, c in zip(self._dims, self._periods, coords):
+            if period:
+                c %= dim
+            elif not (0 <= c < dim):
+                raise TopologyError(f"coordinate {c} outside non-periodic dim {dim}")
+            rank = rank * dim + c
+        return rank
+
+    def coords(self, rank: int) -> tuple[int, ...]:
+        """Coordinates of *rank* (MPI_Cart_coords)."""
+        if not (0 <= rank < self.size()):
+            raise TopologyError(f"rank {rank} outside topology of {self.size()}")
+        out = []
+        for dim in reversed(self._dims):
+            out.append(rank % dim)
+            rank //= dim
+        return tuple(reversed(out))
+
+    Get_topo = get_topo
+    Get_coords = coords
+    Get_cart_rank = cart_rank
+
+    # ------------------------------------------------------------------
+    # movement
+
+    def shift(self, direction: int, disp: int) -> tuple[int, int]:
+        """(source, dest) ranks for a shift (MPI_Cart_shift).
+
+        Off-grid neighbours in non-periodic dimensions come back as
+        ``UNDEFINED`` (MPI_PROC_NULL semantics).
+        """
+        if not (0 <= direction < self.ndims):
+            raise TopologyError(f"direction {direction} outside {self.ndims} dims")
+        me = list(self.coords(self.rank()))
+        dim = self._dims[direction]
+        period = self._periods[direction]
+
+        def neighbour(offset: int) -> int:
+            c = me[direction] + offset
+            if period:
+                c %= dim
+            elif not (0 <= c < dim):
+                return UNDEFINED
+            coords = list(me)
+            coords[direction] = c
+            return self.cart_rank(coords)
+
+        return neighbour(-disp), neighbour(disp)
+
+    Shift = shift
+
+    def sub(self, remain_dims: Sequence[bool]) -> "CartComm":
+        """Slice the grid into sub-grids (MPI_Cart_sub)."""
+        if len(remain_dims) != self.ndims:
+            raise TopologyError("remain_dims must name every dimension")
+        me = self.coords(self.rank())
+        # Colour = coordinates in the dropped dimensions.
+        color = 0
+        for dim, keep, c in zip(self._dims, remain_dims, me):
+            if not keep:
+                color = color * dim + c
+        sub_dims = [d for d, keep in zip(self._dims, remain_dims) if keep]
+        sub_periods = [p for p, keep in zip(self._periods, remain_dims) if keep]
+        flat = self.split(color, self.rank())
+        assert flat is not None
+        return CartComm(
+            flat._devcomm,
+            flat.group(),
+            flat.contexts,
+            pool=flat._pool,
+            env=flat._env,
+            context_counter=flat._context_counter,
+            dims=sub_dims if sub_dims else [1],
+            periods=sub_periods if sub_periods else [False],
+        )
+
+    Sub = sub

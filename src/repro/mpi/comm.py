@@ -1,0 +1,448 @@
+"""The MPI base level: rank-addressed point-to-point communication.
+
+Follows the guides' mpi4py conventions for the Python-facing API:
+
+* **Uppercase** methods (``Send``, ``Recv``, ``Isend`` ...) move numpy
+  array data described by ``(buf, offset, count, datatype)`` — the
+  mpijava 1.2 signatures the paper implements.  Datatype may be
+  omitted and is then inferred from the array dtype.
+* **Lowercase** methods (``send``, ``recv``, ``isend`` ...) move
+  arbitrary pickled Python objects, mpi4py style.
+
+Every message is packed into an mpjbuf :class:`~repro.buffer.Buffer`
+(primitive data → static section; objects → dynamic section) and
+handed to mpjdev; receives unpack arrived buffers into the user array
+on the waiting thread.  Buffers come from the environment's pool and
+return to it when requests finish.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.buffer import Buffer
+from repro.buffer.pool import BufferPool, DEFAULT_POOL
+from repro.mpi.datatype import Datatype, OBJECT, datatype_for
+from repro.mpi.exceptions import (
+    CommunicatorError,
+    InvalidRankError,
+    InvalidTagError,
+    MPIException,
+)
+from repro.mpi.group import Group
+from repro.mpi.request import CompletedMPIRequest, MPIRequest
+from repro.mpi.status import MPIStatus
+from repro.mpjdev.comm import MPJDevComm, RankRequest
+from repro.mpjdev.request import Status as DevStatus
+from repro.xdev.constants import ANY_SOURCE, ANY_TAG
+
+#: Extra bytes reserved beyond the packed payload (section headers).
+_SLACK = 64
+
+#: Reserved internal tag space for collectives (on the collective
+#: context, so it can never collide with user point-to-point traffic).
+TAG_BCAST = 1
+TAG_REDUCE = 2
+TAG_GATHER = 3
+TAG_SCATTER = 4
+TAG_ALLGATHER = 5
+TAG_ALLTOALL = 6
+TAG_BARRIER = 7
+TAG_SCAN = 8
+TAG_COMMCTL = 9
+TAG_TOPO = 10
+TAG_INTERCOMM = 11
+
+
+from repro.mpi.attributes import AttributeMixin
+
+
+class Comm(AttributeMixin):
+    """Base communicator: identity, groups and point-to-point."""
+
+    def __init__(
+        self,
+        devcomm: MPJDevComm,
+        group: Group,
+        contexts: tuple[int, int],
+        pool: BufferPool | None = None,
+        env: Any = None,
+    ) -> None:
+        self._devcomm = devcomm
+        self._group = group
+        self._context_pt2pt, self._context_coll = contexts
+        self._pool = pool if pool is not None else DEFAULT_POOL
+        self._env = env
+        self._freed = False
+
+    # ------------------------------------------------------------------
+    # identity
+
+    def rank(self) -> int:
+        """This process's rank in the communicator."""
+        return self._devcomm.rank
+
+    def size(self) -> int:
+        """Number of processes in the communicator."""
+        return self._devcomm.size
+
+    def group(self) -> Group:
+        """The communicator's process group."""
+        return self._group
+
+    Rank = rank
+    Size = size
+    Group = group
+    Get_rank = rank
+    Get_size = size
+    Get_group = group
+
+    @property
+    def contexts(self) -> tuple[int, int]:
+        """(point-to-point, collective) context ids."""
+        return (self._context_pt2pt, self._context_coll)
+
+    def free(self) -> None:
+        """Invalidate the communicator (MPI_Comm_free)."""
+        self._freed = True
+
+    def _check_live(self) -> None:
+        if self._freed:
+            raise CommunicatorError("communicator has been freed")
+
+    # ------------------------------------------------------------------
+    # validation
+
+    def _check_rank(self, rank: int, *, wildcard: bool = False) -> None:
+        if wildcard and rank == ANY_SOURCE:
+            return
+        if not (0 <= rank < self.size()):
+            raise InvalidRankError(
+                f"rank {rank} outside communicator of size {self.size()}"
+            )
+
+    @staticmethod
+    def _check_tag(tag: int, *, wildcard: bool = False) -> None:
+        if wildcard and tag == ANY_TAG:
+            return
+        if tag < 0:
+            raise InvalidTagError(f"tag must be non-negative, got {tag}")
+
+    # ------------------------------------------------------------------
+    # packing helpers
+
+    def _pack(self, buf: Any, offset: int, count: int, datatype: Optional[Datatype]) -> tuple[Buffer, Datatype]:
+        if datatype is None:
+            if not isinstance(buf, np.ndarray):
+                raise MPIException(
+                    "datatype may be omitted only for numpy arrays"
+                )
+            datatype = datatype_for(buf)
+        message = self._pool.acquire(datatype.packed_size(count) + _SLACK)
+        datatype.pack(message, buf, offset, count)
+        return message, datatype
+
+    def _recv_finisher(
+        self,
+        message: Buffer,
+        buf: Any,
+        offset: int,
+        count: int,
+        datatype: Datatype,
+    ):
+        def finish(dev_status: DevStatus) -> MPIStatus:
+            received = datatype.unpack(message, buf, offset, count)
+            message.free()
+            return MPIStatus(dev_status, count=received)
+
+        return finish
+
+    def _send_finisher(self, message: Buffer):
+        def finish(dev_status: DevStatus) -> MPIStatus:
+            message.free()
+            return MPIStatus(dev_status)
+
+        return finish
+
+    def _request(self, inner: RankRequest, finisher) -> MPIRequest:
+        return MPIRequest(inner, finisher, device=self._devcomm.device)
+
+    # ------------------------------------------------------------------
+    # uppercase point-to-point (array data, mpijava signatures)
+
+    def Isend(
+        self,
+        buf: Any,
+        offset: int,
+        count: int,
+        datatype: Optional[Datatype],
+        dest: int,
+        tag: int,
+        *,
+        context: Optional[int] = None,
+        mode: str = "standard",
+    ) -> MPIRequest:
+        """Non-blocking standard-mode send."""
+        self._check_live()
+        self._check_rank(dest)
+        self._check_tag(tag)
+        message, datatype = self._pack(buf, offset, count, datatype)
+        ctx = self._context_pt2pt if context is None else context
+        inner = self._devcomm.isend(message, dest, tag, ctx, mode=mode)
+        return self._request(inner, self._send_finisher(message))
+
+    def Send(
+        self,
+        buf: Any,
+        offset: int,
+        count: int,
+        datatype: Optional[Datatype],
+        dest: int,
+        tag: int,
+        *,
+        context: Optional[int] = None,
+    ) -> None:
+        """Blocking standard-mode send."""
+        self.Isend(buf, offset, count, datatype, dest, tag, context=context).wait()
+
+    def Issend(
+        self,
+        buf: Any,
+        offset: int,
+        count: int,
+        datatype: Optional[Datatype],
+        dest: int,
+        tag: int,
+    ) -> MPIRequest:
+        """Non-blocking synchronous-mode send."""
+        return self.Isend(buf, offset, count, datatype, dest, tag, mode="sync")
+
+    def Ssend(self, buf: Any, offset: int, count: int, datatype: Optional[Datatype], dest: int, tag: int) -> None:
+        """Blocking synchronous-mode send."""
+        self.Issend(buf, offset, count, datatype, dest, tag).wait()
+
+    def Irsend(self, buf: Any, offset: int, count: int, datatype: Optional[Datatype], dest: int, tag: int) -> MPIRequest:
+        """Non-blocking ready-mode send (receive must be pre-posted)."""
+        return self.Isend(buf, offset, count, datatype, dest, tag, mode="ready")
+
+    def Rsend(self, buf: Any, offset: int, count: int, datatype: Optional[Datatype], dest: int, tag: int) -> None:
+        self.Irsend(buf, offset, count, datatype, dest, tag).wait()
+
+    def Ibsend(self, buf: Any, offset: int, count: int, datatype: Optional[Datatype], dest: int, tag: int) -> MPIRequest:
+        """Non-blocking buffered-mode send (data snapshotted on call)."""
+        return self.Isend(buf, offset, count, datatype, dest, tag, mode="buffered")
+
+    def Bsend(self, buf: Any, offset: int, count: int, datatype: Optional[Datatype], dest: int, tag: int) -> None:
+        self.Ibsend(buf, offset, count, datatype, dest, tag).wait()
+
+    def Irecv(
+        self,
+        buf: Any,
+        offset: int,
+        count: int,
+        datatype: Optional[Datatype],
+        source: int,
+        tag: int,
+        *,
+        context: Optional[int] = None,
+    ) -> MPIRequest:
+        """Non-blocking receive; *source* may be ``ANY_SOURCE``."""
+        self._check_live()
+        self._check_rank(source, wildcard=True)
+        self._check_tag(tag, wildcard=True)
+        if datatype is None:
+            if not isinstance(buf, np.ndarray):
+                raise MPIException("datatype may be omitted only for numpy arrays")
+            datatype = datatype_for(buf)
+        message = self._pool.acquire(datatype.packed_size(count) + _SLACK)
+        ctx = self._context_pt2pt if context is None else context
+        inner = self._devcomm.irecv(message, source, tag, ctx)
+        return self._request(
+            inner, self._recv_finisher(message, buf, offset, count, datatype)
+        )
+
+    def Recv(
+        self,
+        buf: Any,
+        offset: int,
+        count: int,
+        datatype: Optional[Datatype],
+        source: int,
+        tag: int,
+        *,
+        context: Optional[int] = None,
+    ) -> MPIStatus:
+        """Blocking receive."""
+        return self.Irecv(
+            buf, offset, count, datatype, source, tag, context=context
+        ).wait()
+
+    def Sendrecv(
+        self,
+        sendbuf: Any,
+        sendoffset: int,
+        sendcount: int,
+        sendtype: Optional[Datatype],
+        dest: int,
+        sendtag: int,
+        recvbuf: Any,
+        recvoffset: int,
+        recvcount: int,
+        recvtype: Optional[Datatype],
+        source: int,
+        recvtag: int,
+    ) -> MPIStatus:
+        """Combined send and receive (deadlock-free by construction)."""
+        rreq = self.Irecv(recvbuf, recvoffset, recvcount, recvtype, source, recvtag)
+        sreq = self.Isend(sendbuf, sendoffset, sendcount, sendtype, dest, sendtag)
+        status = rreq.wait()
+        sreq.wait()
+        return status
+
+    def Sendrecv_replace(
+        self,
+        buf: Any,
+        offset: int,
+        count: int,
+        datatype: Optional[Datatype],
+        dest: int,
+        sendtag: int,
+        source: int,
+        recvtag: int,
+    ) -> MPIStatus:
+        """Sendrecv using one buffer (send data snapshotted first)."""
+        if datatype is None:
+            datatype = datatype_for(buf)
+        # Buffered-mode send snapshots the data at call time, so the
+        # subsequent in-place receive cannot corrupt it.
+        sreq = self.Isend(buf, offset, count, datatype, dest, sendtag, mode="buffered")
+        status = self.Recv(buf, offset, count, datatype, source, recvtag)
+        sreq.wait()
+        return status
+
+    # ------------------------------------------------------------------
+    # persistent requests (MPI-1 Send_init family)
+
+    def Send_init(self, buf: Any, offset: int, count: int, datatype: Optional[Datatype], dest: int, tag: int):
+        """Persistent standard-mode send (start with ``.start()``)."""
+        from repro.mpi.persistent import Prequest
+
+        self._check_rank(dest)
+        self._check_tag(tag)
+        return Prequest(self, "send", (buf, offset, count, datatype, dest, tag))
+
+    def Ssend_init(self, buf: Any, offset: int, count: int, datatype: Optional[Datatype], dest: int, tag: int):
+        """Persistent synchronous-mode send."""
+        from repro.mpi.persistent import Prequest
+
+        self._check_rank(dest)
+        self._check_tag(tag)
+        return Prequest(self, "send", (buf, offset, count, datatype, dest, tag), mode="sync")
+
+    def Rsend_init(self, buf: Any, offset: int, count: int, datatype: Optional[Datatype], dest: int, tag: int):
+        """Persistent ready-mode send."""
+        from repro.mpi.persistent import Prequest
+
+        self._check_rank(dest)
+        self._check_tag(tag)
+        return Prequest(self, "send", (buf, offset, count, datatype, dest, tag), mode="ready")
+
+    def Bsend_init(self, buf: Any, offset: int, count: int, datatype: Optional[Datatype], dest: int, tag: int):
+        """Persistent buffered-mode send (data snapshotted per start)."""
+        from repro.mpi.persistent import Prequest
+
+        self._check_rank(dest)
+        self._check_tag(tag)
+        return Prequest(self, "send", (buf, offset, count, datatype, dest, tag), mode="buffered")
+
+    def Recv_init(self, buf: Any, offset: int, count: int, datatype: Optional[Datatype], source: int, tag: int):
+        """Persistent receive."""
+        from repro.mpi.persistent import Prequest
+
+        self._check_rank(source, wildcard=True)
+        self._check_tag(tag, wildcard=True)
+        return Prequest(self, "recv", (buf, offset, count, datatype, source, tag))
+
+    # ------------------------------------------------------------------
+    # probing
+
+    def Iprobe(self, source: int, tag: int) -> Optional[MPIStatus]:
+        """Non-blocking probe on the point-to-point context."""
+        self._check_live()
+        self._check_rank(source, wildcard=True)
+        self._check_tag(tag, wildcard=True)
+        dev_status = self._devcomm.iprobe(source, tag, self._context_pt2pt)
+        return MPIStatus(dev_status) if dev_status is not None else None
+
+    def Probe(self, source: int, tag: int) -> MPIStatus:
+        """Blocking probe."""
+        self._check_live()
+        self._check_rank(source, wildcard=True)
+        self._check_tag(tag, wildcard=True)
+        return MPIStatus(self._devcomm.probe(source, tag, self._context_pt2pt))
+
+    # ------------------------------------------------------------------
+    # lowercase point-to-point (pickled Python objects, mpi4py style)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> MPIRequest:
+        """Non-blocking pickled-object send."""
+        return self.Isend([obj], 0, 1, OBJECT, dest, tag)
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking pickled-object send."""
+        self.isend(obj, dest, tag).wait()
+
+    def ssend(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking synchronous pickled-object send."""
+        self.Issend([obj], 0, 1, OBJECT, dest, tag).wait()
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "ObjectRecvRequest":
+        """Non-blocking object receive; ``wait()`` returns the object."""
+        self._check_live()
+        self._check_rank(source, wildcard=True)
+        self._check_tag(tag, wildcard=True)
+        box: list[Any] = [None]
+        message = self._pool.acquire(_SLACK)
+        inner = self._devcomm.irecv(message, source, tag, self._context_pt2pt)
+        finisher = self._recv_finisher(message, box, 0, 1, OBJECT)
+        return ObjectRecvRequest(inner, finisher, box, device=self._devcomm.device)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, status: Optional[list] = None) -> Any:
+        """Blocking object receive; returns the object.
+
+        If *status* is a list, the :class:`MPIStatus` is appended to it
+        (Python has no out-parameters).
+        """
+        request = self.irecv(source, tag)
+        obj = request.wait()
+        if status is not None:
+            status.append(request.status)
+        return obj
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(rank={self.rank()}, size={self.size()})"
+
+
+class ObjectRecvRequest(MPIRequest):
+    """Request for a lowercase receive: ``wait()`` yields the object."""
+
+    def __init__(self, inner: RankRequest, finisher, box: list, device=None) -> None:
+        super().__init__(inner, finisher, device=device)
+        self._box = box
+        self.status: Optional[MPIStatus] = None
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        self.status = super().wait(timeout=timeout)
+        return self._box[0]
+
+    def test(self) -> Optional[Any]:
+        status = super().test()
+        if status is None:
+            return None
+        self.status = status
+        return self._box[0]
+
+    Wait = wait
+    Test = test

@@ -1,0 +1,31 @@
+"""MPI-level exception hierarchy."""
+
+from __future__ import annotations
+
+
+class MPIException(Exception):
+    """Base error for the MPI API layer (mpijava's MPIException)."""
+
+
+class InvalidRankError(MPIException):
+    """A rank argument is outside the communicator."""
+
+
+class InvalidTagError(MPIException):
+    """A tag argument is negative (and not a wildcard)."""
+
+
+class CountMismatchError(MPIException):
+    """A received message does not fit the posted receive buffer."""
+
+
+class DatatypeError(MPIException):
+    """Illegal datatype construction or use."""
+
+
+class CommunicatorError(MPIException):
+    """Illegal communicator operation (e.g. using a freed communicator)."""
+
+
+class TopologyError(MPIException):
+    """Illegal virtual-topology construction or query."""

@@ -1,0 +1,91 @@
+"""Graph virtual topology (MPI ``Graph_create`` family)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.mpi.exceptions import TopologyError
+from repro.mpi.intracomm import Intracomm
+
+
+class GraphComm(Intracomm):
+    """Intracommunicator with an attached neighbourhood graph.
+
+    *index* and *edges* use the MPI-1 compressed adjacency format:
+    ``index[i]`` is the cumulative neighbour count through node ``i``
+    and ``edges`` concatenates every node's neighbour list.
+    """
+
+    def __init__(self, *args, index: Sequence[int], edges: Sequence[int], **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._index = tuple(int(i) for i in index)
+        self._edges = tuple(int(e) for e in edges)
+
+    @classmethod
+    def _construct(
+        cls,
+        parent: Intracomm,
+        contexts: tuple[int, int],
+        index: Sequence[int],
+        edges: Sequence[int],
+        reorder: bool,
+    ) -> Optional["GraphComm"]:
+        nnodes = len(index)
+        if nnodes == 0:
+            raise TopologyError("graph topology needs at least one node")
+        if nnodes > parent.size():
+            raise TopologyError(
+                f"graph of {nnodes} nodes does not fit communicator of {parent.size()}"
+            )
+        prev = 0
+        for i, cum in enumerate(index):
+            if cum < prev:
+                raise TopologyError(f"index must be non-decreasing (node {i})")
+            prev = cum
+        if index[-1] != len(edges):
+            raise TopologyError(
+                f"index promises {index[-1]} edges, edges has {len(edges)}"
+            )
+        for e in edges:
+            if not (0 <= e < nnodes):
+                raise TopologyError(f"edge target {e} outside graph of {nnodes}")
+        rank = parent.rank()
+        if rank >= nnodes:
+            return None
+        ranks = list(range(nnodes))
+        group = parent.group().incl(ranks)
+        return cls(
+            parent._devcomm.sub_comm(ranks, rank),
+            group,
+            contexts,
+            pool=parent._pool,
+            env=parent._env,
+            context_counter=parent._context_counter,
+            index=index,
+            edges=edges,
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def get_topo(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """(index, edges) — MPI_Graph_get."""
+        return self._index, self._edges
+
+    def neighbours_count(self, rank: int) -> int:
+        if not (0 <= rank < len(self._index)):
+            raise TopologyError(f"rank {rank} outside graph of {len(self._index)}")
+        start = self._index[rank - 1] if rank > 0 else 0
+        return self._index[rank] - start
+
+    def neighbours(self, rank: int) -> tuple[int, ...]:
+        if not (0 <= rank < len(self._index)):
+            raise TopologyError(f"rank {rank} outside graph of {len(self._index)}")
+        start = self._index[rank - 1] if rank > 0 else 0
+        return self._edges[start : self._index[rank]]
+
+    Get_topo = get_topo
+    Get_neighbors = neighbours
+    Get_neighbors_count = neighbours_count
+    neighbors = neighbours
+    neighbors_count = neighbours_count

@@ -1,0 +1,159 @@
+"""MPI process groups.
+
+A Group is an ordered set of processes (here: xdev ProcessIDs).  All
+the MPI-1 group calculus is provided; Intracomm.create uses groups to
+build new communicators, one of the "higher-level features of MPI"
+the paper notes MPJ/Ibis lacks and MPJ Express implements.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.mpi.exceptions import InvalidRankError, MPIException
+from repro.xdev.processid import ProcessID
+
+#: Group/communicator comparison results (mpijava constants).
+IDENT = 0
+SIMILAR = 1
+UNEQUAL = 2
+
+#: "Not a member" marker returned by rank queries (MPI_UNDEFINED).
+UNDEFINED = -3
+
+
+class Group:
+    """An immutable ordered set of processes."""
+
+    def __init__(self, pids: Sequence[ProcessID], my_uid: Optional[int] = None) -> None:
+        self._pids = tuple(pids)
+        uids = [p.uid for p in self._pids]
+        if len(set(uids)) != len(uids):
+            raise MPIException("group contains duplicate processes")
+        self._uid_to_rank = {uid: r for r, uid in enumerate(uids)}
+        self._my_uid = my_uid
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def pids(self) -> tuple[ProcessID, ...]:
+        return self._pids
+
+    def size(self) -> int:
+        return len(self._pids)
+
+    Size = size
+
+    def rank(self) -> int:
+        """Calling process's rank in this group, or UNDEFINED."""
+        if self._my_uid is None:
+            return UNDEFINED
+        return self._uid_to_rank.get(self._my_uid, UNDEFINED)
+
+    Rank = rank
+
+    def rank_of(self, pid: ProcessID) -> int:
+        return self._uid_to_rank.get(pid.uid, UNDEFINED)
+
+    def contains(self, pid: ProcessID) -> bool:
+        return pid.uid in self._uid_to_rank
+
+    def pid(self, rank: int) -> ProcessID:
+        if not (0 <= rank < len(self._pids)):
+            raise InvalidRankError(f"rank {rank} outside group of {len(self._pids)}")
+        return self._pids[rank]
+
+    def __len__(self) -> int:
+        return len(self._pids)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self._pids == other._pids
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely used
+        return hash(tuple(p.uid for p in self._pids))
+
+    # ------------------------------------------------------------------
+    # set calculus
+
+    def _derive(self, pids: Sequence[ProcessID]) -> "Group":
+        return Group(pids, my_uid=self._my_uid)
+
+    def union(self, other: "Group") -> "Group":
+        """All of self, then other's processes not in self (MPI order)."""
+        extra = [p for p in other._pids if p.uid not in self._uid_to_rank]
+        return self._derive(list(self._pids) + extra)
+
+    def intersection(self, other: "Group") -> "Group":
+        """Processes of self also in other, in self's order."""
+        return self._derive([p for p in self._pids if other.contains(p)])
+
+    def difference(self, other: "Group") -> "Group":
+        """Processes of self not in other, in self's order."""
+        return self._derive([p for p in self._pids if not other.contains(p)])
+
+    Union = union
+    Intersection = intersection
+    Difference = difference
+
+    # ------------------------------------------------------------------
+    # subsetting
+
+    def incl(self, ranks: Sequence[int]) -> "Group":
+        """New group of the listed ranks, in the listed order."""
+        return self._derive([self.pid(r) for r in ranks])
+
+    def excl(self, ranks: Sequence[int]) -> "Group":
+        """New group without the listed ranks."""
+        drop = set(ranks)
+        for r in drop:
+            if not (0 <= r < len(self._pids)):
+                raise InvalidRankError(f"rank {r} outside group of {len(self._pids)}")
+        return self._derive([p for r, p in enumerate(self._pids) if r not in drop])
+
+    def range_incl(self, ranges: Sequence[tuple[int, int, int]]) -> "Group":
+        """incl() over (first, last, stride) triplets (inclusive last)."""
+        ranks: list[int] = []
+        for first, last, stride in ranges:
+            if stride == 0:
+                raise MPIException("range stride must be nonzero")
+            ranks.extend(range(first, last + (1 if stride > 0 else -1), stride))
+        return self.incl(ranks)
+
+    def range_excl(self, ranges: Sequence[tuple[int, int, int]]) -> "Group":
+        """excl() over (first, last, stride) triplets (inclusive last)."""
+        ranks: list[int] = []
+        for first, last, stride in ranges:
+            if stride == 0:
+                raise MPIException("range stride must be nonzero")
+            ranks.extend(range(first, last + (1 if stride > 0 else -1), stride))
+        return self.excl(ranks)
+
+    Incl = incl
+    Excl = excl
+    Range_incl = range_incl
+    Range_excl = range_excl
+
+    # ------------------------------------------------------------------
+    # comparisons / translation
+
+    def compare(self, other: "Group") -> int:
+        """IDENT (same processes, same order), SIMILAR (same set), or
+        UNEQUAL."""
+        if self._pids == other._pids:
+            return IDENT
+        if {p.uid for p in self._pids} == {p.uid for p in other._pids}:
+            return SIMILAR
+        return UNEQUAL
+
+    Compare = compare
+
+    @staticmethod
+    def translate_ranks(group1: "Group", ranks: Sequence[int], group2: "Group") -> list[int]:
+        """Ranks in *group2* of *group1*'s processes (UNDEFINED if absent)."""
+        return [group2.rank_of(group1.pid(r)) for r in ranks]
+
+    Translate_ranks = translate_ranks
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Group(size={len(self._pids)}, rank={self.rank()})"

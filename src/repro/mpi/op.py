@@ -1,0 +1,114 @@
+"""Reduction operations (MPI ``Op``).
+
+All predefined operations are vectorized over numpy arrays.  MAXLOC /
+MINLOC follow the MPI convention of operating on (value, index) pairs;
+here a pair sequence is a 2-column array or a list of 2-tuples.
+
+User-defined operations are supported via :class:`Op` with any callable
+``f(a, b) -> c`` applied elementwise (numpy ufuncs are used directly;
+plain Python callables are applied through ``np.frompyfunc``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.mpi.exceptions import DatatypeError
+
+
+class Op:
+    """A reduction operator.
+
+    ``func(accumulator, operand)`` must return the elementwise
+    reduction; *commute* declares commutativity (collectives may
+    re-associate commutative operations).
+    """
+
+    def __init__(self, func: Callable[[Any, Any], Any], commute: bool = True, name: str = "user") -> None:
+        self._func = func
+        self.commute = commute
+        self.name = name
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        """Reduce *a* with *b* (a OP b), preserving array dtype."""
+        return self._func(a, b)
+
+    def reduce_arrays(self, acc: np.ndarray, operand: np.ndarray) -> np.ndarray:
+        """Elementwise in-place-style reduction for numpy arrays."""
+        result = self._func(acc, operand)
+        return np.asarray(result, dtype=acc.dtype) if hasattr(acc, "dtype") else result
+
+    def __repr__(self) -> str:
+        return f"Op({self.name})"
+
+
+def _logical(fn: Callable[[Any, Any], Any], name: str) -> Op:
+    def wrapped(a, b):
+        out = fn(np.asarray(a, dtype=bool), np.asarray(b, dtype=bool))
+        # Logical results come back in the operand dtype (MPI semantics
+        # keep the buffer type).
+        return out.astype(np.asarray(a).dtype) if isinstance(a, np.ndarray) else out
+
+    return Op(wrapped, name=name)
+
+
+def _pairwise(select: Callable[[Any, Any], Any], name: str) -> Op:
+    """MAXLOC/MINLOC: pick (value, index); ties resolved to lower index.
+
+    Operands are (value, index) pairs: either an (n, 2) array or a flat
+    array of even length laid out ``v0 i0 v1 i1 ...`` (the layout a
+    reduction over count=2n basic elements naturally produces).  The
+    result has the same shape as the first operand.
+    """
+
+    def wrapped(a, b):
+        a_in = np.asarray(a)
+        b_in = np.asarray(b)
+        flat_layout = a_in.ndim == 1
+        if flat_layout:
+            if a_in.size % 2:
+                raise DatatypeError(
+                    f"{name} needs (value, index) pairs; flat operand of "
+                    f"odd length {a_in.size}"
+                )
+            a_arr = a_in.reshape(-1, 2)
+            b_arr = b_in.reshape(-1, 2)
+        else:
+            a_arr, b_arr = a_in, b_in
+        if a_arr.ndim != 2 or a_arr.shape[1] != 2:
+            raise DatatypeError(f"{name} needs (value, index) pairs, got {a_in.shape}")
+        out = a_arr.copy()
+        if name == "MAXLOC":
+            take_b = (b_arr[:, 0] > a_arr[:, 0]) | (
+                (b_arr[:, 0] == a_arr[:, 0]) & (b_arr[:, 1] < a_arr[:, 1])
+            )
+        else:
+            take_b = (b_arr[:, 0] < a_arr[:, 0]) | (
+                (b_arr[:, 0] == a_arr[:, 0]) & (b_arr[:, 1] < a_arr[:, 1])
+            )
+        out[take_b] = b_arr[take_b]
+        return out.reshape(a_in.shape) if flat_layout else out
+
+    return Op(wrapped, name=name)
+
+
+MAX = Op(np.maximum, name="MAX")
+MIN = Op(np.minimum, name="MIN")
+SUM = Op(np.add, name="SUM")
+PROD = Op(np.multiply, name="PROD")
+LAND = _logical(np.logical_and, "LAND")
+LOR = _logical(np.logical_or, "LOR")
+LXOR = _logical(np.logical_xor, "LXOR")
+BAND = Op(np.bitwise_and, name="BAND")
+BOR = Op(np.bitwise_or, name="BOR")
+BXOR = Op(np.bitwise_xor, name="BXOR")
+MAXLOC = _pairwise(max, "MAXLOC")
+MINLOC = _pairwise(min, "MINLOC")
+
+#: All predefined operations, by MPI name.
+PREDEFINED: dict[str, Op] = {
+    op.name: op
+    for op in (MAX, MIN, SUM, PROD, LAND, LOR, LXOR, BAND, BOR, BXOR, MAXLOC, MINLOC)
+}

@@ -1,0 +1,190 @@
+"""MPI-level requests: completion plus receive-side unpacking.
+
+An :class:`MPIRequest` wraps the mpjdev request and a *finisher* — the
+step that runs on the waiting thread when the operation completes.
+For receives the finisher unpacks the arrived buffer into the user
+array with the posted datatype and computes the element count; for
+sends it releases the packed buffer back to its pool.
+
+``Waitany`` delegates to the peek()-based machinery in
+:mod:`repro.mpjdev.waitany` — no polling (paper Section IV-E.1).
+``Waitall``/``Waitsome``/``Testall``/... are built from these
+primitives in the usual MPI shapes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Sequence
+
+from repro.mpi.exceptions import MPIException
+from repro.mpi.status import MPIStatus
+from repro.mpjdev.comm import RankRequest
+from repro.mpjdev.request import Status as DevStatus
+from repro.mpjdev.waitany import waitany as dev_waitany
+
+
+class MPIRequest:
+    """A pending MPI operation."""
+
+    def __init__(
+        self,
+        inner: RankRequest,
+        finisher: Callable[[DevStatus], MPIStatus],
+        device=None,
+    ) -> None:
+        self.inner = inner
+        self._finisher = finisher
+        self._device = device
+        self._lock = threading.Lock()
+        self._result: Optional[MPIStatus] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.inner.done
+
+    def _finish(self, dev_status: DevStatus) -> MPIStatus:
+        """Run the finisher exactly once (unpacking is not idempotent)."""
+        with self._lock:
+            if self._result is None:
+                self._result = self._finisher(dev_status)
+            return self._result
+
+    def wait(self, timeout: Optional[float] = None) -> MPIStatus:
+        """Block until complete; returns the MPI status."""
+        return self._finish(self.inner.wait(timeout=timeout))
+
+    def test(self) -> Optional[MPIStatus]:
+        """Non-blocking completion check."""
+        dev_status = self.inner.test()
+        return self._finish(dev_status) if dev_status is not None else None
+
+    # mpijava spellings
+    Wait = wait
+    Test = test
+
+    def is_null(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"MPIRequest({self.inner!r})"
+
+
+class CompletedMPIRequest(MPIRequest):
+    """A request born complete (zero-count operations, self-copies)."""
+
+    def __init__(self, status: Optional[MPIStatus] = None) -> None:
+        self._status = status if status is not None else MPIStatus(DevStatus())
+        self._lock = threading.Lock()
+        self._result = self._status
+        self.inner = None  # type: ignore[assignment]
+        self._device = None
+
+    @property
+    def done(self) -> bool:
+        return True
+
+    def wait(self, timeout: Optional[float] = None) -> MPIStatus:
+        return self._status
+
+    def test(self) -> Optional[MPIStatus]:
+        return self._status
+
+    Wait = wait
+    Test = test
+
+
+# ----------------------------------------------------------------------
+# request-array operations
+
+
+def waitall(requests: Sequence[MPIRequest], timeout: Optional[float] = None) -> list[MPIStatus]:
+    """Wait for every request; statuses in request order."""
+    return [r.wait(timeout=timeout) for r in requests]
+
+
+def waitany(
+    requests: Sequence[MPIRequest], timeout: Optional[float] = None
+) -> tuple[int, MPIStatus]:
+    """Wait until any request completes; returns (index, status).
+
+    Uses the device-level peek() machinery, never a poll loop.
+    """
+    if not requests:
+        raise MPIException("Waitany over an empty request array")
+    # Already-complete requests (including CompletedMPIRequest) win
+    # immediately — mirrors the paper's initial Test() sweep.
+    for i, r in enumerate(requests):
+        status = r.test()
+        if status is not None:
+            status.index = i
+            return i, status
+    device = next(
+        (r._device for r in requests if r._device is not None), None
+    )
+    if device is None:
+        raise MPIException("Waitany needs at least one device-backed request")
+    dev_requests = [r.inner.inner for r in requests]
+    idx, _dev_status = dev_waitany(device, dev_requests, timeout=timeout)
+    status = requests[idx].wait()
+    status.index = idx
+    return idx, status
+
+
+def waitsome(
+    requests: Sequence[MPIRequest], timeout: Optional[float] = None
+) -> list[tuple[int, MPIStatus]]:
+    """Wait until at least one completes; return all completed (index, status)."""
+    idx, status = waitany(requests, timeout=timeout)
+    out = [(idx, status)]
+    for i, r in enumerate(requests):
+        if i == idx:
+            continue
+        s = r.test()
+        if s is not None:
+            s.index = i
+            out.append((i, s))
+    return out
+
+
+def testall(requests: Sequence[MPIRequest]) -> Optional[list[MPIStatus]]:
+    """Statuses if every request is complete, else None."""
+    statuses = []
+    for r in requests:
+        s = r.test()
+        if s is None:
+            return None
+        statuses.append(s)
+    return statuses
+
+
+def testany(requests: Sequence[MPIRequest]) -> Optional[tuple[int, MPIStatus]]:
+    """(index, status) of some completed request, else None."""
+    for i, r in enumerate(requests):
+        s = r.test()
+        if s is not None:
+            s.index = i
+            return i, s
+    return None
+
+
+def testsome(requests: Sequence[MPIRequest]) -> list[tuple[int, MPIStatus]]:
+    """All currently completed (index, status) pairs (possibly empty)."""
+    out = []
+    for i, r in enumerate(requests):
+        s = r.test()
+        if s is not None:
+            s.index = i
+            out.append((i, s))
+    return out
+
+
+# mpijava spellings
+Waitall = waitall
+Waitany = waitany
+Waitsome = waitsome
+Testall = testall
+Testany = testany
+Testsome = testsome

@@ -1,0 +1,61 @@
+"""MPI-level Status: the mpjdev Status plus datatype-aware queries."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mpi.datatype import Datatype
+from repro.mpjdev.request import Status as DevStatus
+
+
+class MPIStatus:
+    """Result of a completed receive (or probe) at the MPI level.
+
+    ``source`` and ``tag`` are communicator-rank / user-tag values;
+    ``count`` is in elements of the receive's datatype (set after
+    unpacking); ``index`` is filled by Waitany/Waitsome.
+    """
+
+    __slots__ = ("source", "tag", "count", "size", "index", "_dev")
+
+    def __init__(self, dev_status: DevStatus, count: Optional[int] = None) -> None:
+        self._dev = dev_status
+        self.source: int = dev_status.source if isinstance(dev_status.source, int) else -1
+        self.tag: int = dev_status.tag
+        self.size: int = dev_status.size
+        self.count: int = count if count is not None else dev_status.count
+        self.index: int = -1
+
+    # ------------------------------------------------------------------
+    # mpijava-style accessors
+
+    def get_source(self) -> int:
+        return self.source
+
+    def get_tag(self) -> int:
+        return self.tag
+
+    def get_count(self, datatype: Datatype) -> int:
+        """Element count of the message in units of *datatype*.
+
+        After a receive the exact unpacked count is recorded; for a
+        probe the count is derived from the payload size (subtracting
+        the 5-byte section header the static section carries).
+        """
+        if self.count:
+            return self.count
+        per_element = datatype.get_size()
+        if per_element == 0:
+            return 0
+        payload = max(0, self.size - 5)
+        return payload // per_element
+
+    Get_source = get_source
+    Get_tag = get_tag
+    Get_count = get_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MPIStatus(source={self.source}, tag={self.tag}, "
+            f"count={self.count}, size={self.size})"
+        )

@@ -1,0 +1,27 @@
+"""mpjdev — the device layer that introduces ranks (paper Fig. 1).
+
+mpjdev sits between the MPI base level and xdev.  It owns:
+
+* :class:`~repro.mpjdev.request.Request` and
+  :class:`~repro.mpjdev.request.Status` — the completion objects that
+  xdev methods return (the paper's Fig. 2 signatures literally name
+  ``mpjdev.Request``/``mpjdev.Status``),
+* the rank ↔ :class:`~repro.xdev.ProcessID` mapping
+  (:class:`~repro.mpjdev.comm.MPJDevComm`), and
+* the multi-threaded ``Waitany`` machinery built on the device-level
+  blocking ``peek()`` (paper Section IV-E.1,
+  :mod:`repro.mpjdev.waitany`).
+"""
+
+from repro.mpjdev.request import Request, Status, CompletedRequest
+from repro.mpjdev.comm import MPJDevComm
+from repro.mpjdev.waitany import WaitAnyQueue, waitany
+
+__all__ = [
+    "CompletedRequest",
+    "MPJDevComm",
+    "Request",
+    "Status",
+    "WaitAnyQueue",
+    "waitany",
+]

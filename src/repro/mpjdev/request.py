@@ -1,0 +1,173 @@
+"""Request and Status — completion objects shared by every layer.
+
+A :class:`Request` is created pending and flipped to complete exactly
+once by the device (usually from the input-handler thread) while user
+threads block in :meth:`Request.wait` or poll :meth:`Request.test`.
+Completion must therefore be thread-safe and must also feed two side
+channels the paper relies on:
+
+* the device's *completed-request queue*, which backs the blocking
+  ``peek()`` method (Section IV-E.1), and
+* the per-request ``waitany`` reference used by the multi-threaded
+  ``Waitany()`` implementation ("each Request object stores a
+  reference to WaitAny object ... otherwise the reference is null").
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass
+class Status:
+    """Result of a completed point-to-point operation.
+
+    ``source`` is a :class:`~repro.xdev.ProcessID` at the xdev level
+    and is translated to an integer rank by mpjdev/MPI.  ``size`` is
+    the payload size in bytes; element counts are derived by the MPI
+    layer from the datatype.  ``buffer`` carries the received
+    :class:`~repro.buffer.Buffer` up to the layer that unpacks it.
+    """
+
+    source: Any = None
+    tag: int = 0
+    size: int = 0
+    buffer: Any = None
+    cancelled: bool = False
+    #: Populated by the MPI layer after unpacking: element count.
+    count: int = field(default=0)
+
+    def get_count_bytes(self) -> int:
+        """Size of the received message in bytes."""
+        return self.size
+
+
+class Request:
+    """A pending or completed communication operation.
+
+    The completion protocol: the device calls :meth:`complete` exactly
+    once; every listener registered with :meth:`add_completion_listener`
+    runs on the completing thread *after* the request is marked done,
+    and blocked waiters are then woken.
+    """
+
+    SEND = "send"
+    RECV = "recv"
+
+    __slots__ = (
+        "kind",
+        "buffer",
+        "_cond",
+        "_status",
+        "_done",
+        "_listeners",
+        "waitany_ref",
+        "context",
+        "tag",
+        "peer",
+        "seqno",
+    )
+
+    _seq_lock = threading.Lock()
+    _seq = 0
+
+    def __init__(self, kind: str, buffer: Any = None) -> None:
+        self.kind = kind
+        self.buffer = buffer
+        self._cond = threading.Condition()
+        self._status: Optional[Status] = None
+        self._done = False
+        self._listeners: list[Callable[["Request"], None]] = []
+        #: WaitAny object this request participates in, else None
+        #: (paper Section IV-E.1).
+        self.waitany_ref: Any = None
+        # Matching metadata, filled by the protocol engine for
+        # diagnostics and ordered matching.
+        self.context: int = 0
+        self.tag: int = 0
+        self.peer: Any = None
+        with Request._seq_lock:
+            Request._seq += 1
+            self.seqno = Request._seq
+
+    # ------------------------------------------------------------------
+    # completion (device side)
+
+    def complete(self, status: Status) -> None:
+        """Mark this request complete with *status* (called once)."""
+        with self._cond:
+            if self._done:
+                raise RuntimeError("request completed twice")
+            self._status = status
+            self._done = True
+            listeners = list(self._listeners)
+            self._cond.notify_all()
+        for listener in listeners:
+            listener(self)
+
+    def add_completion_listener(self, fn: Callable[["Request"], None]) -> None:
+        """Run *fn(self)* when the request completes.
+
+        If the request is already complete, *fn* runs immediately on
+        the calling thread — registration can therefore never miss a
+        completion.
+        """
+        run_now = False
+        with self._cond:
+            if self._done:
+                run_now = True
+            else:
+                self._listeners.append(fn)
+        if run_now:
+            fn(self)
+
+    # ------------------------------------------------------------------
+    # completion (user side)
+
+    @property
+    def done(self) -> bool:
+        with self._cond:
+            return self._done
+
+    def test(self) -> Optional[Status]:
+        """Non-blocking completion check: Status if done, else None."""
+        with self._cond:
+            return self._status if self._done else None
+
+    def wait(self, timeout: Optional[float] = None) -> Status:
+        """Block until complete and return the Status.
+
+        Raises :class:`TimeoutError` if *timeout* (seconds) elapses —
+        a safety valve the Java original lacks, invaluable in tests.
+        """
+        with self._cond:
+            if not self._cond.wait_for(lambda: self._done, timeout=timeout):
+                raise TimeoutError(
+                    f"{self.kind} request (tag={self.tag}, peer={self.peer}) "
+                    f"did not complete within {timeout}s"
+                )
+            assert self._status is not None
+            return self._status
+
+    # mpijava spelling
+    Wait = wait
+    Test = test
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self.done else "pending"
+        return f"Request({self.kind}, tag={self.tag}, peer={self.peer}, {state})"
+
+
+class CompletedRequest(Request):
+    """A request born complete.
+
+    Eager-protocol sends return one of these ("return a non-pending
+    send request object", paper Fig. 3), as do no-op operations like
+    zero-count sends at the MPI level.
+    """
+
+    def __init__(self, kind: str = Request.SEND, status: Optional[Status] = None) -> None:
+        super().__init__(kind)
+        self.complete(status if status is not None else Status())

@@ -1,0 +1,117 @@
+"""Analytic collective-algorithm models on the simulated cluster.
+
+The paper's testbed — StarBug, 8 dual-Xeon nodes — ran point-to-point
+benchmarks only; this module extends the calibrated per-library models
+to *collective* completion times, so algorithm choices (see
+:mod:`repro.mpi.algorithms`) can be studied at cluster scale without
+the cluster.  Every model is expressed in terms of the library's
+point-to-point time ``T(m)`` over its fabric, following Hockney-style
+analysis:
+
+=======================  ===========================================
+Bcast binomial           ceil(log2 p) rounds of T(m)
+Bcast linear             p-1 serialized sends from the root
+Bcast scatter+allgather  binomial scatter of m/p segments + ring
+Allreduce reduce+bcast   2 x binomial tree of T(m)
+Allreduce recursive dbl  ceil(log2 p) exchange rounds of T(m)
+Allgather ring           p-1 rounds of T(m_block)
+Allgather gather+bcast   linear gather + binomial bcast of p*m_block
+Barrier dissemination    ceil(log2 p) rounds of T(0)
+=======================  ===========================================
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.netsim.libraries import LibraryModel
+
+
+def _log2ceil(p: int) -> int:
+    return max(1, math.ceil(math.log2(p))) if p > 1 else 0
+
+
+def bcast_binomial_time(lib: LibraryModel, p: int, m: int) -> float:
+    """Completion time of a binomial-tree broadcast."""
+    return _log2ceil(p) * lib.one_way_time(m)
+
+
+def bcast_linear_time(lib: LibraryModel, p: int, m: int) -> float:
+    """Root sends p-1 serialized messages; the last arrival finishes.
+
+    Each send occupies the root's CPU (overhead + packing) AND the
+    root's network link (wire serialization) before the next can go
+    out; the final message then completes end-to-end.
+    """
+    if p == 1:
+        return 0.0
+    occupancy = (
+        lib.overhead_send_s
+        + lib.copy_time(m) / 2
+        + m / lib.fabric.effective_bandwidth_Bps
+    )
+    return (p - 2) * occupancy + lib.one_way_time(m)
+
+
+def bcast_scatter_allgather_time(lib: LibraryModel, p: int, m: int) -> float:
+    """Van de Geijn: binomial scatter of halves + ring allgather."""
+    if p == 1:
+        return 0.0
+    seg = max(m // p, 1)
+    # Scatter: log2(p) rounds, round k moves m/2^(k+1).
+    scatter = 0.0
+    piece = m / 2
+    for _ in range(_log2ceil(p)):
+        scatter += lib.one_way_time(int(max(piece, 1)))
+        piece /= 2
+    allgather = (p - 1) * lib.one_way_time(seg)
+    return scatter + allgather
+
+
+def allreduce_reduce_bcast_time(lib: LibraryModel, p: int, m: int) -> float:
+    return 2 * _log2ceil(p) * lib.one_way_time(m)
+
+
+def allreduce_recursive_doubling_time(lib: LibraryModel, p: int, m: int) -> float:
+    return _log2ceil(p) * lib.one_way_time(m)
+
+
+def allgather_ring_time(lib: LibraryModel, p: int, m_block: int) -> float:
+    return (p - 1) * lib.one_way_time(m_block)
+
+
+def allgather_gather_bcast_time(lib: LibraryModel, p: int, m_block: int) -> float:
+    gather = (p - 1) * lib.one_way_time(m_block)
+    return gather + bcast_binomial_time(lib, p, p * m_block)
+
+
+def barrier_dissemination_time(lib: LibraryModel, p: int) -> float:
+    return _log2ceil(p) * lib.one_way_time(0)
+
+
+#: Named model registry mirroring repro.mpi.algorithms.REGISTRY.
+MODELS: dict[str, dict[str, Callable[..., float]]] = {
+    "bcast": {
+        "binomial": bcast_binomial_time,
+        "linear": bcast_linear_time,
+        "scatter_allgather": bcast_scatter_allgather_time,
+    },
+    "allreduce": {
+        "reduce_bcast": allreduce_reduce_bcast_time,
+        "recursive_doubling": allreduce_recursive_doubling_time,
+    },
+    "allgather": {
+        "ring": allgather_ring_time,
+        "gather_bcast": allgather_gather_bcast_time,
+    },
+}
+
+
+def compare(
+    lib: LibraryModel, collective: str, p: int, m: int
+) -> dict[str, float]:
+    """Completion times of every algorithm for one (p, m) point."""
+    return {
+        name: fn(lib, p, m) for name, fn in MODELS[collective].items()
+    }

@@ -1,0 +1,75 @@
+"""A minimal discrete-event simulation engine.
+
+Deliberately small: an event is a timestamped callback; the simulator
+pops events in time order and runs them until the queue drains.  Ties
+break by insertion order, so runs are deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback."""
+
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """Event queue + virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self.events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def at(self, time: float, fn: Callable[[], None], label: str = "") -> Event:
+        """Schedule *fn* at absolute virtual time *time*."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self._now})")
+        event = Event(time, next(self._seq), fn, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: float, fn: Callable[[], None], label: str = "") -> Event:
+        """Schedule *fn* *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.at(self._now + delay, fn, label)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run events (optionally only up to time *until*); returns now."""
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                break
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self.events_run += 1
+            event.fn()
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def pending(self) -> int:
+        """Number of queued (uncancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)

@@ -1,0 +1,74 @@
+"""Fabric (link) models for the paper's three test networks.
+
+Each fabric carries the physical parameters shared by every messaging
+library running over it:
+
+* ``bandwidth_bps`` — raw signalling rate;
+* ``wire_efficiency`` — fraction of raw bandwidth reachable by a
+  perfect zero-copy stack (framing/protocol headers; TCP/IP on
+  Ethernet reaches ~93%, MX on Myrinet ~92.5%);
+* ``latency_s`` — one-way wire+switch latency excluding software;
+* ``nic_poll_s`` — the NIC driver's polling interval.  The paper:
+  "the network card drivers used on our cluster have 64 microseconds
+  network latency.  The network latency of the card drivers is an
+  attribute that determines the polling interval for checking new
+  messages" — the cause of ping-pong variability their modified
+  benchmark removes.  Myrinet MX is interrupt/poll-free at user level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Fabric:
+    """One interconnect's physical model."""
+
+    name: str
+    bandwidth_bps: float
+    wire_efficiency: float
+    latency_s: float
+    nic_poll_s: float = 0.0
+
+    @property
+    def effective_bandwidth_Bps(self) -> float:
+        """Achievable payload bytes/second for a perfect stack."""
+        return self.bandwidth_bps * self.wire_efficiency / 8.0
+
+    def wire_time(self, nbytes: int) -> float:
+        """Serialization + propagation time for *nbytes*."""
+        return self.latency_s + nbytes / self.effective_bandwidth_Bps
+
+
+#: 100 Mbit/s switched Fast Ethernet (paper Section V-B).
+FAST_ETHERNET = Fabric(
+    name="FastEthernet",
+    bandwidth_bps=100e6,
+    wire_efficiency=0.93,
+    latency_s=28e-6,
+    nic_poll_s=64e-6,
+)
+
+#: Onboard Intel Gigabit adaptors, e1000 driver (Section V-C).
+GIGABIT_ETHERNET = Fabric(
+    name="GigabitEthernet",
+    bandwidth_bps=1e9,
+    wire_efficiency=0.93,
+    latency_s=9e-6,
+    nic_poll_s=64e-6,
+)
+
+#: 2 Gbit Myrinet with the MX library (Section V-D).  MX busy-polls,
+#: so no driver polling quantization.
+MYRINET_2G = Fabric(
+    name="Myrinet2G",
+    bandwidth_bps=2e9,
+    wire_efficiency=0.925,
+    latency_s=1.5e-6,
+    nic_poll_s=0.0,
+)
+
+FABRICS: dict[str, Fabric] = {
+    f.name: f for f in (FAST_ETHERNET, GIGABIT_ETHERNET, MYRINET_2G)
+}

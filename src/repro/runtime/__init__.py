@@ -1,0 +1,16 @@
+"""The MPJ Express runtime (paper Section IV-D).
+
+Two execution models are provided:
+
+* :mod:`repro.runtime.launcher` — SPMD over **threads** in one
+  process, the default for tests, examples and the paper's SMP story.
+* :mod:`repro.runtime.daemon` + :mod:`repro.runtime.mpjrun` — the
+  paper's daemon/mpjrun pair: daemons listen on an IP port on each
+  compute node and start a new worker **process** per job request; the
+  ``mpjrun`` client contacts them, ships or points at the user code
+  (remote vs local "class loading", Fig. 9), and collects output.
+"""
+
+from repro.runtime.launcher import run_spmd, SpmdError
+
+__all__ = ["run_spmd", "SpmdError"]

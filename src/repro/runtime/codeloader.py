@@ -1,0 +1,84 @@
+"""Local and remote code loading (paper Fig. 9).
+
+The MPJE runtime lets compute nodes obtain application code two ways:
+
+* **local loading** — the class files live on a shared filesystem and
+  each node loads them directly ("this might provide better
+  performance"), and
+* **remote loading** — classes are served from the user's development
+  node over HTTP, "useful in scenarios when there is no shared file
+  system and the code is constantly being modified at the head-node".
+
+The Python analogue: a worker either imports the user script from a
+filesystem path (local), or receives the script *source text* in its
+start request, materializes it in a scratch directory and imports it
+from there (remote).  Either way the loaded module must expose the
+job's entry function.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import tempfile
+from pathlib import Path
+from types import ModuleType
+
+
+class CodeLoadError(Exception):
+    """The user module could not be loaded or lacks the entry point."""
+
+
+def _import_from_path(path: Path, module_name: str) -> ModuleType:
+    spec = importlib.util.spec_from_file_location(module_name, path)
+    if spec is None or spec.loader is None:
+        raise CodeLoadError(f"cannot build an import spec for {path}")
+    module = importlib.util.module_from_spec(spec)
+    # Register before exec so dataclasses/pickling inside the module work.
+    sys.modules[module_name] = module
+    try:
+        spec.loader.exec_module(module)
+    except Exception as exc:
+        sys.modules.pop(module_name, None)
+        raise CodeLoadError(f"error executing {path}: {exc}") from exc
+    return module
+
+
+def load_local(path: str | Path, module_name: str = "mpj_app") -> ModuleType:
+    """Local loading: import the user script straight from *path*."""
+    path = Path(path)
+    if not path.exists():
+        raise CodeLoadError(f"user script {path} does not exist")
+    return _import_from_path(path, module_name)
+
+
+def load_remote(
+    source: str,
+    module_name: str = "mpj_app",
+    scratch_dir: str | Path | None = None,
+) -> ModuleType:
+    """Remote loading: materialize shipped *source* and import it.
+
+    The source was transferred from the head node inside the job
+    request — the HTTP-server role of the paper's remote loader is
+    played by the daemon protocol itself.
+    """
+    directory = (
+        Path(scratch_dir)
+        if scratch_dir is not None
+        else Path(tempfile.mkdtemp(prefix="mpj-remote-"))
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{module_name}.py"
+    path.write_text(source, encoding="utf-8")
+    return _import_from_path(path, module_name)
+
+
+def resolve_entry(module: ModuleType, entry: str = "main"):
+    """Fetch the job entry function from a loaded module."""
+    fn = getattr(module, entry, None)
+    if not callable(fn):
+        raise CodeLoadError(
+            f"module {module.__name__!r} has no callable {entry!r}"
+        )
+    return fn

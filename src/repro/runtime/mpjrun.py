@@ -1,0 +1,282 @@
+"""mpjrun — the job-launching client (paper Section IV-D).
+
+"The mpjrun module acts as a client to the daemon module ... It will
+contact daemons, which will start MPJE processes in a new JVM."
+
+Usage as a library::
+
+    from repro.runtime.daemon import Daemon
+    from repro.runtime.mpjrun import run_job
+
+    daemon = Daemon(); daemon.start()
+    result = run_job([("127.0.0.1", daemon.port)], nprocs=2,
+                     module_path="examples/quickstart_worker.py")
+
+or from the command line::
+
+    mpjrun -np 4 --daemon 127.0.0.1:10000 myscript.py
+    mpjrun -np 4 --daemon hostA:10000 --daemon hostB:10000 \
+           --loader remote myscript.py
+
+Ranks are dealt to the given daemons round-robin.  ``--loader remote``
+ships the script's *source* inside the request (Fig. 9b — no shared
+filesystem needed); the default ``local`` sends only the path
+(Fig. 9a — shared filesystem).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.runtime.protocol import ProtocolError, request
+from repro.runtime.worker import RESULT_BEGIN, RESULT_END
+
+
+class JobError(Exception):
+    """The job could not be started or a worker failed."""
+
+
+def parse_hostfile(path: str | Path) -> list[tuple[str, int]]:
+    """Parse a machines file into daemon addresses.
+
+    One entry per line, ``host[:port]`` (port defaults to the
+    daemon's historical 10000); blank lines and ``#`` comments are
+    ignored — the classic MPI machines-file format the MPJ Express
+    runtime consumed.
+    """
+    daemons: list[tuple[str, int]] = []
+    for lineno, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        host, _, port = line.partition(":")
+        if not host:
+            raise JobError(f"{path}:{lineno}: missing host in {raw!r}")
+        try:
+            daemons.append((host, int(port) if port else 10_000))
+        except ValueError:
+            raise JobError(f"{path}:{lineno}: bad port in {raw!r}") from None
+    if not daemons:
+        raise JobError(f"hostfile {path} lists no hosts")
+    return daemons
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: per-rank results and raw outputs."""
+
+    job_id: str
+    results: list[Any]
+    stdouts: list[str]
+    stderrs: list[str]
+    exit_codes: list[int]
+
+    @property
+    def ok(self) -> bool:
+        return all(code == 0 for code in self.exit_codes)
+
+
+def _allocate_ports(nprocs: int, host: str = "127.0.0.1") -> list[tuple[str, int]]:
+    """Reserve one TCP port per rank by momentarily binding it.
+
+    Localhost-oriented (the test environment): for a real multi-host
+    deployment the daemons would own port allocation.
+    """
+    socks = []
+    addrs = []
+    for _ in range(nprocs):
+        s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind((host, 0))
+        socks.append(s)
+        addrs.append(s.getsockname())
+    for s in socks:
+        s.close()
+    return addrs
+
+
+def _extract_result(stdout: str) -> Any:
+    begin = stdout.rfind(RESULT_BEGIN)
+    end = stdout.rfind(RESULT_END)
+    if begin == -1 or end == -1 or end < begin:
+        return None
+    payload = stdout[begin + len(RESULT_BEGIN) : end].strip()
+    try:
+        return json.loads(payload)
+    except json.JSONDecodeError:
+        return payload
+
+
+def run_job(
+    daemons: Sequence[tuple[str, int]],
+    nprocs: int,
+    module_path: str | Path,
+    entry: str = "main",
+    args: Sequence[Any] = (),
+    device: str = "niodev",
+    options: Optional[dict] = None,
+    loader: str = "local",
+    timeout: float = 120.0,
+    poll_interval: float = 0.2,
+) -> JobResult:
+    """Launch and await an SPMD job across *daemons*.
+
+    Returns a :class:`JobResult`; raises :class:`JobError` on startup
+    failure or non-zero worker exits (with stderr attached).
+    """
+    if nprocs < 1:
+        raise JobError("nprocs must be >= 1")
+    if not daemons:
+        raise JobError("at least one daemon address is required")
+    module_path = Path(module_path)
+
+    peers = _allocate_ports(nprocs)
+    base_req: dict[str, Any] = {
+        "cmd": "start",
+        "nprocs": nprocs,
+        "peers": peers,
+        "device": device,
+        "options": options or {},
+        "entry": entry,
+        "args": list(args),
+    }
+    if loader == "remote":
+        base_req["module_source"] = module_path.read_text(encoding="utf-8")
+    elif loader == "local":
+        base_req["module_path"] = str(module_path.resolve())
+    else:
+        raise JobError(f"unknown loader {loader!r} (use 'local' or 'remote')")
+
+    # Deal ranks to daemons round-robin.
+    assignments: dict[int, list[int]] = {i: [] for i in range(len(daemons))}
+    for rank in range(nprocs):
+        assignments[rank % len(daemons)].append(rank)
+
+    job_id = None
+    started: list[tuple[tuple[str, int], str]] = []
+    try:
+        for di, (host, port) in enumerate(daemons):
+            ranks = assignments[di]
+            if not ranks:
+                continue
+            req = dict(base_req, ranks=ranks)
+            if job_id is not None:
+                req["job_id"] = job_id
+            reply = request(host, port, req)
+            job_id = reply["job_id"]
+            started.append(((host, port), job_id))
+    except ProtocolError as exc:
+        for (host, port), jid in started:
+            try:
+                request(host, port, {"cmd": "stop", "job_id": jid})
+            except ProtocolError:
+                pass
+        raise JobError(f"failed to start job: {exc}") from exc
+
+    assert job_id is not None
+    deadline = time.monotonic() + timeout
+    final: dict[int, dict] = {}
+    while time.monotonic() < deadline:
+        final.clear()
+        done = True
+        for di, (host, port) in enumerate(daemons):
+            if not assignments[di]:
+                continue
+            reply = request(host, port, {"cmd": "poll", "job_id": job_id})
+            for w in reply["workers"]:
+                if w["exit_code"] is None:
+                    done = False
+                else:
+                    final[w["rank"]] = w
+        if done:
+            break
+        time.sleep(poll_interval)
+    else:
+        for di, (host, port) in enumerate(daemons):
+            if assignments[di]:
+                try:
+                    request(host, port, {"cmd": "stop", "job_id": job_id})
+                except ProtocolError:
+                    pass
+        raise JobError(f"job {job_id} did not finish within {timeout}s")
+
+    results, stdouts, stderrs, codes = [], [], [], []
+    for rank in range(nprocs):
+        w = final[rank]
+        stdouts.append(w["stdout"])
+        stderrs.append(w["stderr"])
+        codes.append(w["exit_code"])
+        results.append(_extract_result(w["stdout"]))
+    if any(code != 0 for code in codes):
+        bad = [(r, codes[r]) for r in range(nprocs) if codes[r] != 0]
+        detail = "\n".join(
+            f"--- rank {r} (exit {c}) ---\n{stderrs[r]}" for r, c in bad
+        )
+        raise JobError(f"job {job_id}: workers failed:\n{detail}")
+    return JobResult(job_id, results, stdouts, stderrs, codes)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point (the ``mpjrun`` console script)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="MPJ Express job launcher")
+    parser.add_argument("script", help="user Python script exposing the entry function")
+    parser.add_argument("-np", type=int, default=2, help="number of processes")
+    parser.add_argument(
+        "--daemon",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help="daemon address (repeatable); default 127.0.0.1:10000",
+    )
+    parser.add_argument(
+        "--hostfile",
+        metavar="PATH",
+        help="machines file: one host[:port] per line (# comments ok)",
+    )
+    parser.add_argument("--entry", default="main")
+    parser.add_argument("--device", default="niodev")
+    parser.add_argument("--loader", choices=["local", "remote"], default="local")
+    parser.add_argument("--timeout", type=float, default=300.0)
+    ns = parser.parse_args(argv)
+
+    daemons = []
+    if ns.hostfile:
+        try:
+            daemons.extend(parse_hostfile(ns.hostfile))
+        except JobError as exc:
+            print(f"mpjrun: {exc}", file=sys.stderr)
+            return 1
+    for spec in ns.daemon or ([] if daemons else ["127.0.0.1:10000"]):
+        host, _, port = spec.rpartition(":")
+        daemons.append((host or "127.0.0.1", int(port)))
+    try:
+        outcome = run_job(
+            daemons,
+            ns.np,
+            ns.script,
+            entry=ns.entry,
+            device=ns.device,
+            loader=ns.loader,
+            timeout=ns.timeout,
+        )
+    except JobError as exc:
+        print(f"mpjrun: {exc}", file=sys.stderr)
+        return 1
+    for rank, out in enumerate(outcome.stdouts):
+        text = out.split(RESULT_BEGIN)[0].rstrip()
+        if text:
+            print(f"[rank {rank}] {text}")
+    print(f"job {outcome.job_id} finished; results: {outcome.results}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

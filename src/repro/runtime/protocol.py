@@ -1,0 +1,58 @@
+"""Wire protocol between mpjrun and the daemons: JSON lines over TCP.
+
+Each request/response is one JSON object on one line (UTF-8,
+newline-terminated).  Commands:
+
+``ping``      — liveness check; returns daemon stats.
+``start``     — start worker processes for (part of) a job.
+``poll``      — job status: per-rank running/exited + captured output.
+``stop``      — kill a job's workers.
+``shutdown``  — stop the daemon itself.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any
+
+
+class ProtocolError(Exception):
+    """Malformed request or response on the daemon channel."""
+
+
+def send_json(sock: socket.socket, obj: Any) -> None:
+    """Write one JSON-line message."""
+    data = (json.dumps(obj) + "\n").encode("utf-8")
+    sock.sendall(data)
+
+
+def recv_json(file) -> Any:
+    """Read one JSON-line message from a socket makefile."""
+    line = file.readline()
+    if not line:
+        raise ProtocolError("peer closed the connection")
+    try:
+        return json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad JSON from peer: {exc}") from exc
+
+
+def request(host: str, port: int, obj: Any, timeout: float = 30.0) -> Any:
+    """One round-trip to a daemon.
+
+    Transport failures (daemon unreachable, connection reset) surface
+    as :class:`ProtocolError` so callers have one failure type.
+    """
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            send_json(sock, obj)
+            with sock.makefile("r", encoding="utf-8") as f:
+                reply = recv_json(f)
+    except OSError as exc:
+        raise ProtocolError(f"daemon {host}:{port} unreachable: {exc}") from exc
+    if not isinstance(reply, dict):
+        raise ProtocolError(f"expected an object reply, got {type(reply)}")
+    if not reply.get("ok", False):
+        raise ProtocolError(f"daemon error: {reply.get('error', 'unknown')}")
+    return reply

@@ -1,0 +1,82 @@
+"""Worker process bootstrap: one MPJE process in a fresh interpreter.
+
+The daemon starts ``python -m repro.runtime.worker <config.json>`` per
+rank ("The daemon is a Java application listening on an IP port, which
+starts a new JVM whenever there is a request to execute an MPJE
+process" — a fresh CPython interpreter plays the fresh JVM).
+
+The config file carries everything the rank needs: its rank, the
+job-wide peer address table, the device and its options, and the user
+code (a path for local loading or source text for remote loading).
+The worker loads the code, brings up the device, runs
+``entry(env, *args)``, prints the JSON-encoded result on stdout
+between sentinel markers, and exits 0 on success.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import traceback
+from pathlib import Path
+
+from repro.mpi.environment import MPJEnvironment
+from repro.runtime.codeloader import load_local, load_remote, resolve_entry
+from repro.xdev.device import DeviceConfig
+
+#: stdout sentinels so mpjrun can extract the result among user prints.
+RESULT_BEGIN = "===MPJ-RESULT-BEGIN==="
+RESULT_END = "===MPJ-RESULT-END==="
+
+
+def run_from_config(config: dict) -> int:
+    """Execute one rank as described by *config*; returns an exit code."""
+    rank = int(config["rank"])
+    nprocs = int(config["nprocs"])
+    peers = [tuple(p) for p in config["peers"]]
+    device = config.get("device", "niodev")
+    options = dict(config.get("options", {}))
+    entry = config.get("entry", "main")
+    args = config.get("args", [])
+
+    if "module_source" in config:
+        module = load_remote(config["module_source"])
+    else:
+        module = load_local(config["module_path"])
+    fn = resolve_entry(module, entry)
+
+    env = MPJEnvironment.create(
+        device,
+        DeviceConfig(rank=rank, nprocs=nprocs, peers=peers, options=options),
+    )
+    try:
+        result = fn(env, *args)
+    finally:
+        env.finalize()
+
+    try:
+        encoded = json.dumps(result)
+    except TypeError:
+        encoded = json.dumps(repr(result))
+    print(RESULT_BEGIN)
+    print(encoded)
+    print(RESULT_END)
+    sys.stdout.flush()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 1:
+        print("usage: python -m repro.runtime.worker <config.json>", file=sys.stderr)
+        return 2
+    try:
+        config = json.loads(Path(argv[0]).read_text(encoding="utf-8"))
+        return run_from_config(config)
+    except Exception:
+        traceback.print_exc()
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

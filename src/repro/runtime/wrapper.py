@@ -1,0 +1,96 @@
+"""Service-wrapper utilities (the Java Service Wrapper role).
+
+The paper: "MPJ Express uses the Java Service Wrapper Project software
+to install daemons as a native OS service."  The portable Python
+equivalent is a pidfile-managed background daemon: ``install`` starts
+a detached daemon process and records its pid; ``status`` and ``stop``
+manage it.  (A real deployment would register a systemd unit — out of
+scope for a laptop reproduction, but the pidfile interface is what a
+unit file would call.)
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+DEFAULT_PIDFILE = Path("/tmp/mpj-daemon.pid")
+
+
+class ServiceError(Exception):
+    """Daemon service management failed."""
+
+
+def _read_pid(pidfile: Path) -> Optional[int]:
+    try:
+        return int(pidfile.read_text().strip())
+    except (FileNotFoundError, ValueError):
+        return None
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+        return True
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - other user's process
+        return True
+
+
+def install(
+    port: int = 10_000,
+    host: str = "127.0.0.1",
+    pidfile: Path = DEFAULT_PIDFILE,
+) -> int:
+    """Start a detached daemon and record its pid; returns the pid."""
+    existing = _read_pid(pidfile)
+    if existing is not None and _alive(existing):
+        raise ServiceError(f"daemon already running with pid {existing}")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.runtime.daemon",
+            "--host",
+            host,
+            "--port",
+            str(port),
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,  # detach from the controlling terminal
+    )
+    pidfile.write_text(str(process.pid))
+    return process.pid
+
+
+def status(pidfile: Path = DEFAULT_PIDFILE) -> Optional[int]:
+    """Pid of the running daemon, or None."""
+    pid = _read_pid(pidfile)
+    if pid is not None and _alive(pid):
+        return pid
+    return None
+
+
+def stop(pidfile: Path = DEFAULT_PIDFILE, grace: float = 5.0) -> bool:
+    """Stop the managed daemon; True if one was stopped."""
+    pid = _read_pid(pidfile)
+    if pid is None or not _alive(pid):
+        pidfile.unlink(missing_ok=True)
+        return False
+    os.kill(pid, signal.SIGTERM)
+    deadline = time.monotonic() + grace
+    while time.monotonic() < deadline:
+        if not _alive(pid):
+            break
+        time.sleep(0.05)
+    else:
+        os.kill(pid, signal.SIGKILL)
+    pidfile.unlink(missing_ok=True)
+    return True

@@ -1,0 +1,218 @@
+"""Communication tracing — a debugging aid for message-passing codes.
+
+Wraps a Device so every operation (send/recv post, completion, probe)
+is recorded as a timestamped event; traces can be dumped as JSON or
+summarized.  Useful for the classic MPI debugging questions: *who sent
+what to whom, in what order, and which receive never matched?*
+
+Usage::
+
+    from repro.trace import TracingDevice
+
+    def main(env):
+        env.device = TracingDevice(env.device)   # or wrap before building
+        ...
+
+    # or, with the launcher:
+    devices, pids = make_job("smdev", 2)
+    traced = TracingDevice(devices[0])
+
+Events carry: monotonic timestamp, operation, peer uid, tag, context,
+size in bytes, and the request's completion time once known.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Optional
+
+from repro.buffer import Buffer
+from repro.mpjdev.request import Request, Status
+from repro.xdev.device import Device, DeviceConfig
+from repro.xdev.processid import ProcessID
+
+
+@dataclass
+class TraceEvent:
+    """One recorded communication event."""
+
+    seq: int
+    op: str
+    time: float
+    peer: Optional[int] = None
+    tag: Optional[int] = None
+    context: Optional[int] = None
+    size: Optional[int] = None
+    completed_at: Optional[float] = None
+
+    #: Operations that complete later (non-blocking) or whose event
+    #: stays open while the caller is blocked inside them.
+    _COMPLETABLE = frozenset(
+        {"isend", "irecv", "issend", "send", "ssend", "recv"}
+    )
+
+    @property
+    def pending(self) -> bool:
+        return self.completed_at is None and self.op in TraceEvent._COMPLETABLE
+
+
+class TracingDevice(Device):
+    """A Device decorator recording every operation."""
+
+    def __init__(self, inner: Device) -> None:
+        self.inner = inner
+        self._events: list[TraceEvent] = []
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._t0 = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # recording
+
+    def _record(
+        self,
+        op: str,
+        peer: ProcessID | int | None = None,
+        tag: Optional[int] = None,
+        context: Optional[int] = None,
+        size: Optional[int] = None,
+    ) -> TraceEvent:
+        with self._lock:
+            self._seq += 1
+            event = TraceEvent(
+                seq=self._seq,
+                op=op,
+                time=time.monotonic() - self._t0,
+                peer=peer.uid if isinstance(peer, ProcessID) else peer,
+                tag=tag,
+                context=context,
+                size=size,
+            )
+            self._events.append(event)
+            return event
+
+    def _track_completion(self, request: Request, event: TraceEvent) -> Request:
+        def on_done(_req: Request) -> None:
+            event.completed_at = time.monotonic() - self._t0
+
+        request.add_completion_listener(on_done)
+        return request
+
+    # ------------------------------------------------------------------
+    # trace access
+
+    def events(self) -> list[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def pending_events(self) -> list[TraceEvent]:
+        """Operations started but never completed — the deadlock list."""
+        return [e for e in self.events() if e.pending]
+
+    def summary(self) -> dict[str, Any]:
+        events = self.events()
+        by_op: dict[str, int] = {}
+        total_bytes = 0
+        for e in events:
+            by_op[e.op] = by_op.get(e.op, 0) + 1
+            if e.size and e.op in ("isend", "send", "issend", "ssend"):
+                total_bytes += e.size
+        return {
+            "events": len(events),
+            "by_op": by_op,
+            "bytes_sent": total_bytes,
+            "pending": len([e for e in events if e.pending]),
+        }
+
+    def dump_json(self) -> str:
+        return json.dumps([asdict(e) for e in self.events()], indent=2)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    # ------------------------------------------------------------------
+    # Device API — delegate + record
+
+    device_name = "traced"
+
+    def init(self, args: DeviceConfig) -> list[ProcessID]:
+        self._record("init")
+        return self.inner.init(args)
+
+    def id(self) -> ProcessID:
+        return self.inner.id()
+
+    def finish(self) -> None:
+        self._record("finish")
+        self.inner.finish()
+
+    def get_send_overhead(self) -> int:
+        return self.inner.get_send_overhead()
+
+    def get_recv_overhead(self) -> int:
+        return self.inner.get_recv_overhead()
+
+    def isend(self, buf: Buffer, dest: ProcessID, tag: int, context: int) -> Request:
+        event = self._record("isend", dest, tag, context, buf.size)
+        return self._track_completion(self.inner.isend(buf, dest, tag, context), event)
+
+    def send(self, buf: Buffer, dest: ProcessID, tag: int, context: int) -> None:
+        event = self._record("send", dest, tag, context, buf.size)
+        self.inner.send(buf, dest, tag, context)
+        event.completed_at = time.monotonic() - self._t0
+
+    def issend(self, buf: Buffer, dest: ProcessID, tag: int, context: int) -> Request:
+        event = self._record("issend", dest, tag, context, buf.size)
+        return self._track_completion(self.inner.issend(buf, dest, tag, context), event)
+
+    def ssend(self, buf: Buffer, dest: ProcessID, tag: int, context: int) -> None:
+        event = self._record("ssend", dest, tag, context, buf.size)
+        self.inner.ssend(buf, dest, tag, context)
+        event.completed_at = time.monotonic() - self._t0
+
+    def irecv(self, buf: Buffer, src: ProcessID | int, tag: int, context: int) -> Request:
+        event = self._record("irecv", src, tag, context)
+        return self._track_completion(self.inner.irecv(buf, src, tag, context), event)
+
+    def recv(self, buf: Buffer, src: ProcessID | int, tag: int, context: int) -> Status:
+        event = self._record("recv", src, tag, context)
+        status = self.inner.recv(buf, src, tag, context)
+        event.completed_at = time.monotonic() - self._t0
+        event.size = status.size
+        return status
+
+    def iprobe(self, src: ProcessID | int, tag: int, context: int) -> Status | None:
+        self._record("iprobe", src, tag, context)
+        return self.inner.iprobe(src, tag, context)
+
+    def probe(self, src: ProcessID | int, tag: int, context: int) -> Status:
+        self._record("probe", src, tag, context)
+        return self.inner.probe(src, tag, context)
+
+    def peek(self, timeout: float | None = None) -> Request:
+        return self.inner.peek(timeout=timeout)
+
+    #: Expose the inner engine for white-box users.
+    @property
+    def engine(self):
+        return self.inner.engine  # type: ignore[attr-defined]
+
+
+def detect_stalled(
+    traced: "TracingDevice", min_age_s: float = 1.0
+) -> list[TraceEvent]:
+    """Pending operations older than *min_age_s* — likely deadlocks.
+
+    The classic triage question after a hang: which receives were
+    posted long ago and never matched?  Returns the stale events,
+    oldest first.
+    """
+    import time as _time
+
+    now = _time.monotonic() - traced._t0
+    stale = [e for e in traced.pending_events() if now - e.time >= min_age_s]
+    return sorted(stale, key=lambda e: e.time)

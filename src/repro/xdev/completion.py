@@ -1,0 +1,42 @@
+"""Completed-request queue backing ``peek()`` for non-engine devices."""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+from repro.mpjdev.request import Request
+
+
+class CompletedQueue:
+    """Thread-safe LIFO of completed requests.
+
+    ``peek()`` blocks until a request completes and returns the most
+    recently completed one — the semantics the paper borrows from the
+    Myrinet eXpress library (Section III-A).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._completed: deque[Request] = deque()
+
+    def track(self, request: Request) -> Request:
+        """Have *request* enqueue itself here on completion."""
+        request.add_completion_listener(self._push)
+        return request
+
+    def _push(self, request: Request) -> None:
+        with self._cond:
+            self._completed.append(request)
+            self._cond.notify_all()
+
+    def peek(self, timeout: Optional[float] = None) -> Request:
+        with self._cond:
+            if not self._cond.wait_for(lambda: bool(self._completed), timeout=timeout):
+                raise TimeoutError("peek() timed out")
+            return self._completed.pop()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._completed)

@@ -1,0 +1,15 @@
+"""Wildcard constants shared by every layer.
+
+Values match classic MPI conventions and are part of the device wire
+format (they appear inside matching keys), so they must be stable.
+"""
+
+#: Match a message from any source process.
+ANY_SOURCE: int = -2
+
+#: Match a message with any tag.
+ANY_TAG: int = -1
+
+#: Default context id used for raw device-level traffic (the MPI layer
+#: allocates real contexts per communicator).
+DEFAULT_CONTEXT: int = 0

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the xdev layer."""
+
+from __future__ import annotations
+
+
+class XDevException(Exception):
+    """Base error raised by xdev devices (paper Fig. 2)."""
+
+
+class DeviceNotFoundError(XDevException):
+    """``Device.new_instance`` was asked for an unknown device name."""
+
+
+class DeviceFinishedError(XDevException):
+    """An operation was attempted on a device after ``finish()``."""
+
+
+class ConnectionSetupError(XDevException):
+    """A device failed to establish its peer connections during ``init``."""
+
+
+class ResourceExhaustedError(XDevException):
+    """A device ran out of an OS resource (e.g. threads).
+
+    Raised by ``ibisdev`` when its thread-per-message design exceeds
+    the thread cap — reproducing the paper's report that MPJ/Ibis
+    "fails with cannot create native threads exception while posting
+    650 simultaneous receive operations" (Section VI).
+    """

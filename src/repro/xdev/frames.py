@@ -1,0 +1,99 @@
+"""Device wire-frame format for the pure-Python protocol devices.
+
+niodev and smdev speak the same frame format, because they run the
+same protocol engine over different transports.  Each frame is::
+
+    +------+---------+-----+----------+----------+--------------+---------+
+    | type | context | tag | send_id  | recv_id  | payload_len  | payload |
+    | (u8) | (i32)   |(i32)| (i64)    | (i64)    | (i64)        | bytes   |
+    +------+---------+-----+----------+----------+--------------+---------+
+
+The source process is identified by the channel a frame arrives on
+(transports hand the engine a ``(src ProcessID, frame)`` pair), so it
+does not appear in the header — the same economy the paper's niodev
+gets from its per-peer channels.
+
+Frame types (paper Sections IV-A.1 and IV-A.2):
+
+``EAGER``
+    Full message data, sent optimistically (Fig. 3).
+``RTS``
+    Rendezvous *ready-to-send* control message carrying the sender's
+    request id and the message size (Fig. 6).
+``RTR``
+    Rendezvous *ready-to-recv* reply, echoing the sender's request id
+    and carrying the receiver's request id (Figs 7, 8).
+``RNDZ_DATA``
+    The actual rendezvous payload, addressed directly to the
+    receiver's request id — no re-matching at the receiver.
+``BYE``
+    Orderly shutdown notification from a finishing peer.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+
+class FrameType(enum.IntEnum):
+    EAGER = 1
+    RTS = 2
+    RTR = 3
+    RNDZ_DATA = 4
+    BYE = 5
+
+
+HEADER = struct.Struct("<Biiqqq")
+HEADER_SIZE = HEADER.size
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """Decoded frame header."""
+
+    type: FrameType
+    context: int
+    tag: int
+    send_id: int
+    recv_id: int
+    payload_len: int
+
+    def encode(self) -> bytes:
+        return HEADER.pack(
+            int(self.type),
+            self.context,
+            self.tag,
+            self.send_id,
+            self.recv_id,
+            self.payload_len,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes | memoryview) -> "FrameHeader":
+        t, context, tag, send_id, recv_id, payload_len = HEADER.unpack(
+            bytes(data[:HEADER_SIZE])
+        )
+        return cls(FrameType(t), context, tag, send_id, recv_id, payload_len)
+
+
+def encode_frame(
+    ftype: FrameType,
+    context: int = 0,
+    tag: int = 0,
+    send_id: int = 0,
+    recv_id: int = 0,
+    payload: bytes | memoryview | None = None,
+) -> list[bytes | memoryview]:
+    """Build a frame as a segment list: [header, payload?].
+
+    Returned as segments rather than one joined blob so transports can
+    gather-write without copying the payload (the mpjbuf zero-copy
+    argument carried through to the wire).
+    """
+    plen = len(payload) if payload is not None else 0
+    header = FrameHeader(ftype, context, tag, send_id, recv_id, plen).encode()
+    if payload is None:
+        return [header]
+    return [header, payload]

@@ -1,0 +1,201 @@
+"""Four-key message matching (paper Section IV-E.2).
+
+A message is identified by ``(context, tag, src)``.  Because receives
+may use the wildcards ``ANY_TAG`` and ``ANY_SOURCE``, each *incoming
+message* generates four lookup keys::
+
+    (context, tag,     src)
+    (context, ANY_TAG, src)
+    (context, tag,     ANY_SOURCE)
+    (context, ANY_TAG, ANY_SOURCE)
+
+A posted receive is registered under exactly one key — the one
+containing whatever wildcards it was posted with — so an incoming
+message finds any compatible receive with four O(1) dictionary probes
+instead of a linear scan of the pending set.  Symmetrically, arrived
+but unmatched ("unexpected") messages are indexed under all four of
+their keys, so a newly posted receive finds the earliest compatible
+message with a single probe of its own key.
+
+MPI's non-overtaking rule requires that when several candidates match,
+the *earliest posted* receive (resp. earliest arrived message) wins.
+Entries therefore carry sequence numbers and a claim flag; claimed
+entries are lazily popped when they surface at the head of a queue.
+
+This module is deliberately lock-free: the protocol engine serializes
+access with its ``receive-communication-sets`` lock, exactly as the
+paper's pseudocode does (Figs 4, 5, 7, 8).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.xdev.constants import ANY_SOURCE, ANY_TAG
+
+Key = tuple[int, int, int]
+
+
+@dataclass
+class PostedRecv:
+    """A receive request waiting in the pending-recv-request-set."""
+
+    request: Any
+    context: int
+    tag: int
+    src_uid: int  # may be ANY_SOURCE
+    seqno: int = 0
+    claimed: bool = False
+
+    @property
+    def key(self) -> Key:
+        return (self.context, self.tag, self.src_uid)
+
+
+@dataclass
+class ArrivedMessage:
+    """An arrived message with no matching receive yet.
+
+    For the eager protocol this carries the payload; for rendezvous it
+    is a ready-to-send record carrying the sender's request id.
+    """
+
+    context: int
+    tag: int
+    src_uid: int  # always concrete
+    size: int
+    payload: Any = None  # Buffer for eager, None for RTS
+    send_id: int = 0  # sender-side request id (rendezvous)
+    src_pid: Any = None
+    is_rts: bool = False
+    seqno: int = 0
+    claimed: bool = False
+
+    def keys(self) -> tuple[Key, Key, Key, Key]:
+        """The four lookup keys this message answers to."""
+        return (
+            (self.context, self.tag, self.src_uid),
+            (self.context, ANY_TAG, self.src_uid),
+            (self.context, self.tag, ANY_SOURCE),
+            (self.context, ANY_TAG, ANY_SOURCE),
+        )
+
+
+def _prune(q: deque) -> None:
+    """Drop claimed entries from the head of *q*."""
+    while q and q[0].claimed:
+        q.popleft()
+
+
+class MessageQueues:
+    """Pending-recv-request-set and unexpected-message store.
+
+    NOT internally synchronized — callers hold the engine's
+    receive-communication-sets lock around every call.
+    """
+
+    def __init__(self) -> None:
+        self._recvs: dict[Key, deque[PostedRecv]] = {}
+        self._msgs: dict[Key, deque[ArrivedMessage]] = {}
+        self._seq = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # receive side
+
+    def post_recv(self, recv: PostedRecv) -> Optional[ArrivedMessage]:
+        """Match *recv* against arrived messages or enqueue it.
+
+        Returns the earliest matching arrived message (claimed and
+        removed), or None after enqueuing the receive, mirroring
+        Figs 4 and 7: match-or-add under one lock hold.
+        """
+        key = recv.key
+        q = self._msgs.get(key)
+        if q is not None:
+            _prune(q)
+            if q:
+                msg = q.popleft()
+                msg.claimed = True
+                return msg
+        recv.seqno = next(self._seq)
+        self._recvs.setdefault(key, deque()).append(recv)
+        return None
+
+    def arrive(self, msg: ArrivedMessage) -> Optional[PostedRecv]:
+        """Match an incoming message against posted receives or store it.
+
+        Probes the four keys and claims the earliest-posted compatible
+        receive; otherwise indexes the message under all four keys and
+        returns None (Figs 5 and 8: the input handler's match-or-add).
+        """
+        best: Optional[PostedRecv] = None
+        best_q: Optional[deque] = None
+        for key in msg.keys():
+            q = self._recvs.get(key)
+            if q is None:
+                continue
+            _prune(q)
+            if q and (best is None or q[0].seqno < best.seqno):
+                best = q[0]
+                best_q = q
+        if best is not None:
+            assert best_q is not None
+            best_q.popleft()
+            best.claimed = True
+            return best
+        msg.seqno = next(self._seq)
+        for key in msg.keys():
+            self._msgs.setdefault(key, deque()).append(msg)
+        return None
+
+    # ------------------------------------------------------------------
+    # probing
+
+    def find_message(self, context: int, tag: int, src_uid: int) -> Optional[ArrivedMessage]:
+        """Earliest arrived, unclaimed message matching the pattern.
+
+        *tag*/*src_uid* may be wildcards.  Does not consume the message
+        — this backs ``iprobe``/``probe``.
+        """
+        q = self._msgs.get((context, tag, src_uid))
+        if q is None:
+            return None
+        _prune(q)
+        return q[0] if q else None
+
+    def take_rendezvous_recv(self, recv: PostedRecv) -> None:
+        """Mark *recv* claimed (it matched an RTS out-of-band)."""
+        recv.claimed = True
+
+    # ------------------------------------------------------------------
+    # introspection (tests, diagnostics)
+
+    def pending_recv_count(self) -> int:
+        """Number of unclaimed posted receives."""
+        seen = set()
+        for q in self._recvs.values():
+            for r in q:
+                if not r.claimed:
+                    seen.add(id(r))
+        return len(seen)
+
+    def unexpected_count(self) -> int:
+        """Number of unclaimed arrived messages."""
+        seen = set()
+        for q in self._msgs.values():
+            for m in q:
+                if not m.claimed:
+                    seen.add(id(m))
+        return len(seen)
+
+    def iter_unexpected(self) -> Iterator[ArrivedMessage]:
+        """Yield unclaimed arrived messages (diagnostics only)."""
+        seen: set[int] = set()
+        for q in self._msgs.values():
+            for m in q:
+                if not m.claimed and id(m) not in seen:
+                    seen.add(id(m))
+                    yield m

@@ -1,0 +1,511 @@
+"""The eager/rendezvous protocol engine (paper Figs 3–8).
+
+This module implements, once, the communication protocols that the
+paper implements inside niodev, so that every pure-Python transport
+(TCP sockets in :mod:`repro.xdev.niodev`, in-process pipes in
+:mod:`repro.xdev.smdev`) runs *identical* protocol code — the paper
+offers its pseudocode "as a blueprint for developing other thread-safe
+devices", and this engine is that blueprint made executable.
+
+Locking discipline (paper Section IV-A):
+
+* ``receive-communication-sets`` lock — guards the pending-recv set and
+  the unexpected-message store (Figs 4, 5, 7, 8).
+* ``send-communication-sets`` lock — guards the pending-send set
+  (Figs 6, 8).
+* one **channel lock per destination** — serializes writes to a peer;
+  "every thread that tries to write a message first acquires the
+  associated lock".
+* No lock for reading: only the input-handler thread receives.
+
+The two locks taken by a rendezvous send are acquired *one after the
+other*, never nested ("to avoid blocking other user threads sending
+messages to different destinations", Fig. 6 commentary).  Request
+completion always happens outside engine locks, since completion
+listeners (peek queue, WaitAny wake-ups) take their own locks.
+
+Send modes: the MPI specification's four modes map onto the two
+protocols exactly as in the paper — *standard* picks eager below the
+threshold and rendezvous above; *synchronous* always uses rendezvous
+(completion implies the receive matched); *ready* always uses eager
+(the user asserts the receive is posted); *buffered* snapshots the
+data and uses eager.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import threading
+from collections import deque
+from typing import Any, Optional
+
+from repro.buffer import Buffer
+from repro.buffer.pool import BufferPool, DEFAULT_POOL
+from repro.mpjdev.request import Request, Status
+from repro.xdev.constants import ANY_SOURCE
+from repro.xdev.exceptions import DeviceFinishedError, XDevException
+from repro.xdev.frames import FrameHeader, FrameType, encode_frame
+from repro.xdev.matching import ArrivedMessage, MessageQueues, PostedRecv
+from repro.xdev.processid import ProcessID
+
+#: Default eager→rendezvous switch point; "typically less than 128
+#: Kbytes when using TCP/IP" (Section IV-A.1).  The figures' throughput
+#: dip at 128 KB comes from this constant.
+DEFAULT_EAGER_THRESHOLD = 128 * 1024
+
+MODE_STANDARD = "standard"
+MODE_SYNC = "sync"
+MODE_READY = "ready"
+MODE_BUFFERED = "buffered"
+_VALID_MODES = frozenset({MODE_STANDARD, MODE_SYNC, MODE_READY, MODE_BUFFERED})
+
+
+class Transport(abc.ABC):
+    """What the protocol engine needs from a byte transport.
+
+    ``write`` must deliver the segment list to *dest* intact and in
+    order w.r.t. other writes to the same destination; the engine
+    guarantees it never calls ``write`` concurrently for one
+    destination (the channel lock), but does call it concurrently for
+    *different* destinations.
+    """
+
+    @abc.abstractmethod
+    def start(self, engine: "ProtocolEngine") -> None:
+        """Begin delivering inbound frames to ``engine.handle_frame``."""
+
+    @abc.abstractmethod
+    def write(self, dest: ProcessID, segments: list[bytes | memoryview]) -> None:
+        """Blocking, in-order write of *segments* to *dest*."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Stop the input handler and release transport resources."""
+
+
+class _PendingSend:
+    """A rendezvous send parked in the pending-send-request-set."""
+
+    __slots__ = ("request", "wire", "dest")
+
+    def __init__(self, request: Request, wire: bytes, dest: ProcessID) -> None:
+        self.request = request
+        self.wire = wire
+        self.dest = dest
+
+
+class ProtocolEngine:
+    """Eager + rendezvous protocol state machine over a Transport."""
+
+    def __init__(
+        self,
+        my_pid: ProcessID,
+        transport: Transport,
+        eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
+        pool: BufferPool | None = None,
+        fork_rendezvous_writer: bool = True,
+    ) -> None:
+        self.my_pid = my_pid
+        self.transport = transport
+        self.eager_threshold = eager_threshold
+        self.pool = pool if pool is not None else DEFAULT_POOL
+        #: Paper Fig. 8 forks a "rendez-write-thread" per RTR so the
+        #: input handler never blocks on a large write.  Disabling this
+        #: (ablation) performs the write on the input-handler thread —
+        #: the configuration the paper warns can deadlock.
+        self.fork_rendezvous_writer = fork_rendezvous_writer
+
+        # receive-communication-sets lock + its condition (probe blocks on it)
+        self._recv_lock = threading.Lock()
+        self._recv_cond = threading.Condition(self._recv_lock)
+        self._queues = MessageQueues()
+        #: recv_id -> Request, for rendezvous data addressed by id
+        self._rendezvous_recvs: dict[int, tuple[Request, ProcessID, int, int]] = {}
+
+        # send-communication-sets lock
+        self._send_lock = threading.Lock()
+        self._pending_sends: dict[int, _PendingSend] = {}
+
+        # per-destination channel locks
+        self._channel_locks: dict[int, threading.Lock] = {}
+        self._channel_locks_guard = threading.Lock()
+
+        # completed-request queue backing peek()
+        self._completed_lock = threading.Lock()
+        self._completed_cond = threading.Condition(self._completed_lock)
+        self._completed: deque[Request] = deque()
+
+        self._ids = itertools.count(1)
+        self._finished = False
+
+        # statistics (tests + benches)
+        self.stats = {
+            "eager_sends": 0,
+            "rendezvous_sends": 0,
+            "unexpected_messages": 0,
+            "rendezvous_writer_threads": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def channel_lock(self, dest: ProcessID) -> threading.Lock:
+        """The write lock for *dest*'s channel, created on first use."""
+        with self._channel_locks_guard:
+            lock = self._channel_locks.get(dest.uid)
+            if lock is None:
+                lock = threading.Lock()
+                self._channel_locks[dest.uid] = lock
+            return lock
+
+    def _check_live(self) -> None:
+        if self._finished:
+            raise DeviceFinishedError("device has been finished")
+
+    def _track(self, request: Request) -> Request:
+        """Register *request* with the completed-queue for peek()."""
+        request.add_completion_listener(self._on_complete)
+        return request
+
+    def _on_complete(self, request: Request) -> None:
+        with self._completed_cond:
+            self._completed.append(request)
+            self._completed_cond.notify_all()
+
+    def _write(self, dest: ProcessID, segments: list[bytes | memoryview]) -> None:
+        """Write under the destination's channel lock."""
+        lock = self.channel_lock(dest)
+        with lock:
+            self.transport.write(dest, segments)
+
+    # ------------------------------------------------------------------
+    # sends
+
+    def isend(
+        self,
+        buf: Buffer,
+        dest: ProcessID,
+        tag: int,
+        context: int,
+        mode: str = MODE_STANDARD,
+    ) -> Request:
+        """Non-blocking send in any of the four MPI modes."""
+        self._check_live()
+        if mode not in _VALID_MODES:
+            raise XDevException(f"unknown send mode {mode!r}")
+        buf.commit()
+        wire = buf.to_wire()
+
+        request = self._track(Request(Request.SEND, buffer=buf))
+        request.context, request.tag, request.peer = context, tag, dest
+
+        if mode == MODE_SYNC:
+            use_eager = False
+        elif mode in (MODE_READY, MODE_BUFFERED):
+            use_eager = True
+        else:
+            use_eager = len(wire) <= self.eager_threshold
+
+        if use_eager:
+            # Fig. 3: lock dest channel / send the data / unlock /
+            # return a non-pending send request object.
+            self.stats["eager_sends"] += 1
+            self._write(
+                dest,
+                encode_frame(FrameType.EAGER, context, tag, payload=wire),
+            )
+            request.complete(Status(source=self.my_pid, tag=tag, size=buf.size))
+            return request
+
+        # Fig. 6: lock send-communication-sets / add send request /
+        # unlock / lock dest channel / send ready-to-send / unlock /
+        # return pending send request.  Note the two locks are taken
+        # sequentially, never nested.
+        self.stats["rendezvous_sends"] += 1
+        send_id = next(self._ids)
+        with self._send_lock:
+            self._pending_sends[send_id] = _PendingSend(request, wire, dest)
+        # The RTS advertises the message payload size in the (otherwise
+        # unused) recv_id header field so probes can report an accurate
+        # count before the data transfer happens.
+        self._write(
+            dest,
+            encode_frame(
+                FrameType.RTS, context, tag, send_id=send_id, recv_id=buf.size
+            ),
+        )
+        return request
+
+    def send(self, buf: Buffer, dest: ProcessID, tag: int, context: int) -> None:
+        self.isend(buf, dest, tag, context).wait()
+
+    def issend(self, buf: Buffer, dest: ProcessID, tag: int, context: int) -> Request:
+        return self.isend(buf, dest, tag, context, mode=MODE_SYNC)
+
+    def ssend(self, buf: Buffer, dest: ProcessID, tag: int, context: int) -> None:
+        self.issend(buf, dest, tag, context).wait()
+
+    # ------------------------------------------------------------------
+    # receives
+
+    def irecv(
+        self, buf: Buffer, src: ProcessID | int, tag: int, context: int
+    ) -> Request:
+        """Non-blocking receive; *src* may be ``ANY_SOURCE``."""
+        self._check_live()
+        src_uid = src.uid if isinstance(src, ProcessID) else int(src)
+        request = self._track(Request(Request.RECV, buffer=buf))
+        request.context, request.tag, request.peer = context, tag, src
+
+        posted = PostedRecv(request=request, context=context, tag=tag, src_uid=src_uid)
+        rts_to_answer: Optional[ArrivedMessage] = None
+        eager_msg: Optional[ArrivedMessage] = None
+        recv_id = 0
+
+        # Figs 4 and 7: lock receive-communication-sets; match-or-add.
+        with self._recv_lock:
+            msg = self._queues.post_recv(posted)
+            if msg is not None:
+                if msg.is_rts:
+                    recv_id = next(self._ids)
+                    self._rendezvous_recvs[recv_id] = (
+                        request,
+                        msg.src_pid,
+                        msg.tag,
+                        msg.context,
+                    )
+                    rts_to_answer = msg
+                else:
+                    eager_msg = msg
+
+        if eager_msg is not None:
+            # Fig. 4: copy data from input-buffer into user-buffer.
+            self._deliver(request, buf, eager_msg)
+        elif rts_to_answer is not None:
+            # Fig. 7: unlock receive sets, THEN lock src channel and
+            # send ready-to-recv — the user thread answers the RTS.
+            self._write(
+                rts_to_answer.src_pid,
+                encode_frame(
+                    FrameType.RTR,
+                    rts_to_answer.context,
+                    rts_to_answer.tag,
+                    send_id=rts_to_answer.send_id,
+                    recv_id=recv_id,
+                ),
+            )
+        return request
+
+    def recv(self, buf: Buffer, src: ProcessID | int, tag: int, context: int) -> Status:
+        return self.irecv(buf, src, tag, context).wait()
+
+    def _deliver(self, request: Request, buf: Buffer, msg: ArrivedMessage) -> None:
+        """Unpack an arrived eager message into the posted buffer."""
+        buf.load_wire(msg.payload)
+        request.complete(
+            Status(source=msg.src_pid, tag=msg.tag, size=buf.size, buffer=buf)
+        )
+
+    # ------------------------------------------------------------------
+    # probing
+
+    def iprobe(
+        self, src: ProcessID | int, tag: int, context: int
+    ) -> Optional[Status]:
+        self._check_live()
+        src_uid = src.uid if isinstance(src, ProcessID) else int(src)
+        with self._recv_lock:
+            msg = self._queues.find_message(context, tag, src_uid)
+            if msg is None:
+                return None
+            return Status(source=msg.src_pid, tag=msg.tag, size=msg.size)
+
+    def probe(self, src: ProcessID | int, tag: int, context: int) -> Status:
+        self._check_live()
+        src_uid = src.uid if isinstance(src, ProcessID) else int(src)
+        with self._recv_cond:
+            while True:
+                msg = self._queues.find_message(context, tag, src_uid)
+                if msg is not None:
+                    return Status(source=msg.src_pid, tag=msg.tag, size=msg.size)
+                self._recv_cond.wait()
+
+    # ------------------------------------------------------------------
+    # progress: peek()
+
+    def peek(self, timeout: Optional[float] = None) -> Request:
+        """Block until a request completes; return the most recent one.
+
+        "The peek() method returns the most recently completed Request
+        object" (Section III-A) — hence the pop from the right.
+        """
+        with self._completed_cond:
+            if not self._completed_cond.wait_for(
+                lambda: bool(self._completed), timeout=timeout
+            ):
+                raise TimeoutError("peek() timed out")
+            return self._completed.pop()
+
+    def drain_completed(self) -> list[Request]:
+        """Remove and return all queued completed requests (tests)."""
+        with self._completed_cond:
+            out = list(self._completed)
+            self._completed.clear()
+            return out
+
+    # ------------------------------------------------------------------
+    # input handler — called by the transport's progress thread
+
+    def handle_frame(self, src_pid: ProcessID, header: FrameHeader, payload: memoryview | bytes) -> None:
+        """Process one inbound frame (paper Figs 5 and 8).
+
+        Runs on the transport's input-handler thread.  Must never
+        block indefinitely: the only potentially long operation — the
+        rendezvous data write — is forked to a separate thread.
+        """
+        ftype = header.type
+        if ftype == FrameType.EAGER:
+            self._handle_eager(src_pid, header, payload)
+        elif ftype == FrameType.RTS:
+            self._handle_rts(src_pid, header)
+        elif ftype == FrameType.RTR:
+            self._handle_rtr(src_pid, header)
+        elif ftype == FrameType.RNDZ_DATA:
+            self._handle_rndz_data(src_pid, header, payload)
+        elif ftype == FrameType.BYE:
+            pass  # orderly peer shutdown; nothing to match
+        else:  # pragma: no cover - decode guards against this
+            raise XDevException(f"unknown frame type {ftype}")
+
+    def _handle_eager(
+        self, src_pid: ProcessID, header: FrameHeader, payload: memoryview | bytes
+    ) -> None:
+        # Fig. 5: lock receive sets; if matched, receive into the user
+        # buffer; else store into an input buffer and record the
+        # unexpected message.
+        matched: Optional[PostedRecv] = None
+        with self._recv_cond:
+            msg = ArrivedMessage(
+                context=header.context,
+                tag=header.tag,
+                src_uid=src_pid.uid,
+                # Payload size excluding the 16-byte buffer wire header,
+                # so probe counts match what recv reports.
+                size=max(0, len(payload) - 16),
+                payload=bytes(payload),
+                src_pid=src_pid,
+            )
+            matched = self._queues.arrive(msg)
+            if matched is None:
+                self.stats["unexpected_messages"] += 1
+                self._recv_cond.notify_all()
+        if matched is not None:
+            self._deliver(matched.request, matched.request.buffer, msg)
+
+    def _handle_rts(self, src_pid: ProcessID, header: FrameHeader) -> None:
+        # Fig. 8, ready-to-send branch.
+        matched: Optional[PostedRecv] = None
+        recv_id = 0
+        with self._recv_cond:
+            msg = ArrivedMessage(
+                context=header.context,
+                tag=header.tag,
+                src_uid=src_pid.uid,
+                # RTS frames advertise the payload size in recv_id.
+                size=header.recv_id,
+                send_id=header.send_id,
+                src_pid=src_pid,
+                is_rts=True,
+            )
+            matched = self._queues.arrive(msg)
+            if matched is not None:
+                recv_id = next(self._ids)
+                self._rendezvous_recvs[recv_id] = (
+                    matched.request,
+                    src_pid,
+                    header.tag,
+                    header.context,
+                )
+            else:
+                self.stats["unexpected_messages"] += 1
+                self._recv_cond.notify_all()
+        if matched is not None:
+            # "unlock receive-communication-sets / lock src channel /
+            # send ready-to-recv message to sender / unlock".
+            self._write(
+                src_pid,
+                encode_frame(
+                    FrameType.RTR,
+                    header.context,
+                    header.tag,
+                    send_id=header.send_id,
+                    recv_id=recv_id,
+                ),
+            )
+
+    def _handle_rtr(self, src_pid: ProcessID, header: FrameHeader) -> None:
+        # Fig. 8, ready-to-receive branch: fork a rendez-write-thread.
+        with self._send_lock:
+            pending = self._pending_sends.pop(header.send_id, None)
+        if pending is None:
+            raise XDevException(
+                f"RTR for unknown send id {header.send_id} from {src_pid}"
+            )
+
+        def rendez_write() -> None:
+            # lock dest channel / send the data / unlock, then complete.
+            self._write(
+                pending.dest,
+                encode_frame(
+                    FrameType.RNDZ_DATA,
+                    header.context,
+                    header.tag,
+                    recv_id=header.recv_id,
+                    payload=pending.wire,
+                ),
+            )
+            pending.request.complete(
+                Status(source=self.my_pid, tag=header.tag, size=len(pending.wire))
+            )
+
+        if self.fork_rendezvous_writer:
+            self.stats["rendezvous_writer_threads"] += 1
+            threading.Thread(
+                target=rendez_write, name="rendez-write-thread", daemon=True
+            ).start()
+        else:
+            rendez_write()
+
+    def _handle_rndz_data(
+        self, src_pid: ProcessID, header: FrameHeader, payload: memoryview | bytes
+    ) -> None:
+        with self._recv_lock:
+            entry = self._rendezvous_recvs.pop(header.recv_id, None)
+        if entry is None:
+            raise XDevException(
+                f"rendezvous data for unknown recv id {header.recv_id}"
+            )
+        request, peer, tag, context = entry
+        request.buffer.load_wire(payload)
+        request.complete(
+            Status(source=peer, tag=tag, size=request.buffer.size, buffer=request.buffer)
+        )
+
+    # ------------------------------------------------------------------
+    # shutdown
+
+    def finish(self) -> None:
+        self._finished = True
+        self.transport.close()
+
+    # ------------------------------------------------------------------
+    # diagnostics
+
+    def pending_recv_count(self) -> int:
+        with self._recv_lock:
+            return self._queues.pending_recv_count()
+
+    def unexpected_count(self) -> int:
+        with self._recv_lock:
+            return self._queues.unexpected_count()

@@ -1,0 +1,95 @@
+"""Shared test fixtures.
+
+``device_name`` parametrizes device-generic tests over every xdev
+implementation; ``fast_device_name`` restricts to the in-process
+devices for tests that run many iterations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: All four devices of DESIGN.md's inventory, plus the tracing
+#: decorator over smdev — the whole device-generic matrix must pass
+#: through the tracer unchanged (decorator-correctness guarantee).
+ALL_DEVICES = ["smdev", "mxdev", "ibisdev", "niodev", "traced-smdev"]
+
+#: In-process devices (no sockets) — cheap enough for heavy loops.
+FAST_DEVICES = ["smdev", "mxdev"]
+
+
+@pytest.fixture(params=ALL_DEVICES)
+def device_name(request) -> str:
+    return request.param
+
+
+@pytest.fixture(params=FAST_DEVICES)
+def fast_device_name(request) -> str:
+    return request.param
+
+
+def make_job(device: str, nprocs: int, options: dict | None = None):
+    """Stand up *nprocs* initialized devices of kind *device*.
+
+    Returns (devices, pids) where pids is the common ProcessID table.
+    niodev ranks must init concurrently (they rendezvous), so inits
+    run on threads for every device, which is also the realistic mode.
+    """
+    import threading
+
+    from repro.runtime.launcher import _make_fabric
+    from repro.xdev import new_instance
+    from repro.xdev.device import DeviceConfig
+
+    traced = device.startswith("traced-")
+    if traced:
+        device = device.removeprefix("traced-")
+    fabric, nio = _make_fabric(device, nprocs)
+    devices = [new_instance(device) for _ in range(nprocs)]
+    if traced:
+        from repro.trace import TracingDevice
+
+        devices = [TracingDevice(d) for d in devices]
+    pids_out: list = [None] * nprocs
+    errors: list = []
+
+    def init_one(rank: int) -> None:
+        try:
+            opts = dict(options or {})
+            if nio is not None:
+                addrs, socks = nio
+                opts["listen_socket"] = socks[rank]
+                config = DeviceConfig(rank=rank, nprocs=nprocs, peers=addrs, options=opts)
+            else:
+                config = DeviceConfig(rank=rank, nprocs=nprocs, fabric=fabric, options=opts)
+            pids_out[rank] = devices[rank].init(config)
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append((rank, exc))
+
+    threads = [
+        threading.Thread(target=init_one, args=(r,)) for r in range(nprocs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    if errors:
+        raise RuntimeError(f"device init failed: {errors}")
+    return devices, pids_out[0]
+
+
+@pytest.fixture
+def job2(device_name):
+    """Two connected devices of each kind; finished on teardown."""
+    devices, pids = make_job(device_name, 2)
+    yield devices, pids
+    for d in devices:
+        d.finish()
+
+
+@pytest.fixture
+def job3(fast_device_name):
+    devices, pids = make_job(fast_device_name, 3)
+    yield devices, pids
+    for d in devices:
+        d.finish()

@@ -1,0 +1,48 @@
+"""Unit tests for the Device.newInstance factory (paper Fig. 2)."""
+
+import pytest
+
+from repro.xdev import Device, new_instance
+from repro.xdev.exceptions import DeviceNotFoundError
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["smdev", "niodev", "mxdev", "ibisdev"])
+    def test_builtins_resolve(self, name):
+        device = new_instance(name)
+        assert isinstance(device, Device)
+        assert device.device_name == name
+
+    def test_unknown_device(self):
+        with pytest.raises(DeviceNotFoundError) as err:
+            new_instance("quantumdev")
+        # The error names the known devices — a usability contract.
+        assert "smdev" in str(err.value)
+
+    def test_instances_are_independent(self):
+        a = new_instance("smdev")
+        b = new_instance("smdev")
+        assert a is not b
+
+    def test_custom_registration(self):
+        from repro.xdev.device import register_device
+        from repro.xdev.smdev import SMDevice
+
+        @register_device("customdev")
+        class CustomDevice(SMDevice):
+            pass
+
+        assert isinstance(new_instance("customdev"), CustomDevice)
+
+
+class TestUninitializedUse:
+    def test_id_before_init_raises(self):
+        from repro.xdev.exceptions import XDevException
+
+        with pytest.raises(XDevException):
+            new_instance("smdev").id()
+
+    def test_overheads_available(self):
+        device = new_instance("smdev")
+        assert device.get_send_overhead() >= 0
+        assert device.get_recv_overhead() >= 0

@@ -1,0 +1,131 @@
+"""Failure injection: malformed frames, protocol violations, teardown.
+
+A production-quality device layer must fail loudly and locally on
+protocol violations, and must survive peers disappearing.
+"""
+
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.buffer import Buffer, BufferFormatError
+from repro.xdev.exceptions import XDevException
+from repro.xdev.frames import FrameHeader, FrameType, encode_frame
+from repro.xdev.processid import ProcessID
+from repro.xdev.protocol import ProtocolEngine, Transport
+
+from tests.conftest import make_job
+
+
+class _NullTransport(Transport):
+    """Transport that records writes and never delivers anything."""
+
+    def __init__(self) -> None:
+        self.writes: list[tuple[ProcessID, bytes]] = []
+
+    def start(self, engine) -> None:
+        self.engine = engine
+
+    def write(self, dest, segments) -> None:
+        self.writes.append((dest, b"".join(bytes(s) for s in segments)))
+
+    def close(self) -> None:
+        pass
+
+
+@pytest.fixture
+def engine():
+    pid = ProcessID(uid=0)
+    transport = _NullTransport()
+    eng = ProtocolEngine(pid, transport)
+    transport.start(eng)
+    return eng
+
+
+class TestProtocolViolations:
+    def test_rtr_for_unknown_send_id(self, engine):
+        header = FrameHeader(FrameType.RTR, 0, 0, send_id=999, recv_id=1, payload_len=0)
+        with pytest.raises(XDevException, match="unknown send id"):
+            engine.handle_frame(ProcessID(uid=1), header, b"")
+
+    def test_rendezvous_data_for_unknown_recv_id(self, engine):
+        header = FrameHeader(
+            FrameType.RNDZ_DATA, 0, 0, send_id=0, recv_id=777, payload_len=0
+        )
+        with pytest.raises(XDevException, match="unknown recv id"):
+            engine.handle_frame(ProcessID(uid=1), header, b"")
+
+    def test_bye_frame_is_harmless(self, engine):
+        header = FrameHeader(FrameType.BYE, 0, 0, 0, 0, 0)
+        engine.handle_frame(ProcessID(uid=1), header, b"")  # no raise
+
+    def test_corrupt_eager_payload_fails_on_delivery(self, engine):
+        rbuf = Buffer()
+        engine.irecv(rbuf, ProcessID(uid=1), 1, 0)
+        header = FrameHeader(FrameType.EAGER, 0, 1, 0, 0, payload_len=5)
+        with pytest.raises(BufferFormatError):
+            engine.handle_frame(ProcessID(uid=1), header, b"xxxxx")
+
+
+class TestSocketFailures:
+    def test_peer_disappearing_does_not_kill_input_handler(self):
+        """An abrupt disconnect must drop the channel, not the thread."""
+        devices, pids = make_job("niodev", 2)
+        try:
+            # Sneak an extra raw connection into rank 1's listener and
+            # slam it shut mid-handshake.
+            addr = pids[1].address
+            sock = socket.create_connection(addr, timeout=5)
+            sock.send(struct.pack("<i", 0))  # valid handshake
+            sock.close()
+            time.sleep(0.1)
+            # Traffic still flows afterwards.
+            buf = Buffer()
+            buf.write(np.array([5], dtype=np.int64))
+            devices[0].send(buf, pids[1], 1, 0)
+            rbuf = Buffer()
+            devices[1].recv(rbuf, pids[0], 1, 0)
+            assert rbuf.read_section().tolist() == [5]
+        finally:
+            for d in devices:
+                d.finish()
+
+    def test_garbage_handshake_rejected(self):
+        devices, pids = make_job("niodev", 1)
+        try:
+            addr = pids[0].address
+            sock = socket.create_connection(addr, timeout=5)
+            sock.send(struct.pack("<i", 424242))  # impossible rank
+            time.sleep(0.1)
+            # The device survives; self-traffic still works.
+            buf = Buffer()
+            buf.write(np.array([1], dtype=np.int8))
+            devices[0].send(buf, pids[0], 1, 0)
+            rbuf = Buffer()
+            devices[0].recv(rbuf, pids[0], 1, 0)
+            sock.close()
+        finally:
+            devices[0].finish()
+
+
+class TestDoubleFinish:
+    def test_finish_is_idempotent(self):
+        for name in ("smdev", "mxdev", "ibisdev", "niodev"):
+            devices, _pids = make_job(name, 1)
+            devices[0].finish()
+            devices[0].finish()  # second call must not raise
+
+
+class TestEngineAfterClose:
+    def test_send_after_transport_close_raises(self):
+        devices, pids = make_job("smdev", 2)
+        devices[0].finish()
+        buf = Buffer()
+        buf.write(np.array([1], dtype=np.int8))
+        with pytest.raises(XDevException):
+            devices[0].send(buf, pids[1], 1, 0)
+        devices[1].finish()

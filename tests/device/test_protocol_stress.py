@@ -1,0 +1,136 @@
+"""Randomized stress tests: exactly-once delivery and per-pair FIFO.
+
+Random schedules of mixed-size sends (eager and rendezvous), wildcard
+receives and multiple threads — the invariants that must survive any
+interleaving:
+
+* every message is delivered exactly once, bit-identical;
+* messages with the same (src, tag, context) arrive in send order;
+* nothing deadlocks.
+"""
+
+import random
+import threading
+
+import numpy as np
+import pytest
+
+from repro.buffer import Buffer
+from repro.xdev.constants import ANY_SOURCE, ANY_TAG
+from tests.conftest import make_job
+
+
+def send_buffer(arr):
+    buf = Buffer(capacity=arr.nbytes + 64)
+    buf.write(arr)
+    return buf
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+@pytest.mark.parametrize("device", ["smdev", "mxdev"])
+def test_random_schedule_exactly_once(seed, device):
+    """N senders with random sizes/tags; one receiver with wildcards."""
+    rng = random.Random(seed)
+    n_msgs = 60
+    # Sizes straddling the (lowered) eager threshold.
+    devices, pids = make_job(device, 2, options={"eager_threshold": 1024})
+    try:
+        plan = []
+        for i in range(n_msgs):
+            size = rng.choice([1, 16, 200, 400, 2000])  # doubles
+            tag = rng.randint(0, 4)
+            payload = np.full(size, i, dtype=np.float64)
+            plan.append((tag, payload))
+
+        def sender():
+            for tag, payload in plan:
+                devices[0].send(send_buffer(payload), pids[1], tag, 0)
+
+        t = threading.Thread(target=sender, daemon=True)
+        t.start()
+
+        got = []
+        for _ in range(n_msgs):
+            rbuf = Buffer()
+            status = devices[1].recv(rbuf, ANY_SOURCE, ANY_TAG, 0)
+            data = rbuf.read_section()
+            got.append((status.tag, data))
+        t.join(60)
+
+        # Exactly once: each message id appears exactly once.
+        ids = sorted(int(data[0]) for _tag, data in got)
+        assert ids == list(range(n_msgs))
+        # Contents intact.
+        for tag, data in got:
+            i = int(data[0])
+            expected_tag, expected_payload = plan[i]
+            assert tag == expected_tag
+            np.testing.assert_array_equal(data, expected_payload)
+        # Per-tag FIFO: for each tag, ids of received messages with
+        # that tag must be increasing (single sender thread).
+        by_tag: dict[int, list[int]] = {}
+        for tag, data in got:
+            by_tag.setdefault(tag, []).append(int(data[0]))
+        for tag, ids in by_tag.items():
+            assert ids == sorted(ids), f"FIFO violated for tag {tag}"
+    finally:
+        for d in devices:
+            d.finish()
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_many_threads_both_directions(seed):
+    """4 sender threads x 2 directions x mixed protocols, no deadlock."""
+    rng = random.Random(seed)
+    per_thread = 15
+    devices, pids = make_job("smdev", 2, options={"eager_threshold": 512})
+    try:
+        errors = []
+
+        def pump(me: int, tid: int):
+            try:
+                peer = 1 - me
+                local = random.Random(seed * 100 + me * 10 + tid)
+                for i in range(per_thread):
+                    size = local.choice([1, 100, 300])
+                    payload = np.full(size, tid * 1000 + i, dtype=np.int64)
+                    devices[me].send(send_buffer(payload), pids[peer], tid, 0)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def drain(me: int, total: int, seen: dict):
+            try:
+                for _ in range(total):
+                    rbuf = Buffer()
+                    status = devices[me].recv(rbuf, ANY_SOURCE, ANY_TAG, 0)
+                    value = int(rbuf.read_section()[0])
+                    seen.setdefault(status.tag, []).append(value)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        n_threads = 4
+        seen0: dict = {}
+        seen1: dict = {}
+        threads = []
+        for tid in range(n_threads):
+            threads.append(threading.Thread(target=pump, args=(0, tid), daemon=True))
+            threads.append(threading.Thread(target=pump, args=(1, tid), daemon=True))
+        threads.append(
+            threading.Thread(target=drain, args=(0, n_threads * per_thread, seen0), daemon=True)
+        )
+        threads.append(
+            threading.Thread(target=drain, args=(1, n_threads * per_thread, seen1), daemon=True)
+        )
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(90)
+            assert not t.is_alive(), "stress test deadlocked"
+        assert not errors
+        for seen in (seen0, seen1):
+            for tid in range(n_threads):
+                expected = [tid * 1000 + i for i in range(per_thread)]
+                assert seen[tid] == expected, "per-thread FIFO violated"
+    finally:
+        for d in devices:
+            d.finish()

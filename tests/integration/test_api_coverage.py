@@ -1,0 +1,119 @@
+"""Coverage of the remaining thin API wrappers."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+
+class TestBlockingModeWrappers:
+    def test_rsend(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 1:
+                buf = np.zeros(1)
+                req = comm.Irecv(buf, 0, 1, mpi.DOUBLE, 0, 1)
+                comm.send("posted", dest=0, tag=9)
+                req.wait(timeout=30)
+                return buf[0]
+            assert comm.recv(source=1, tag=9) == "posted"
+            comm.Rsend(np.array([3.25]), 0, 1, mpi.DOUBLE, 1, 1)
+            return None
+
+        assert run_spmd(main, 2)[1] == 3.25
+
+    def test_bsend(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                data = np.array([1.5])
+                comm.Bsend(data, 0, 1, mpi.DOUBLE, 1, 2)
+                data[0] = -9  # buffered: mutation after send is safe
+                return None
+            buf = np.zeros(1)
+            comm.Recv(buf, 0, 1, mpi.DOUBLE, 0, 2)
+            return buf[0]
+
+        assert run_spmd(main, 2)[1] == 1.5
+
+    def test_ssend_uppercase(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.Ssend(np.array([7], dtype=np.int32), 0, 1, mpi.INT, 1, 3)
+                return None
+            buf = np.zeros(1, dtype=np.int32)
+            comm.Recv(buf, 0, 1, mpi.INT, 0, 3)
+            return int(buf[0])
+
+        assert run_spmd(main, 2)[1] == 7
+
+
+class TestRequestExtras:
+    def test_completed_request_in_waitany_mix(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            done = mpi.CompletedMPIRequest()
+            buf = np.zeros(1)
+            pending = comm.Irecv(buf, 0, 1, mpi.DOUBLE, 0, 99)
+            idx, status = mpi.waitany([pending, done], timeout=10)
+            assert idx == 1
+            # Clean up the pending receive.
+            comm.Send(np.zeros(1), 0, 1, mpi.DOUBLE, comm.rank(), 99)
+            pending.wait(timeout=10)
+            return True
+
+        assert all(run_spmd(main, 1))
+
+    def test_is_null(self):
+        def main(env):
+            buf = np.zeros(1)
+            req = env.COMM_WORLD.Irecv(buf, 0, 1, mpi.DOUBLE, 0, 5)
+            assert not req.is_null()
+            env.COMM_WORLD.Send(np.zeros(1), 0, 1, mpi.DOUBLE, 0, 5)
+            req.wait(timeout=10)
+            return True
+
+        assert all(run_spmd(main, 1))
+
+    def test_mpijava_wait_test_spellings(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            buf = np.zeros(1)
+            req = comm.Irecv(buf, 0, 1, mpi.DOUBLE, 0, 6)
+            assert req.Test() is None
+            comm.Send(np.array([2.0]), 0, 1, mpi.DOUBLE, 0, 6)
+            status = req.Wait(timeout=10)
+            assert status.Get_tag() == 6
+            return True
+
+        assert all(run_spmd(main, 1))
+
+
+class TestCommQueries:
+    def test_mpijava_spelling_aliases(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            assert comm.Rank() == comm.Get_rank() == comm.rank()
+            assert comm.Size() == comm.Get_size() == comm.size()
+            assert comm.Group().size() == comm.size()
+            return True
+
+        assert all(run_spmd(main, 2))
+
+    def test_contexts_property(self):
+        def main(env):
+            pt2pt, coll = env.COMM_WORLD.contexts
+            assert pt2pt != coll
+            return (pt2pt, coll)
+
+        results = run_spmd(main, 2)
+        assert results[0] == results[1] == (0, 1)
+
+    def test_repr(self):
+        def main(env):
+            return repr(env.COMM_WORLD)
+
+        text = run_spmd(main, 2)[1]
+        assert "rank=1" in text and "size=2" in text

@@ -1,0 +1,105 @@
+"""Tests for communicator attribute caching (keyvals)."""
+
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+
+class TestAttributes:
+    def test_set_get_delete(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            key = mpi.create_keyval()
+            assert comm.get_attr(key) is None
+            comm.set_attr(key, {"cached": comm.rank()})
+            got = comm.get_attr(key)
+            comm.delete_attr(key)
+            after = comm.get_attr(key)
+            mpi.free_keyval(key)
+            return (got, after)
+
+        results = run_spmd(main, 2)
+        assert results[0] == ({"cached": 0}, None)
+        assert results[1] == ({"cached": 1}, None)
+
+    def test_unknown_keyval_rejected(self):
+        def main(env):
+            with pytest.raises(mpi.MPIException):
+                env.COMM_WORLD.set_attr(999999, "x")
+            return True
+
+        assert all(run_spmd(main, 1))
+
+    def test_copy_on_dup_true(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            key = mpi.create_keyval(copy_on_dup=True)
+            comm.set_attr(key, ("shared", comm.rank()))
+            dup = comm.dup()
+            return dup.get_attr(key)
+
+        assert run_spmd(main, 2) == [("shared", 0), ("shared", 1)]
+
+    def test_no_copy_by_default(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            key = mpi.create_keyval()
+            comm.set_attr(key, "stays-behind")
+            dup = comm.dup()
+            return dup.get_attr(key)
+
+        assert run_spmd(main, 2) == [None, None]
+
+    def test_user_copy_function(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            key = mpi.create_keyval(copy_on_dup=lambda v: v * 2)
+            comm.set_attr(key, 21)
+            dup = comm.dup()
+            return (comm.get_attr(key), dup.get_attr(key))
+
+        assert run_spmd(main, 2) == [(21, 42), (21, 42)]
+
+    def test_copy_function_returning_none_drops(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            key = mpi.create_keyval(copy_on_dup=lambda v: None)
+            comm.set_attr(key, "transient")
+            dup = comm.dup()
+            return dup.get_attr(key)
+
+        assert run_spmd(main, 2) == [None, None]
+
+    def test_attributes_independent_per_comm(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            key = mpi.create_keyval(copy_on_dup=True)
+            comm.set_attr(key, ["original"])
+            dup = comm.dup()
+            dup.set_attr(key, ["replaced"])
+            return (comm.get_attr(key), dup.get_attr(key))
+
+        results = run_spmd(main, 1)
+        assert results[0] == (["original"], ["replaced"])
+
+    def test_library_pattern_cached_subcomm(self):
+        """The real-world use: a library caches a derived communicator."""
+
+        def main(env):
+            comm = env.COMM_WORLD
+            key = mpi.create_keyval(copy_on_dup=True)
+
+            def get_even_comm(c):
+                cached = c.get_attr(key)
+                if cached is None:
+                    cached = c.split(c.rank() % 2, c.rank())
+                    c.set_attr(key, cached)
+                return cached
+
+            a = get_even_comm(comm)
+            b = get_even_comm(comm)  # cache hit: no second split
+            return a is b and a.size()
+
+        results = run_spmd(main, 4)
+        assert results == [2, 2, 2, 2]

@@ -1,0 +1,147 @@
+"""Correctness tests for the alternative collective algorithms.
+
+Every algorithm must produce byte-identical results to the default, on
+awkward process counts (non-powers-of-two included).
+"""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+
+@pytest.fixture(params=[2, 3, 4, 5])
+def nprocs(request):
+    return request.param
+
+
+class TestBcastAlgorithms:
+    @pytest.mark.parametrize("algorithm", ["linear", "scatter_allgather"])
+    @pytest.mark.parametrize("count", [1, 7, 64])
+    def test_matches_binomial(self, nprocs, algorithm, count):
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("bcast", algorithm)
+            out = []
+            for root in range(comm.size()):
+                buf = (
+                    np.arange(count, dtype=np.float64) * (root + 1)
+                    if comm.rank() == root
+                    else np.zeros(count)
+                )
+                comm.Bcast(buf, 0, count, mpi.DOUBLE, root)
+                out.append(buf.copy())
+            return out
+
+        results = run_spmd(main, nprocs)
+        for per_rank in results:
+            for root, buf in enumerate(per_rank):
+                np.testing.assert_array_equal(buf, np.arange(count) * (root + 1))
+
+    def test_scatter_allgather_small_count_fallback(self, nprocs):
+        """count < size falls back to the binomial tree, still correct."""
+
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("bcast", "scatter_allgather")
+            buf = np.array([42.0]) if comm.rank() == 0 else np.zeros(1)
+            comm.Bcast(buf, 0, 1, mpi.DOUBLE, 0)
+            return buf[0]
+
+        assert run_spmd(main, nprocs) == [42.0] * nprocs
+
+    def test_unknown_algorithm_rejected(self):
+        def main(env):
+            with pytest.raises(mpi.MPIException):
+                env.COMM_WORLD.set_collective_algorithm("bcast", "carrier-pigeon")
+            with pytest.raises(mpi.MPIException):
+                env.COMM_WORLD.set_collective_algorithm("sendrecv", "linear")
+            return True
+
+        assert all(run_spmd(main, 1))
+
+
+class TestReduceAlgorithms:
+    def test_linear_matches_binomial(self, nprocs):
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("reduce", "linear")
+            send = np.full(3, comm.rank() + 1, dtype=np.int64)
+            recv = np.zeros(3, dtype=np.int64)
+            comm.Reduce(send, 0, recv, 0, 3, mpi.LONG, mpi.SUM, 0)
+            return recv.tolist() if comm.rank() == 0 else None
+
+        expected = [sum(range(1, nprocs + 1))] * 3
+        assert run_spmd(main, nprocs)[0] == expected
+
+    def test_linear_non_commutative(self, nprocs):
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("reduce", "linear")
+            op = mpi.Op(lambda a, b: a - b, commute=False, name="SUB")
+            recv = np.zeros(1)
+            comm.Reduce(np.array([float(comm.rank())]), 0, recv, 0, 1, mpi.DOUBLE, op, 0)
+            return recv[0] if comm.rank() == 0 else None
+
+        expected = 0.0 - sum(range(1, nprocs))
+        assert run_spmd(main, nprocs)[0] == expected
+
+
+class TestAllreduceAlgorithms:
+    @pytest.mark.parametrize("count", [1, 13])
+    def test_recursive_doubling_matches_default(self, nprocs, count):
+        def main(env):
+            comm = env.COMM_WORLD
+            send = np.arange(count, dtype=np.int64) + comm.rank()
+            default = np.zeros(count, dtype=np.int64)
+            comm.Allreduce(send, 0, default, 0, count, mpi.LONG, mpi.SUM)
+            comm.set_collective_algorithm("allreduce", "recursive_doubling")
+            rd = np.zeros(count, dtype=np.int64)
+            comm.Allreduce(send, 0, rd, 0, count, mpi.LONG, mpi.SUM)
+            return (default.tolist(), rd.tolist())
+
+        for default, rd in run_spmd(main, nprocs):
+            assert default == rd
+
+    def test_recursive_doubling_max(self, nprocs):
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("allreduce", "recursive_doubling")
+            recv = np.zeros(1, dtype=np.int32)
+            comm.Allreduce(
+                np.array([comm.rank() * 3 % 7], dtype=np.int32), 0, recv, 0, 1,
+                mpi.INT, mpi.MAX,
+            )
+            return int(recv[0])
+
+        expected = max(r * 3 % 7 for r in range(nprocs))
+        assert run_spmd(main, nprocs) == [expected] * nprocs
+
+    def test_non_commutative_falls_back(self, nprocs):
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("allreduce", "recursive_doubling")
+            op = mpi.Op(lambda a, b: a - b, commute=False, name="SUB")
+            recv = np.zeros(1)
+            comm.Allreduce(np.array([float(comm.rank())]), 0, recv, 0, 1, mpi.DOUBLE, op)
+            return recv[0]
+
+        expected = 0.0 - sum(range(1, nprocs))
+        assert run_spmd(main, nprocs) == [expected] * nprocs
+
+
+class TestAllgatherAlgorithms:
+    def test_gather_bcast_matches_ring(self, nprocs):
+        def main(env):
+            comm = env.COMM_WORLD
+            send = np.array([comm.rank() * 7, comm.rank()], dtype=np.int64)
+            ring = np.zeros(2 * comm.size(), dtype=np.int64)
+            comm.Allgather(send, 0, 2, mpi.LONG, ring, 0, 2, mpi.LONG)
+            comm.set_collective_algorithm("allgather", "gather_bcast")
+            gb = np.zeros(2 * comm.size(), dtype=np.int64)
+            comm.Allgather(send, 0, 2, mpi.LONG, gb, 0, 2, mpi.LONG)
+            return (ring.tolist(), gb.tolist())
+
+        for ring, gb in run_spmd(main, nprocs):
+            assert ring == gb

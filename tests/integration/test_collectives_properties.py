@@ -1,0 +1,98 @@
+"""Property-based collective tests: results must equal numpy references.
+
+Hypothesis drives data values and counts; the SPMD jobs run on smdev
+with 3 ranks (fixed, to keep each example fast).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+NPROCS = 3
+
+values = st.lists(
+    st.integers(-(2**31), 2**31 - 1), min_size=NPROCS, max_size=NPROCS
+)
+counts = st.integers(1, 9)
+
+
+@given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=8))
+@settings(max_examples=15, deadline=None)
+def test_allreduce_sum_equals_numpy(base):
+    def main(env):
+        comm = env.COMM_WORLD
+        send = np.array(base, dtype=np.int64) * (comm.rank() + 1)
+        recv = np.zeros(len(base), dtype=np.int64)
+        comm.Allreduce(send, 0, recv, 0, len(base), mpi.LONG, mpi.SUM)
+        return recv.tolist()
+
+    expected = (
+        np.array(base, dtype=np.int64)[None, :]
+        * np.arange(1, NPROCS + 1)[:, None]
+    ).sum(axis=0).tolist()
+    results = run_spmd(main, NPROCS)
+    assert results == [expected] * NPROCS
+
+
+@given(values)
+@settings(max_examples=15, deadline=None)
+def test_reduce_min_max_equal_numpy(per_rank):
+    def main(env):
+        comm = env.COMM_WORLD
+        send = np.array([per_rank[comm.rank()]], dtype=np.int64)
+        mn = np.zeros(1, dtype=np.int64)
+        mx = np.zeros(1, dtype=np.int64)
+        comm.Allreduce(send, 0, mn, 0, 1, mpi.LONG, mpi.MIN)
+        comm.Allreduce(send, 0, mx, 0, 1, mpi.LONG, mpi.MAX)
+        return (int(mn[0]), int(mx[0]))
+
+    results = run_spmd(main, NPROCS)
+    assert results == [(min(per_rank), max(per_rank))] * NPROCS
+
+
+@given(values, counts)
+@settings(max_examples=15, deadline=None)
+def test_allgather_equals_concatenation(per_rank, count):
+    def main(env):
+        comm = env.COMM_WORLD
+        send = np.full(count, per_rank[comm.rank()], dtype=np.int64)
+        recv = np.zeros(count * NPROCS, dtype=np.int64)
+        comm.Allgather(send, 0, count, mpi.LONG, recv, 0, count, mpi.LONG)
+        return recv.tolist()
+
+    expected = [v for v in per_rank for _ in range(count)]
+    results = run_spmd(main, NPROCS)
+    assert results == [expected] * NPROCS
+
+
+@given(values)
+@settings(max_examples=15, deadline=None)
+def test_scan_equals_cumsum(per_rank):
+    def main(env):
+        comm = env.COMM_WORLD
+        send = np.array([per_rank[comm.rank()]], dtype=np.int64)
+        recv = np.zeros(1, dtype=np.int64)
+        comm.Scan(send, 0, recv, 0, 1, mpi.LONG, mpi.SUM)
+        return int(recv[0])
+
+    expected = np.cumsum(per_rank).tolist()
+    assert run_spmd(main, NPROCS) == expected
+
+
+@given(st.lists(st.booleans(), min_size=NPROCS, max_size=NPROCS))
+@settings(max_examples=10, deadline=None)
+def test_logical_ops_equal_python(flags):
+    def main(env):
+        comm = env.COMM_WORLD
+        send = np.array([int(flags[comm.rank()])], dtype=np.int32)
+        land = np.zeros(1, dtype=np.int32)
+        lor = np.zeros(1, dtype=np.int32)
+        comm.Allreduce(send, 0, land, 0, 1, mpi.INT, mpi.LAND)
+        comm.Allreduce(send, 0, lor, 0, 1, mpi.INT, mpi.LOR)
+        return (bool(land[0]), bool(lor[0]))
+
+    expected = (all(flags), any(flags))
+    assert run_spmd(main, NPROCS) == [expected] * NPROCS

@@ -1,0 +1,156 @@
+"""Integration tests for communicator construction and contexts."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+
+class TestDup:
+    def test_dup_isolated_traffic(self):
+        """Messages on the dup must not match receives on the parent —
+        context separation, the thing contexts exist for."""
+
+        def main(env):
+            comm = env.COMM_WORLD
+            dup = comm.dup()
+            if comm.rank() == 0:
+                dup.send("on-dup", dest=1, tag=5)
+                comm.send("on-world", dest=1, tag=5)
+                return None
+            # Same tag, same source: only contexts distinguish them.
+            world_msg = comm.recv(source=0, tag=5)
+            dup_msg = dup.recv(source=0, tag=5)
+            return (world_msg, dup_msg)
+
+        assert run_spmd(main, 2)[1] == ("on-world", "on-dup")
+
+    def test_dup_same_ranks(self):
+        def main(env):
+            dup = env.COMM_WORLD.dup()
+            return (dup.rank(), dup.size())
+
+        assert run_spmd(main, 3) == [(0, 3), (1, 3), (2, 3)]
+
+    def test_contexts_agree_across_ranks(self):
+        def main(env):
+            dup = env.COMM_WORLD.dup()
+            return dup.contexts
+
+        results = run_spmd(main, 4)
+        assert len(set(results)) == 1
+
+    def test_nested_dups_get_distinct_contexts(self):
+        def main(env):
+            a = env.COMM_WORLD.dup()
+            b = a.dup()
+            c = env.COMM_WORLD.dup()
+            return (a.contexts, b.contexts, c.contexts)
+
+        results = run_spmd(main, 2)
+        a, b, c = results[0]
+        assert len({a, b, c}) == 3
+        assert results[0] == results[1]
+
+
+class TestSplit:
+    def test_even_odd_split(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            sub = comm.split(color=comm.rank() % 2, key=comm.rank())
+            total = np.zeros(1, dtype=np.int64)
+            comm_rank = np.array([comm.rank()], dtype=np.int64)
+            sub.Allreduce(comm_rank, 0, total, 0, 1, mpi.LONG, mpi.SUM)
+            return (sub.rank(), sub.size(), int(total[0]))
+
+        results = run_spmd(main, 5)  # evens: 0,2,4  odds: 1,3
+        assert results[0] == (0, 3, 6)
+        assert results[1] == (0, 2, 4)
+        assert results[2] == (1, 3, 6)
+        assert results[3] == (1, 2, 4)
+        assert results[4] == (2, 3, 6)
+
+    def test_key_reverses_order(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            sub = comm.split(color=0, key=-comm.rank())
+            return sub.rank()
+
+        assert run_spmd(main, 4) == [3, 2, 1, 0]
+
+    def test_undefined_color_returns_none(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            color = mpi.UNDEFINED if comm.rank() == 0 else 1
+            sub = comm.split(color=color, key=0)
+            if comm.rank() == 0:
+                return sub is None
+            return sub.size()
+
+        results = run_spmd(main, 3)
+        assert results[0] is True
+        assert results[1] == results[2] == 2
+
+
+class TestCreate:
+    def test_create_subset(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            group = comm.group().incl([0, 2])
+            sub = comm.create(group)
+            if comm.rank() in (0, 2):
+                assert sub is not None
+                return (sub.rank(), sub.size())
+            return sub
+
+        results = run_spmd(main, 3)
+        assert results == [(0, 2), None, (1, 2)]
+
+    def test_create_non_subset_raises(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            sub = comm.split(0 if comm.rank() < 2 else 1, comm.rank())
+            if comm.rank() < 2:
+                # A group mixing members of `sub` with an outsider: the
+                # member ranks must detect the non-subset and raise.
+                mixed = comm.group().incl([comm.rank(), 2])
+                with pytest.raises(mpi.CommunicatorError):
+                    sub.create(mixed)
+            return True
+
+        assert all(run_spmd(main, 3))
+
+
+class TestFreed:
+    def test_freed_comm_rejects_traffic(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            dup = comm.dup()
+            dup.free()
+            with pytest.raises(mpi.CommunicatorError):
+                dup.send("x", dest=0)
+            return True
+
+        assert all(run_spmd(main, 2))
+
+
+class TestWorldGroup:
+    def test_group_reflects_world(self):
+        def main(env):
+            g = env.COMM_WORLD.group()
+            return (g.size(), g.rank())
+
+        assert run_spmd(main, 3) == [(3, 0), (3, 1), (3, 2)]
+
+    def test_comm_self(self):
+        def main(env):
+            self_comm = env.COMM_SELF
+            assert self_comm.size() == 1
+            assert self_comm.rank() == 0
+            req = self_comm.isend("to-myself", dest=0)
+            obj = self_comm.recv(source=0)
+            req.wait()
+            return obj
+
+        assert run_spmd(main, 2) == ["to-myself"] * 2

@@ -1,0 +1,202 @@
+"""Edge cases across the stack: boundaries, zero counts, self-traffic."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+
+class TestZeroCount:
+    def test_zero_count_send_recv(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.Send(np.zeros(0), 0, 0, mpi.DOUBLE, 1, 1)
+                return None
+            buf = np.zeros(0)
+            status = comm.Recv(buf, 0, 0, mpi.DOUBLE, 0, 1)
+            return status.get_count(mpi.DOUBLE)
+
+        assert run_spmd(main, 2)[1] == 0
+
+    def test_zero_count_collectives(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            empty = np.zeros(0)
+            comm.Bcast(empty, 0, 0, mpi.DOUBLE, 0)
+            recv = np.zeros(0)
+            comm.Allreduce(empty, 0, recv, 0, 0, mpi.DOUBLE, mpi.SUM)
+            return True
+
+        assert all(run_spmd(main, 3))
+
+
+class TestThresholdBoundary:
+    def test_messages_around_eager_threshold(self):
+        """Sizes exactly at, one below and one above the protocol
+        switch must all deliver intact (off-by-one hunting)."""
+
+        def main(env):
+            comm = env.COMM_WORLD
+            # Device threshold is on the wire size; probe a window
+            # around 128 KB in payload terms.
+            base = 128 * 1024 // 8
+            sizes = [base - 4, base - 3, base - 2, base - 1, base, base + 1, base + 4]
+            if comm.rank() == 0:
+                for i, n in enumerate(sizes):
+                    comm.Send(np.arange(n, dtype=np.float64), 0, n, mpi.DOUBLE, 1, i)
+                return None
+            ok = []
+            for i, n in enumerate(sizes):
+                buf = np.zeros(n)
+                status = comm.Recv(buf, 0, n, mpi.DOUBLE, 0, i)
+                ok.append(
+                    status.get_count(mpi.DOUBLE) == n
+                    and buf[0] == 0
+                    and buf[-1] == n - 1
+                )
+            return ok
+
+        assert all(run_spmd(main, 2, timeout=180)[1])
+
+
+class TestSelfTraffic:
+    def test_send_to_self_nonblocking(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            me = comm.rank()
+            req = comm.Isend(np.array([42.0]), 0, 1, mpi.DOUBLE, me, 1)
+            buf = np.zeros(1)
+            comm.Recv(buf, 0, 1, mpi.DOUBLE, me, 1)
+            req.wait()
+            return buf[0]
+
+        assert run_spmd(main, 2) == [42.0, 42.0]
+
+    def test_sendrecv_with_self(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            me = comm.rank()
+            out = np.array([me * 1.5])
+            incoming = np.zeros(1)
+            comm.Sendrecv(out, 0, 1, mpi.DOUBLE, me, 2, incoming, 0, 1, mpi.DOUBLE, me, 2)
+            return incoming[0]
+
+        assert run_spmd(main, 2) == [0.0, 1.5]
+
+
+class TestManyTags:
+    def test_large_tag_values(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            big_tag = 2**20 + 7
+            if comm.rank() == 0:
+                comm.send("big", dest=1, tag=big_tag)
+                return None
+            return comm.recv(source=0, tag=big_tag)
+
+        assert run_spmd(main, 2)[1] == "big"
+
+    def test_interleaved_tags_heavy(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            n = 40
+            if comm.rank() == 0:
+                for i in range(n):
+                    comm.Send(np.array([i], dtype=np.int32), 0, 1, mpi.INT, 1, i % 7)
+                return None
+            per_tag = {t: [] for t in range(7)}
+            for _ in range(n):
+                buf = np.zeros(1, dtype=np.int32)
+                status = comm.Recv(buf, 0, 1, mpi.INT, 0, mpi.ANY_TAG)
+                per_tag[status.get_tag()].append(int(buf[0]))
+            return per_tag
+
+        per_tag = run_spmd(main, 2)[1]
+        for t, values in per_tag.items():
+            assert values == [i for i in range(40) if i % 7 == t]
+
+
+class TestConcurrentWildcardReceivers:
+    def test_two_any_source_recvs_split_two_messages(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 2:
+                b1, b2 = np.zeros(1), np.zeros(1)
+                r1 = comm.Irecv(b1, 0, 1, mpi.DOUBLE, mpi.ANY_SOURCE, 1)
+                r2 = comm.Irecv(b2, 0, 1, mpi.DOUBLE, mpi.ANY_SOURCE, 1)
+                s1 = r1.wait(timeout=30)
+                s2 = r2.wait(timeout=30)
+                return sorted([(s1.get_source(), b1[0]), (s2.get_source(), b2[0])])
+            comm.Send(np.array([float(comm.rank())]), 0, 1, mpi.DOUBLE, 2, 1)
+            return None
+
+        got = run_spmd(main, 3)[2]
+        assert got == [(0, 0.0), (1, 1.0)]
+
+
+class TestScale:
+    def test_sixteen_thread_ranks(self):
+        """A wider job than the paper's 8 nodes, as thread-ranks."""
+
+        def main(env):
+            comm = env.COMM_WORLD
+            total = np.zeros(1, dtype=np.int64)
+            comm.Allreduce(
+                np.array([comm.rank()], dtype=np.int64), 0, total, 0, 1,
+                mpi.LONG, mpi.SUM,
+            )
+            gathered = comm.allgather(comm.rank())
+            return (int(total[0]), gathered == list(range(comm.size())))
+
+        results = run_spmd(main, 16, timeout=240)
+        expected = sum(range(16))
+        assert all(r == (expected, True) for r in results)
+
+    def test_six_rank_niodev_alltoall(self):
+        """Real sockets, 6 ranks, 30 concurrent streams."""
+
+        def main(env):
+            comm = env.COMM_WORLD
+            rank, size = comm.rank(), comm.size()
+            send = np.array([rank * 10 + j for j in range(size)], dtype=np.int32)
+            recv = np.zeros(size, dtype=np.int32)
+            comm.Alltoall(send, 0, 1, mpi.INT, recv, 0, 1, mpi.INT)
+            return recv.tolist()
+
+        results = run_spmd(main, 6, device="niodev", timeout=240)
+        for rank, got in enumerate(results):
+            assert got == [src * 10 + rank for src in range(6)]
+
+
+class TestObjectEdge:
+    def test_none_payload(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.send(None, dest=1)
+                return "sent"
+            return comm.recv(source=0)
+
+        assert run_spmd(main, 2) == ["sent", None]
+
+    def test_large_object(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.send({"blob": "x" * 500_000}, dest=1)
+                return None
+            return len(comm.recv(source=0)["blob"])
+
+        assert run_spmd(main, 2, timeout=120)[1] == 500_000
+
+    def test_object_with_numpy_inside(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.send({"arr": np.arange(5)}, dest=1)
+                return None
+            return comm.recv(source=0)["arr"].tolist()
+
+        assert run_spmd(main, 2)[1] == [0, 1, 2, 3, 4]

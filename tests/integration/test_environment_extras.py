@@ -1,0 +1,85 @@
+"""Environment odds and ends: abort, processor name, version, finalize."""
+
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import SpmdError, run_spmd
+
+
+class TestEnvironmentQueries:
+    def test_processor_name(self):
+        def main(env):
+            return env.get_processor_name()
+
+        names = run_spmd(main, 2)
+        assert all(isinstance(n, str) and n for n in names)
+        assert names[0] == names[1]  # same host, threads
+
+    def test_version(self):
+        def main(env):
+            return env.get_version()
+
+        assert run_spmd(main, 1) == [(1, 2)]
+
+    def test_finalized_flag(self):
+        def main(env):
+            assert not env.finalized
+            return True
+
+        assert all(run_spmd(main, 1))
+
+
+class TestAbort:
+    def test_abort_fails_the_job(self):
+        def main(env):
+            if env.COMM_WORLD.rank() == 0:
+                env.abort(errorcode=42)
+            # Other ranks idle; the launcher collects rank 0's failure.
+            return True
+
+        with pytest.raises(SpmdError, match="errorcode 42"):
+            run_spmd(main, 2, timeout=30)
+
+    def test_abort_marks_finalized(self):
+        def main(env):
+            try:
+                env.abort()
+            except mpi.MPIException:
+                pass
+            return env.finalized
+
+        assert run_spmd(main, 1) == [True]
+
+
+class TestLauncherEdgeCases:
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda env: None, 0)
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(ValueError):
+            run_spmd(lambda env: None, 2, device="carrierpigeondev")
+
+    def test_failure_report_names_the_rank(self):
+        def main(env):
+            if env.COMM_WORLD.rank() == 1:
+                raise ValueError("only rank one failed")
+            return "ok"
+
+        with pytest.raises(SpmdError) as err:
+            run_spmd(main, 3, timeout=30)
+        assert "rank 1" in str(err.value)
+        assert "only rank one failed" in str(err.value)
+        assert len(err.value.failures) == 1
+
+    def test_results_in_rank_order(self):
+        def main(env):
+            return env.COMM_WORLD.rank() * 2
+
+        assert run_spmd(main, 5) == [0, 2, 4, 6, 8]
+
+    def test_extra_args_forwarded(self):
+        def main(env, a, b):
+            return a + b + env.COMM_WORLD.rank()
+
+        assert run_spmd(main, 2, args=(10, 20)) == [30, 31]

@@ -1,0 +1,116 @@
+"""Integration tests for intercommunicators."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+
+def build_intercomm(env):
+    """Split the world into low/high halves joined by an intercomm."""
+    comm = env.COMM_WORLD
+    half = comm.size() // 2
+    in_low = comm.rank() < half
+    local = comm.split(color=0 if in_low else 1, key=comm.rank())
+    remote_leader = half if in_low else 0
+    inter = local.create_intercomm(0, comm, remote_leader, tag=99)
+    return comm, local, inter, in_low
+
+
+class TestConstruction:
+    def test_sizes(self):
+        def main(env):
+            _comm, local, inter, _ = build_intercomm(env)
+            return (inter.rank(), inter.size(), inter.remote_size())
+
+        results = run_spmd(main, 4)
+        assert results[0] == (0, 2, 2)
+        assert results[1] == (1, 2, 2)
+        assert results[2] == (0, 2, 2)
+        assert results[3] == (1, 2, 2)
+
+    def test_is_inter(self):
+        def main(env):
+            _comm, _local, inter, _ = build_intercomm(env)
+            return inter.is_inter()
+
+        assert all(run_spmd(main, 4))
+
+    def test_uneven_groups(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            in_low = comm.rank() < 1
+            local = comm.split(0 if in_low else 1, comm.rank())
+            inter = local.create_intercomm(0, comm, 1 if in_low else 0, tag=5)
+            return (inter.size(), inter.remote_size())
+
+        results = run_spmd(main, 3)
+        assert results[0] == (1, 2)
+        assert results[1] == (2, 1)
+
+
+class TestTraffic:
+    def test_ranks_address_remote_group(self):
+        def main(env):
+            _comm, _local, inter, in_low = build_intercomm(env)
+            # Mirror exchange: local rank i <-> remote rank i.
+            peer = inter.rank()
+            token = f"{'low' if in_low else 'high'}-{inter.rank()}"
+            req = inter.isend(token, dest=peer, tag=1)
+            got = inter.recv(source=peer, tag=1)
+            req.wait()
+            return got
+
+        results = run_spmd(main, 4)
+        assert results == ["high-0", "high-1", "low-0", "low-1"]
+
+    def test_array_traffic(self):
+        def main(env):
+            _comm, _local, inter, in_low = build_intercomm(env)
+            peer = inter.rank()
+            out = np.array([inter.rank() + (0 if in_low else 100)], dtype=np.int64)
+            incoming = np.zeros(1, dtype=np.int64)
+            sreq = inter.Isend(out, 0, 1, mpi.LONG, peer, 2)
+            inter.Recv(incoming, 0, 1, mpi.LONG, peer, 2)
+            sreq.wait()
+            return int(incoming[0])
+
+        results = run_spmd(main, 4)
+        assert results == [100, 101, 0, 1]
+
+
+class TestMerge:
+    def test_merge_low_first(self):
+        def main(env):
+            _comm, _local, inter, in_low = build_intercomm(env)
+            merged = inter.merge(high=not in_low)
+            total = np.zeros(1, dtype=np.int64)
+            merged.Allreduce(
+                np.array([merged.rank()], dtype=np.int64), 0, total, 0, 1,
+                mpi.LONG, mpi.SUM,
+            )
+            return (merged.rank(), merged.size(), int(total[0]))
+
+        results = run_spmd(main, 4)
+        # Low group (world 0,1) keeps ranks 0,1; high becomes 2,3.
+        assert [r[0] for r in results] == [0, 1, 2, 3]
+        assert all(r[1] == 4 for r in results)
+        assert all(r[2] == 6 for r in results)
+
+    def test_merge_high_first(self):
+        def main(env):
+            _comm, _local, inter, in_low = build_intercomm(env)
+            merged = inter.merge(high=in_low)
+            return merged.rank()
+
+        results = run_spmd(main, 4)
+        assert results == [2, 3, 0, 1]
+
+    def test_merged_comm_is_usable(self):
+        def main(env):
+            _comm, _local, inter, in_low = build_intercomm(env)
+            merged = inter.merge(high=not in_low)
+            return merged.bcast("hello-merged" if merged.rank() == 0 else None, root=0)
+
+        assert run_spmd(main, 4) == ["hello-merged"] * 4

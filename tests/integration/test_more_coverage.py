@@ -1,0 +1,166 @@
+"""Deeper coverage: intercomm wildcards, 16 MB transfers, topology
+collectives, concurrent daemon jobs, figure self-consistency."""
+
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+
+class TestIntercommExtras:
+    def test_any_source_on_intercomm(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            half = comm.size() // 2
+            in_low = comm.rank() < half
+            local = comm.split(0 if in_low else 1, comm.rank())
+            inter = local.create_intercomm(0, comm, half if in_low else 0, tag=3)
+            if in_low:
+                inter.send(f"from-low-{inter.rank()}", dest=inter.rank(), tag=1)
+                return None
+            box = []
+            msg = inter.recv(source=mpi.ANY_SOURCE, tag=1, status=box)
+            return (msg, box[0].get_source())
+
+        results = run_spmd(main, 4)
+        assert results[2] == ("from-low-0", 0)
+        assert results[3] == ("from-low-1", 1)
+
+    def test_probe_on_intercomm(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            in_low = comm.rank() < 1
+            local = comm.split(0 if in_low else 1, comm.rank())
+            inter = local.create_intercomm(0, comm, 1 if in_low else 0, tag=4)
+            if in_low:
+                inter.Send(np.arange(5, dtype=np.float64), 0, 5, mpi.DOUBLE, 0, 2)
+                return None
+            status = inter.Probe(0, 2)
+            n = status.get_count(mpi.DOUBLE)
+            buf = np.zeros(n)
+            inter.Recv(buf, 0, n, mpi.DOUBLE, 0, 2)
+            return buf.tolist()
+
+        assert run_spmd(main, 2)[1] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+class TestSixteenMegabyte:
+    """The paper's largest benchmark size, through the real devices."""
+
+    @pytest.mark.parametrize("device", ["smdev", "niodev"])
+    def test_16mb_transfer(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            n = (16 << 20) // 8  # 16 MB of doubles
+            if comm.rank() == 0:
+                data = np.arange(n, dtype=np.float64)
+                comm.Send(data, 0, n, mpi.DOUBLE, 1, 1)
+                return None
+            buf = np.zeros(n)
+            status = comm.Recv(buf, 0, n, mpi.DOUBLE, 0, 1)
+            return (
+                status.get_count(mpi.DOUBLE) == n
+                and buf[0] == 0.0
+                and buf[-1] == float(n - 1)
+                and float(buf.sum()) == float(n * (n - 1) / 2)
+            )
+
+        assert run_spmd(main, 2, device=device, timeout=300)[1]
+
+
+class TestTopologyCollectives:
+    def test_cart_comm_runs_collectives(self):
+        def main(env):
+            cart = env.COMM_WORLD.create_cart([2, 2], [False, False])
+            total = np.zeros(1, dtype=np.int64)
+            cart.Allreduce(
+                np.array([cart.rank()], dtype=np.int64), 0, total, 0, 1,
+                mpi.LONG, mpi.SUM,
+            )
+            return int(total[0])
+
+        assert run_spmd(main, 4) == [6, 6, 6, 6]
+
+    def test_graph_comm_object_collectives(self):
+        def main(env):
+            graph = env.COMM_WORLD.create_graph([1, 3, 4], [1, 0, 2, 1])
+            return graph.allgather(graph.rank())
+
+        assert run_spmd(main, 3) == [[0, 1, 2]] * 3
+
+    def test_cart_sub_then_collective(self):
+        def main(env):
+            cart = env.COMM_WORLD.create_cart([2, 2], [False, False])
+            row = cart.sub([True, False])
+            total = np.zeros(1, dtype=np.int64)
+            row.Allreduce(
+                np.array([cart.rank()], dtype=np.int64), 0, total, 0, 1,
+                mpi.LONG, mpi.SUM,
+            )
+            return int(total[0])
+
+        # Grid: ranks 0,1 / 2,3.  sub([True, False]) keeps the ROW
+        # dimension: groups are columns {0,2} and {1,3}.
+        assert run_spmd(main, 4) == [2, 4, 2, 4]
+
+
+class TestConcurrentDaemonJobs:
+    def test_two_jobs_one_daemon(self, tmp_path):
+        from repro.runtime.daemon import Daemon
+        from repro.runtime.mpjrun import run_job
+        import threading
+
+        app = tmp_path / "app.py"
+        app.write_text(
+            textwrap.dedent(
+                """
+                def main(env, label):
+                    return f"{label}-{env.COMM_WORLD.rank()}"
+                """
+            )
+        )
+        daemon = Daemon()
+        daemon.start()
+        try:
+            results = {}
+
+            def launch(label):
+                results[label] = run_job(
+                    [("127.0.0.1", daemon.port)], 2, app,
+                    args=[label], timeout=240,
+                )
+
+            t1 = threading.Thread(target=launch, args=("alpha",))
+            t2 = threading.Thread(target=launch, args=("beta",))
+            t1.start(); t2.start()
+            t1.join(300); t2.join(300)
+            assert results["alpha"].results == ["alpha-0", "alpha-1"]
+            assert results["beta"].results == ["beta-0", "beta-1"]
+            assert results["alpha"].job_id != results["beta"].job_id
+        finally:
+            daemon.shutdown()
+
+
+class TestFigureSelfConsistency:
+    def test_throughput_equals_size_over_time(self):
+        """FIG10/FIG11 (and 12/13, 14/15) are two views of one model:
+        bandwidth must equal 8·size/time at every shared size."""
+        from repro.bench.figures import FIGURES
+
+        pairs = [("FIG10", "FIG11"), ("FIG12", "FIG13"), ("FIG14", "FIG15")]
+        for tt_id, bw_id in pairs:
+            tt = FIGURES[tt_id]()
+            bw = FIGURES[bw_id]()
+            shared = sorted(set(tt.sizes) & set(bw.sizes))
+            assert shared, f"{tt_id}/{bw_id} share no sizes"
+            for name in tt.series:
+                for size in shared:
+                    t_us = tt.at_size(name, size)
+                    mbps = bw.at_size(name, size)
+                    expected = size * 8.0 / (t_us * 1e-6) / 1e6
+                    assert mbps == pytest.approx(expected, rel=1e-6), (
+                        f"{name} at {size} in {tt_id}/{bw_id}"
+                    )

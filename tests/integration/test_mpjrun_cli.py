@@ -1,0 +1,117 @@
+"""Tests for the mpjrun and mpjdaemon command-line interfaces."""
+
+import textwrap
+
+import pytest
+
+from repro.runtime.daemon import Daemon
+from repro.runtime import mpjrun
+
+APP = textwrap.dedent(
+    """
+    def main(env):
+        return env.COMM_WORLD.rank() * 10
+    """
+)
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    d = Daemon()
+    d.start()
+    yield d
+    d.shutdown()
+
+
+@pytest.fixture
+def app_path(tmp_path):
+    path = tmp_path / "app.py"
+    path.write_text(APP)
+    return path
+
+
+class TestMpjrunCli:
+    def test_successful_run(self, daemon, app_path, capsys):
+        code = mpjrun.main(
+            [str(app_path), "-np", "2", "--daemon", f"127.0.0.1:{daemon.port}"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "finished" in out
+        assert "[0, 10]" in out
+
+    def test_remote_loader_flag(self, daemon, app_path, capsys):
+        code = mpjrun.main(
+            [
+                str(app_path), "-np", "2", "--loader", "remote",
+                "--daemon", f"127.0.0.1:{daemon.port}",
+            ]
+        )
+        assert code == 0
+
+    def test_entry_flag(self, daemon, tmp_path, capsys):
+        path = tmp_path / "alt.py"
+        path.write_text("def go(env):\n    return 'went'\n")
+        code = mpjrun.main(
+            [
+                str(path), "-np", "1", "--entry", "go",
+                "--daemon", f"127.0.0.1:{daemon.port}",
+            ]
+        )
+        assert code == 0
+        assert "went" in capsys.readouterr().out
+
+    def test_unreachable_daemon_fails_cleanly(self, app_path, capsys):
+        code = mpjrun.main([str(app_path), "-np", "1", "--daemon", "127.0.0.1:1"])
+        assert code == 1
+        assert "mpjrun:" in capsys.readouterr().err
+
+    def test_crashing_app_fails_cleanly(self, daemon, tmp_path, capsys):
+        path = tmp_path / "boom.py"
+        path.write_text("def main(env):\n    raise RuntimeError('boom')\n")
+        code = mpjrun.main(
+            [str(path), "-np", "1", "--daemon", f"127.0.0.1:{daemon.port}"]
+        )
+        assert code == 1
+        assert "boom" in capsys.readouterr().err
+
+    def test_hostfile(self, daemon, app_path, tmp_path, capsys):
+        hostfile = tmp_path / "machines"
+        hostfile.write_text(
+            f"# compute nodes\n127.0.0.1:{daemon.port}\n\n"
+        )
+        code = mpjrun.main(
+            [str(app_path), "-np", "2", "--hostfile", str(hostfile)]
+        )
+        assert code == 0
+        assert "[0, 10]" in capsys.readouterr().out
+
+    def test_bad_hostfile(self, app_path, tmp_path, capsys):
+        hostfile = tmp_path / "machines"
+        hostfile.write_text("hostA:notaport\n")
+        code = mpjrun.main([str(app_path), "--hostfile", str(hostfile)])
+        assert code == 1
+        assert "bad port" in capsys.readouterr().err
+
+    def test_empty_hostfile(self, app_path, tmp_path):
+        hostfile = tmp_path / "machines"
+        hostfile.write_text("# nothing here\n")
+        assert mpjrun.main([str(app_path), "--hostfile", str(hostfile)]) == 1
+
+    def test_parse_hostfile_defaults(self, tmp_path):
+        from repro.runtime.mpjrun import parse_hostfile
+
+        hostfile = tmp_path / "machines"
+        hostfile.write_text("node1\nnode2:7777  # with port\n")
+        assert parse_hostfile(hostfile) == [("node1", 10000), ("node2", 7777)]
+
+    def test_user_prints_forwarded(self, daemon, tmp_path, capsys):
+        path = tmp_path / "printer.py"
+        path.write_text(
+            "def main(env):\n    print('user output line')\n    return 1\n"
+        )
+        code = mpjrun.main(
+            [str(path), "-np", "1", "--daemon", f"127.0.0.1:{daemon.port}"]
+        )
+        assert code == 0
+        assert "user output line" in capsys.readouterr().out

@@ -1,0 +1,179 @@
+"""Tests for persistent requests and explicit Pack/Unpack."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+
+class TestPersistentRequests:
+    def test_halo_exchange_restarted_many_times(self):
+        """The canonical persistent-request use: an iterative exchange."""
+
+        def main(env):
+            comm = env.COMM_WORLD
+            rank = comm.rank()
+            peer = 1 - rank
+            out = np.zeros(4)
+            incoming = np.zeros(4)
+            send_req = comm.Send_init(out, 0, 4, mpi.DOUBLE, peer, 5)
+            recv_req = comm.Recv_init(incoming, 0, 4, mpi.DOUBLE, peer, 5)
+            results = []
+            for it in range(5):
+                out[:] = rank * 100 + it
+                mpi.startall([recv_req, send_req])
+                mpi.waitall_persistent([recv_req, send_req], timeout=30)
+                results.append(incoming.copy())
+            send_req.free()
+            recv_req.free()
+            return [r[0] for r in results]
+
+        results = run_spmd(main, 2)
+        assert results[0] == [100 + i for i in range(5)]
+        assert results[1] == [0 + i for i in range(5)]
+
+    def test_start_while_active_raises(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                incoming = np.zeros(1)
+                req = comm.Recv_init(incoming, 0, 1, mpi.DOUBLE, 1, 1)
+                req.start()
+                with pytest.raises(mpi.MPIException):
+                    req.start()
+                comm.send("ready", dest=1)
+                req.wait(timeout=30)
+                return float(incoming[0])
+            assert comm.recv(source=0) == "ready"
+            comm.Send(np.array([2.5]), 0, 1, mpi.DOUBLE, 0, 1)
+            return None
+
+        assert run_spmd(main, 2)[0] == 2.5
+
+    def test_wait_inactive_raises(self):
+        def main(env):
+            req = env.COMM_WORLD.Recv_init(np.zeros(1), 0, 1, mpi.DOUBLE, 0, 1)
+            with pytest.raises(mpi.MPIException):
+                req.wait()
+            return True
+
+        assert all(run_spmd(main, 1))
+
+    def test_free_then_start_raises(self):
+        def main(env):
+            req = env.COMM_WORLD.Send_init(np.zeros(1), 0, 1, mpi.DOUBLE, 0, 1)
+            req.free()
+            with pytest.raises(mpi.MPIException):
+                req.start()
+            return True
+
+        assert all(run_spmd(main, 1))
+
+    def test_persistent_ssend_semantics(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                out = np.array([7.0])
+                req = comm.Ssend_init(out, 0, 1, mpi.DOUBLE, 1, 2)
+                req.start()
+                assert req.test() is None  # no matching recv yet
+                comm.send("posted", dest=1, tag=9)
+                req.wait(timeout=30)
+                return True
+            assert comm.recv(source=0, tag=9) == "posted"
+            incoming = np.zeros(1)
+            comm.Recv(incoming, 0, 1, mpi.DOUBLE, 0, 2)
+            return float(incoming[0])
+
+        results = run_spmd(main, 2)
+        assert results == [True, 7.0]
+
+    def test_persistent_bsend_snapshots_each_start(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                data = np.array([1.0])
+                req = comm.Bsend_init(data, 0, 1, mpi.DOUBLE, 1, 3)
+                for value in (10.0, 20.0):
+                    data[0] = value
+                    req.start()
+                    data[0] = -1.0  # mutate immediately: must not leak
+                    req.wait(timeout=30)
+                return None
+            got = []
+            for _ in range(2):
+                incoming = np.zeros(1)
+                comm.Recv(incoming, 0, 1, mpi.DOUBLE, 0, 3)
+                got.append(float(incoming[0]))
+            return got
+
+        assert run_spmd(main, 2)[1] == [10.0, 20.0]
+
+
+class TestPacking:
+    def test_pack_unpack_roundtrip_local(self):
+        lengths = np.array([3, 1, 4], dtype=np.int32)
+        values = np.linspace(0, 1, 10)
+        packer = mpi.Packer()
+        packer.pack(lengths, 0, 3, mpi.INT)
+        packer.pack(values, 0, 10, mpi.DOUBLE)
+        packer.pack_object({"tag": "meta"})
+        wire = packer.tobytes()
+
+        unpacker = mpi.Unpacker(wire)
+        out_lengths = np.zeros(3, dtype=np.int32)
+        out_values = np.zeros(10)
+        assert unpacker.unpack(out_lengths, 0, 3, mpi.INT) == 3
+        assert unpacker.unpack(out_values, 0, 10, mpi.DOUBLE) == 10
+        assert unpacker.unpack_object() == {"tag": "meta"}
+        np.testing.assert_array_equal(out_lengths, lengths)
+        np.testing.assert_array_equal(out_values, values)
+
+    def test_packed_transport_across_ranks(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                packer = mpi.Packer()
+                packer.pack(np.array([5], dtype=np.int32), 0, 1, mpi.INT)
+                packer.pack(np.arange(5, dtype=np.float64), 0, 5, mpi.DOUBLE)
+                raw = packer.as_array()
+                comm.send(len(raw), dest=1)
+                comm.Send(raw, 0, raw.size, mpi.PACKED, 1, 0)
+                return None
+            nbytes = comm.recv(source=0)
+            raw = np.zeros(nbytes, dtype=np.int8)
+            comm.Recv(raw, 0, nbytes, mpi.PACKED, 0, 0)
+            unpacker = mpi.Unpacker(raw)
+            n = np.zeros(1, dtype=np.int32)
+            unpacker.unpack(n, 0, 1, mpi.INT)
+            data = np.zeros(int(n[0]))
+            unpacker.unpack(data, 0, int(n[0]), mpi.DOUBLE)
+            return data.tolist()
+
+        assert run_spmd(main, 2)[1] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_pack_size_is_a_safe_bound(self):
+        packer = mpi.Packer()
+        packer.pack(np.arange(7, dtype=np.int64), 0, 7, mpi.LONG)
+        bound = mpi.pack_size(7, mpi.LONG)
+        assert len(packer.tobytes()) <= bound
+
+    def test_pack_after_finalize_raises(self):
+        packer = mpi.Packer()
+        packer.pack(np.zeros(1, dtype=np.int32), 0, 1, mpi.INT)
+        packer.tobytes()
+        with pytest.raises(mpi.MPIException):
+            packer.pack(np.zeros(1, dtype=np.int32), 0, 1, mpi.INT)
+
+    def test_unpack_with_derived_datatype(self):
+        matrix = np.arange(16, dtype=np.float32)
+        column = mpi.FLOAT.vector(4, 1, 4)
+        packer = mpi.Packer()
+        packer.pack(matrix, 0, 1, column)
+        unpacker = mpi.Unpacker(packer.tobytes())
+        dest = np.zeros(16, dtype=np.float32)
+        unpacker.unpack(dest, 0, 1, column)
+        np.testing.assert_array_equal(
+            dest.reshape(4, 4)[:, 0], matrix.reshape(4, 4)[:, 0]
+        )

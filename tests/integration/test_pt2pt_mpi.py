@@ -1,0 +1,216 @@
+"""MPI-level point-to-point integration tests (SPMD over threads)."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+
+@pytest.fixture(params=["smdev", "mxdev"])
+def device(request):
+    return request.param
+
+
+class TestUppercase:
+    def test_send_recv_array(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.Send(np.arange(10, dtype=np.float64), 0, 10, mpi.DOUBLE, 1, 7)
+                return None
+            buf = np.zeros(10)
+            status = comm.Recv(buf, 0, 10, mpi.DOUBLE, 0, 7)
+            assert status.get_source() == 0
+            assert status.get_tag() == 7
+            assert status.get_count(mpi.DOUBLE) == 10
+            return buf.tolist()
+
+        results = run_spmd(main, 2, device=device)
+        assert results[1] == list(range(10))
+
+    def test_datatype_inference(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.Send(np.array([1, 2, 3], dtype=np.int32), 0, 3, None, 1, 0)
+                return None
+            buf = np.zeros(3, dtype=np.int32)
+            comm.Recv(buf, 0, 3, None, 0, 0)
+            return buf.tolist()
+
+        assert run_spmd(main, 2, device=device)[1] == [1, 2, 3]
+
+    def test_offset_and_partial_count(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            data = np.arange(20, dtype=np.int64)
+            if comm.rank() == 0:
+                comm.Send(data, 5, 4, mpi.LONG, 1, 1)
+                return None
+            buf = np.zeros(20, dtype=np.int64)
+            status = comm.Recv(buf, 10, 8, mpi.LONG, 0, 1)
+            assert status.get_count(mpi.LONG) == 4
+            return buf[10:14].tolist()
+
+        assert run_spmd(main, 2, device=device)[1] == [5, 6, 7, 8]
+
+    def test_isend_irecv_wait(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                req = comm.Isend(np.array([3.5]), 0, 1, mpi.DOUBLE, 1, 2)
+                req.wait()
+                return None
+            buf = np.zeros(1)
+            req = comm.Irecv(buf, 0, 1, mpi.DOUBLE, 0, 2)
+            status = req.wait()
+            assert status.get_count(mpi.DOUBLE) == 1
+            return buf[0]
+
+        assert run_spmd(main, 2, device=device)[1] == 3.5
+
+    def test_sendrecv(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            rank, size = comm.rank(), comm.size()
+            right, left = (rank + 1) % size, (rank - 1) % size
+            out = np.array([rank], dtype=np.int32)
+            incoming = np.zeros(1, dtype=np.int32)
+            comm.Sendrecv(out, 0, 1, mpi.INT, right, 3, incoming, 0, 1, mpi.INT, left, 3)
+            return int(incoming[0])
+
+        results = run_spmd(main, 4, device=device)
+        assert results == [3, 0, 1, 2]
+
+    def test_sendrecv_replace(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            rank, size = comm.rank(), comm.size()
+            buf = np.array([rank * 10], dtype=np.int32)
+            comm.Sendrecv_replace(
+                buf, 0, 1, mpi.INT, (rank + 1) % size, 4, (rank - 1) % size, 4
+            )
+            return int(buf[0])
+
+        assert run_spmd(main, 3, device=device) == [20, 0, 10]
+
+    def test_any_source_any_tag(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.Send(np.array([42], dtype=np.int32), 0, 1, mpi.INT, 1, 13)
+                return None
+            buf = np.zeros(1, dtype=np.int32)
+            status = comm.Recv(buf, 0, 1, mpi.INT, mpi.ANY_SOURCE, mpi.ANY_TAG)
+            return (status.get_source(), status.get_tag(), int(buf[0]))
+
+        assert run_spmd(main, 2, device=device)[1] == (0, 13, 42)
+
+    def test_probe_then_sized_recv(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.Send(np.arange(6, dtype=np.float64), 0, 6, mpi.DOUBLE, 1, 5)
+                return None
+            status = comm.Probe(mpi.ANY_SOURCE, 5)
+            n = status.get_count(mpi.DOUBLE)
+            buf = np.zeros(n)
+            comm.Recv(buf, 0, n, mpi.DOUBLE, status.get_source(), 5)
+            return buf.tolist()
+
+        assert run_spmd(main, 2, device=device)[1] == list(range(6))
+
+
+class TestValidation:
+    def test_bad_dest_rank(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            with pytest.raises(mpi.InvalidRankError):
+                comm.Send(np.zeros(1), 0, 1, mpi.DOUBLE, 99, 0)
+
+        run_spmd(main, 2, device=device)
+
+    def test_negative_tag(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            with pytest.raises(mpi.InvalidTagError):
+                comm.Send(np.zeros(1), 0, 1, mpi.DOUBLE, 0, -5)
+
+        run_spmd(main, 2, device=device)
+
+    def test_recv_buffer_too_small(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.Send(np.arange(10, dtype=np.int32), 0, 10, mpi.INT, 1, 0)
+                return None
+            buf = np.zeros(10, dtype=np.int32)
+            with pytest.raises(mpi.CountMismatchError):
+                comm.Recv(buf, 0, 3, mpi.INT, 0, 0)
+
+        run_spmd(main, 2, device=device)
+
+
+class TestLowercase:
+    def test_object_send_recv(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.send({"answer": 42, "list": [1, 2]}, dest=1, tag=9)
+                return None
+            return comm.recv(source=0, tag=9)
+
+        assert run_spmd(main, 2, device=device)[1] == {"answer": 42, "list": [1, 2]}
+
+    def test_isend_irecv_objects(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                req = comm.isend(("tuple", 1), dest=1)
+                req.wait()
+                return None
+            req = comm.irecv(source=0)
+            return req.wait()
+
+        assert run_spmd(main, 2, device=device)[1] == ("tuple", 1)
+
+    def test_recv_status_out_param(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.send("hi", dest=1, tag=3)
+                return None
+            box = []
+            obj = comm.recv(source=mpi.ANY_SOURCE, tag=mpi.ANY_TAG, status=box)
+            return (obj, box[0].get_source(), box[0].get_tag())
+
+        assert run_spmd(main, 2, device=device)[1] == ("hi", 0, 3)
+
+    def test_ssend_objects(self, device):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.ssend([1, 2, 3], dest=1, tag=1)
+                return None
+            return comm.recv(source=0, tag=1)
+
+        assert run_spmd(main, 2, device=device)[1] == [1, 2, 3]
+
+
+class TestNiodevSmoke:
+    """A slimmer pass over the real-socket device at the MPI level."""
+
+    def test_pt2pt_and_collective(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            rank = comm.rank()
+            if rank == 0:
+                comm.send("over tcp", dest=1)
+            elif rank == 1:
+                assert comm.recv(source=0) == "over tcp"
+            total = np.zeros(1, dtype=np.int64)
+            comm.Allreduce(np.array([rank + 1], dtype=np.int64), 0, total, 0, 1, mpi.LONG, mpi.SUM)
+            return int(total[0])
+
+        assert run_spmd(main, 3, device="niodev") == [6, 6, 6]

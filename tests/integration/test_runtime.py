@@ -1,0 +1,168 @@
+"""Integration tests for the daemon/mpjrun process runtime (IV-D)."""
+
+import textwrap
+import time
+
+import pytest
+
+from repro.runtime.daemon import Daemon
+from repro.runtime.mpjrun import JobError, run_job
+from repro.runtime.protocol import ProtocolError, request
+
+APP = textwrap.dedent(
+    """
+    import numpy as np
+    from repro import mpi
+
+    def main(env):
+        comm = env.COMM_WORLD
+        total = np.zeros(1, dtype=np.int64)
+        comm.Allreduce(
+            np.array([comm.rank() + 1], dtype=np.int64), 0, total, 0, 1,
+            mpi.LONG, mpi.SUM,
+        )
+        return {"rank": comm.rank(), "sum": int(total[0])}
+    """
+)
+
+CRASHER = textwrap.dedent(
+    """
+    def main(env):
+        if env.COMM_WORLD.rank() == 1:
+            raise RuntimeError("deliberate crash")
+        return "survivor"
+    """
+)
+
+PRINTER = textwrap.dedent(
+    """
+    def main(env):
+        print(f"stdout from rank {env.COMM_WORLD.rank()}")
+        return env.COMM_WORLD.rank()
+    """
+)
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    d = Daemon()
+    d.start()
+    yield d
+    d.shutdown()
+
+
+@pytest.fixture
+def app_path(tmp_path):
+    path = tmp_path / "app.py"
+    path.write_text(APP)
+    return path
+
+
+class TestProtocol:
+    def test_ping(self, daemon):
+        reply = request("127.0.0.1", daemon.port, {"cmd": "ping"})
+        assert reply["ok"] and "jobs" in reply
+
+    def test_unknown_command(self, daemon):
+        with pytest.raises(ProtocolError):
+            request("127.0.0.1", daemon.port, {"cmd": "dance"})
+
+    def test_malformed_request(self, daemon):
+        with pytest.raises(ProtocolError):
+            request("127.0.0.1", daemon.port, ["not", "an", "object"])
+
+    def test_poll_unknown_job(self, daemon):
+        with pytest.raises(ProtocolError):
+            request("127.0.0.1", daemon.port, {"cmd": "poll", "job_id": "ghost"})
+
+
+class TestJobs:
+    def test_local_loader_job(self, daemon, app_path):
+        result = run_job([("127.0.0.1", daemon.port)], 2, app_path, timeout=120)
+        assert result.ok
+        assert result.results == [
+            {"rank": 0, "sum": 3},
+            {"rank": 1, "sum": 3},
+        ]
+
+    def test_remote_loader_job(self, daemon, app_path):
+        """Fig. 9b: the source ships inside the request."""
+        result = run_job(
+            [("127.0.0.1", daemon.port)], 2, app_path, loader="remote", timeout=120
+        )
+        assert result.ok
+        assert result.results[0]["sum"] == 3
+
+    def test_two_daemons_split_ranks(self, daemon, app_path):
+        second = Daemon()
+        second.start()
+        try:
+            result = run_job(
+                [("127.0.0.1", daemon.port), ("127.0.0.1", second.port)],
+                3, app_path, timeout=120,
+            )
+            assert result.ok
+            assert [r["sum"] for r in result.results] == [6, 6, 6]
+        finally:
+            second.shutdown()
+
+    def test_worker_stdout_captured(self, daemon, tmp_path):
+        path = tmp_path / "printer.py"
+        path.write_text(PRINTER)
+        result = run_job([("127.0.0.1", daemon.port)], 2, path, timeout=120)
+        assert "stdout from rank 0" in result.stdouts[0]
+        assert "stdout from rank 1" in result.stdouts[1]
+
+    def test_crashing_worker_reported(self, daemon, tmp_path):
+        path = tmp_path / "crasher.py"
+        path.write_text(CRASHER)
+        with pytest.raises(JobError, match="deliberate crash"):
+            run_job([("127.0.0.1", daemon.port)], 2, path, timeout=120)
+
+    def test_unknown_loader_rejected(self, daemon, app_path):
+        with pytest.raises(JobError):
+            run_job([("127.0.0.1", daemon.port)], 1, app_path, loader="ftp")
+
+    def test_no_daemons_rejected(self, app_path):
+        with pytest.raises(JobError):
+            run_job([], 2, app_path)
+
+    def test_entry_override(self, daemon, tmp_path):
+        path = tmp_path / "alt.py"
+        path.write_text("def launch(env):\n    return 'alt-entry'\n")
+        result = run_job(
+            [("127.0.0.1", daemon.port)], 1, path, entry="launch", timeout=60
+        )
+        assert result.results == ["alt-entry"]
+
+    def test_args_forwarded(self, daemon, tmp_path):
+        path = tmp_path / "argsapp.py"
+        path.write_text("def main(env, x, y):\n    return x + y\n")
+        result = run_job(
+            [("127.0.0.1", daemon.port)], 1, path, args=[20, 22], timeout=60
+        )
+        assert result.results == [42]
+
+
+class TestStop:
+    def test_stop_kills_workers(self, daemon, tmp_path):
+        path = tmp_path / "sleeper.py"
+        path.write_text(
+            "import time\n\ndef main(env):\n    time.sleep(60)\n    return 0\n"
+        )
+        from repro.runtime.mpjrun import _allocate_ports
+
+        peers = _allocate_ports(1)
+        reply = request(
+            "127.0.0.1", daemon.port,
+            {
+                "cmd": "start", "nprocs": 1, "ranks": [0], "peers": peers,
+                "module_path": str(path), "device": "niodev",
+                "options": {}, "entry": "main", "args": [],
+            },
+        )
+        job_id = reply["job_id"]
+        request("127.0.0.1", daemon.port, {"cmd": "stop", "job_id": job_id})
+        # The job is gone from the daemon's table.
+        with pytest.raises(ProtocolError):
+            request("127.0.0.1", daemon.port, {"cmd": "poll", "job_id": job_id})

@@ -1,0 +1,151 @@
+"""Integration tests for Cartesian and Graph virtual topologies."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+
+class TestCart:
+    def test_coords_roundtrip(self):
+        def main(env):
+            cart = env.COMM_WORLD.create_cart([2, 2], [False, False])
+            coords = cart.coords(cart.rank())
+            assert cart.cart_rank(coords) == cart.rank()
+            return coords
+
+        assert run_spmd(main, 4) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_shift_non_periodic_boundary(self):
+        def main(env):
+            cart = env.COMM_WORLD.create_cart([4], [False])
+            src, dest = cart.shift(0, 1)
+            return (src, dest)
+
+        results = run_spmd(main, 4)
+        assert results[0] == (mpi.PROC_NULL, 1)
+        assert results[1] == (0, 2)
+        assert results[3] == (2, mpi.PROC_NULL)
+
+    def test_shift_periodic_wraps(self):
+        def main(env):
+            cart = env.COMM_WORLD.create_cart([4], [True])
+            return cart.shift(0, 1)
+
+        results = run_spmd(main, 4)
+        assert results[0] == (3, 1)
+        assert results[3] == (2, 0)
+
+    def test_excess_ranks_get_none(self):
+        def main(env):
+            cart = env.COMM_WORLD.create_cart([2], [False])
+            return None if cart is None else cart.rank()
+
+        results = run_spmd(main, 3)
+        assert results == [0, 1, None]
+
+    def test_grid_too_big_raises(self):
+        def main(env):
+            with pytest.raises(mpi.TopologyError):
+                env.COMM_WORLD.create_cart([5, 5], [False, False])
+            return True
+
+        assert all(run_spmd(main, 2))
+
+    def test_ring_communication_via_shift(self):
+        """Periodic ring: each rank passes its value to the right."""
+
+        def main(env):
+            cart = env.COMM_WORLD.create_cart([3], [True])
+            src, dest = cart.shift(0, 1)
+            buf = np.array([cart.rank() * 5], dtype=np.int64)
+            incoming = np.zeros(1, dtype=np.int64)
+            cart.Sendrecv(buf, 0, 1, mpi.LONG, dest, 0, incoming, 0, 1, mpi.LONG, src, 0)
+            return int(incoming[0])
+
+        assert run_spmd(main, 3) == [10, 0, 5]
+
+    def test_sub_decomposes_grid(self):
+        def main(env):
+            cart = env.COMM_WORLD.create_cart([2, 2], [False, False])
+            row = cart.sub([False, True])  # keep columns dim: row comms
+            return (row.rank(), row.size(), cart.coords(cart.rank()))
+
+        results = run_spmd(main, 4)
+        for row_rank, row_size, coords in results:
+            assert row_size == 2
+            assert row_rank == coords[1]
+
+    def test_get_topo(self):
+        def main(env):
+            cart = env.COMM_WORLD.create_cart([2, 2], [True, False])
+            dims, periods, coords = cart.get_topo()
+            return (dims, periods, coords)
+
+        dims, periods, _ = run_spmd(main, 4)[0]
+        assert dims == (2, 2)
+        assert periods == (True, False)
+
+
+class TestGraph:
+    def test_neighbours(self):
+        def main(env):
+            # Ring of 3: node i connects to (i±1) mod 3.
+            index = [2, 4, 6]
+            edges = [1, 2, 0, 2, 0, 1]
+            graph = env.COMM_WORLD.create_graph(index, edges)
+            return graph.neighbours(graph.rank())
+
+        results = run_spmd(main, 3)
+        assert results[0] == (1, 2)
+        assert results[1] == (0, 2)
+        assert results[2] == (0, 1)
+
+    def test_neighbour_count(self):
+        def main(env):
+            index = [1, 3, 4]
+            edges = [1, 0, 2, 1]
+            graph = env.COMM_WORLD.create_graph(index, edges)
+            return [graph.neighbours_count(r) for r in range(3)]
+
+        assert run_spmd(main, 3)[0] == [1, 2, 1]
+
+    def test_invalid_index_rejected(self):
+        def main(env):
+            with pytest.raises(mpi.TopologyError):
+                env.COMM_WORLD.create_graph([2, 1], [0, 1, 0])
+            return True
+
+        assert all(run_spmd(main, 2))
+
+    def test_edge_out_of_range_rejected(self):
+        def main(env):
+            with pytest.raises(mpi.TopologyError):
+                env.COMM_WORLD.create_graph([1, 2], [1, 5])
+            return True
+
+        assert all(run_spmd(main, 2))
+
+    def test_neighbour_exchange(self):
+        """Each node sums values received from its graph neighbours."""
+
+        def main(env):
+            index = [2, 4, 6]
+            edges = [1, 2, 0, 2, 0, 1]
+            graph = env.COMM_WORLD.create_graph(index, edges)
+            me = graph.rank()
+            reqs = [
+                graph.Isend(np.array([me], dtype=np.int64), 0, 1, mpi.LONG, nb, 1)
+                for nb in graph.neighbours(me)
+            ]
+            total = 0
+            for nb in graph.neighbours(me):
+                buf = np.zeros(1, dtype=np.int64)
+                graph.Recv(buf, 0, 1, mpi.LONG, nb, 1)
+                total += int(buf[0])
+            for r in reqs:
+                r.wait()
+            return total
+
+        assert run_spmd(main, 3) == [3, 2, 1]

@@ -1,0 +1,128 @@
+"""MPI-level request-array operations (Waitall/Waitany/Test*)."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+
+class TestWaitall:
+    def test_waitall_statuses_in_order(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                reqs = [
+                    comm.Isend(np.array([i], dtype=np.int32), 0, 1, mpi.INT, 1, i)
+                    for i in range(5)
+                ]
+                mpi.waitall(reqs)
+                return None
+            bufs = [np.zeros(1, dtype=np.int32) for _ in range(5)]
+            reqs = [comm.Irecv(bufs[i], 0, 1, mpi.INT, 0, i) for i in range(5)]
+            statuses = mpi.waitall(reqs)
+            assert [s.get_tag() for s in statuses] == list(range(5))
+            return [int(b[0]) for b in bufs]
+
+        assert run_spmd(main, 2)[1] == [0, 1, 2, 3, 4]
+
+
+class TestWaitany:
+    def test_returns_first_completed(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.Send(np.array([9], dtype=np.int32), 0, 1, mpi.INT, 1, 3)
+                return None
+            bufs = [np.zeros(1, dtype=np.int32) for _ in range(5)]
+            reqs = [comm.Irecv(bufs[i], 0, 1, mpi.INT, 0, i) for i in range(5)]
+            idx, status = mpi.waitany(reqs, timeout=20)
+            assert status.index == idx
+            # Unblock remaining receives for clean teardown... they are
+            # never satisfied, which is fine: no one waits on them.
+            return (idx, int(bufs[idx][0]))
+
+        assert run_spmd(main, 2)[1] == (3, 9)
+
+    def test_waitany_empty_raises(self):
+        def main(env):
+            with pytest.raises(mpi.MPIException):
+                mpi.waitany([])
+            return True
+
+        assert all(run_spmd(main, 1))
+
+    def test_waitany_loop_drains_all(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            n = 6
+            if comm.rank() == 0:
+                for i in range(n):
+                    comm.Send(np.array([i * i], dtype=np.int64), 0, 1, mpi.LONG, 1, i)
+                return None
+            bufs = [np.zeros(1, dtype=np.int64) for _ in range(n)]
+            reqs = [comm.Irecv(bufs[i], 0, 1, mpi.LONG, 0, i) for i in range(n)]
+            pending = list(range(n))
+            seen = {}
+            while pending:
+                idx, status = mpi.waitany([reqs[i] for i in pending], timeout=30)
+                real = pending.pop(idx)
+                seen[status.get_tag()] = int(bufs[real][0])
+            return seen
+
+        got = run_spmd(main, 2)[1]
+        assert got == {i: i * i for i in range(6)}
+
+
+class TestTestFamily:
+    def test_testall_none_until_done(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                obj = comm.recv(source=1)  # rendezvous point
+                comm.Send(np.array([1], dtype=np.int32), 0, 1, mpi.INT, 1, 0)
+                return obj
+            buf = np.zeros(1, dtype=np.int32)
+            req = comm.Irecv(buf, 0, 1, mpi.INT, 0, 0)
+            assert mpi.testall([req]) is None
+            comm.send("go", dest=0)
+            req.wait(timeout=20)
+            assert mpi.testall([req]) is not None
+            return True
+
+        results = run_spmd(main, 2)
+        assert results == ["go", True]
+
+    def test_testany_and_testsome(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.Send(np.array([1], dtype=np.int32), 0, 1, mpi.INT, 1, 1)
+                comm.Send(np.array([2], dtype=np.int32), 0, 1, mpi.INT, 1, 2)
+                return None
+            bufs = [np.zeros(1, dtype=np.int32) for _ in range(3)]
+            reqs = [comm.Irecv(bufs[i], 0, 1, mpi.INT, 0, i) for i in range(3)]
+            reqs[1].wait(timeout=20)
+            reqs[2].wait(timeout=20)
+            hit = mpi.testany(reqs)
+            assert hit is not None and hit[0] in (1, 2)
+            some = mpi.testsome(reqs)
+            assert {i for i, _s in some} == {1, 2}
+            return True
+
+        assert run_spmd(main, 2)[1] is True
+
+    def test_waitsome_returns_at_least_one(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                comm.Send(np.array([5], dtype=np.int32), 0, 1, mpi.INT, 1, 0)
+                comm.Send(np.array([6], dtype=np.int32), 0, 1, mpi.INT, 1, 1)
+                return None
+            bufs = [np.zeros(1, dtype=np.int32) for _ in range(2)]
+            reqs = [comm.Irecv(bufs[i], 0, 1, mpi.INT, 0, i) for i in range(2)]
+            done = mpi.waitsome(reqs, timeout=20)
+            assert len(done) >= 1
+            return True
+
+        assert run_spmd(main, 2)[1] is True

@@ -1,0 +1,110 @@
+"""Tests for the worker bootstrap module (run_from_config path)."""
+
+import json
+import socket
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.runtime.worker import RESULT_BEGIN, RESULT_END, run_from_config
+
+APP = textwrap.dedent(
+    """
+    def main(env, bonus=0):
+        return {"rank": env.COMM_WORLD.rank(), "size": env.COMM_WORLD.size(),
+                "bonus": bonus}
+    """
+)
+
+
+def free_port() -> int:
+    s = socket.socket()
+    s.bind(("127.0.0.1", 0))
+    port = s.getsockname()[1]
+    s.close()
+    return port
+
+
+class TestRunFromConfig:
+    def test_single_rank_local(self, tmp_path, capsys):
+        path = tmp_path / "app.py"
+        path.write_text(APP)
+        config = {
+            "rank": 0,
+            "nprocs": 1,
+            "peers": [["127.0.0.1", free_port()]],
+            "device": "niodev",
+            "module_path": str(path),
+            "args": [5],
+        }
+        assert run_from_config(config) == 0
+        out = capsys.readouterr().out
+        begin = out.index(RESULT_BEGIN) + len(RESULT_BEGIN)
+        end = out.index(RESULT_END)
+        result = json.loads(out[begin:end].strip())
+        assert result == {"rank": 0, "size": 1, "bonus": 5}
+
+    def test_single_rank_remote_source(self, capsys):
+        config = {
+            "rank": 0,
+            "nprocs": 1,
+            "peers": [["127.0.0.1", free_port()]],
+            "device": "niodev",
+            "module_source": APP,
+        }
+        assert run_from_config(config) == 0
+        assert RESULT_BEGIN in capsys.readouterr().out
+
+    def test_non_jsonable_result_falls_back_to_repr(self, capsys):
+        config = {
+            "rank": 0,
+            "nprocs": 1,
+            "peers": [["127.0.0.1", free_port()]],
+            "device": "niodev",
+            "module_source": "def main(env):\n    return {1, 2, 3}\n",
+        }
+        assert run_from_config(config) == 0
+        out = capsys.readouterr().out
+        assert "{1, 2, 3}" in out
+
+
+class TestWorkerCli:
+    def test_usage_error(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.runtime.worker"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 2
+        assert "usage" in proc.stderr
+
+    def test_bad_config_file(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.runtime.worker", "/nonexistent.json"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 1
+
+    def test_full_subprocess_run(self, tmp_path):
+        app = tmp_path / "app.py"
+        app.write_text(APP)
+        config_path = tmp_path / "config.json"
+        config_path.write_text(
+            json.dumps(
+                {
+                    "rank": 0,
+                    "nprocs": 1,
+                    "peers": [["127.0.0.1", free_port()]],
+                    "device": "niodev",
+                    "module_path": str(app),
+                }
+            )
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.runtime.worker", str(config_path)],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert RESULT_BEGIN in proc.stdout

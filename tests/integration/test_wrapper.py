@@ -1,0 +1,51 @@
+"""Tests for the service-wrapper daemon management (IV-D)."""
+
+import time
+
+import pytest
+
+from repro.runtime import wrapper
+from repro.runtime.protocol import request
+
+
+class TestServiceWrapper:
+    def test_install_status_stop(self, tmp_path):
+        pidfile = tmp_path / "daemon.pid"
+        # Pick a free port by binding momentarily.
+        import socket
+
+        s = socket.socket()
+        s.bind(("127.0.0.1", 0))
+        port = s.getsockname()[1]
+        s.close()
+
+        pid = wrapper.install(port=port, pidfile=pidfile)
+        try:
+            assert wrapper.status(pidfile) == pid
+            # The managed daemon answers pings once it is up.
+            deadline = time.time() + 15
+            last = None
+            while time.time() < deadline:
+                try:
+                    reply = request("127.0.0.1", port, {"cmd": "ping"}, timeout=2)
+                    assert reply["ok"]
+                    break
+                except Exception as exc:  # noqa: BLE001 - retry during startup
+                    last = exc
+                    time.sleep(0.1)
+            else:
+                pytest.fail(f"daemon never answered: {last}")
+            # Double install is refused while running.
+            with pytest.raises(wrapper.ServiceError):
+                wrapper.install(port=port, pidfile=pidfile)
+        finally:
+            assert wrapper.stop(pidfile) is True
+        assert wrapper.status(pidfile) is None
+
+    def test_stop_without_daemon(self, tmp_path):
+        assert wrapper.stop(tmp_path / "none.pid") is False
+
+    def test_status_stale_pidfile(self, tmp_path):
+        pidfile = tmp_path / "stale.pid"
+        pidfile.write_text("999999")  # almost certainly dead
+        assert wrapper.status(pidfile) is None

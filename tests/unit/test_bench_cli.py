@@ -1,0 +1,98 @@
+"""Tests for the ``python -m repro.bench`` CLI and CSV export."""
+
+import pytest
+
+from repro.bench.__main__ import main as bench_main
+from repro.bench.figures import FIGURES
+
+
+class TestCli:
+    def test_all_figures(self, capsys):
+        assert bench_main([]) == 0
+        out = capsys.readouterr().out
+        for fig in ("FIG10", "FIG11", "FIG12", "FIG13", "FIG14", "FIG15"):
+            assert fig in out
+
+    def test_single_figure(self, capsys):
+        assert bench_main(["fig14"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG14" in out
+        assert "FIG10" not in out
+        assert "MPICH-MX" in out
+
+    def test_summaries(self, capsys):
+        assert bench_main(["--summaries"]) == 0
+        out = capsys.readouterr().out
+        assert "FastEthernet" in out and "Myrinet2G" in out
+
+    def test_unknown_figure(self, capsys):
+        assert bench_main(["FIG99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_csv_export(self, tmp_path, capsys):
+        assert bench_main(["FIG10", "FIG15", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "FIG10.csv").exists()
+        assert (tmp_path / "FIG15.csv").exists()
+        header = (tmp_path / "FIG15.csv").read_text().splitlines()[0]
+        assert header.startswith("size_bytes,")
+        assert "MPICH-MX" in header
+
+    def test_csv_unknown_figure(self, tmp_path, capsys):
+        assert bench_main(["FIG99", "--csv", str(tmp_path)]) == 2
+
+    def test_plot_mode(self, capsys):
+        assert bench_main(["FIG15", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "MPICH-MX" in out
+        assert "|" in out  # chart borders
+
+    def test_plot_unknown_figure(self, capsys):
+        assert bench_main(["FIG99", "--plot"]) == 2
+
+
+class TestAsciiPlot:
+    def test_every_series_gets_a_glyph(self):
+        from repro.bench.plot import ascii_plot
+
+        fig = FIGURES["FIG11"]()
+        text = ascii_plot(fig)
+        for name in fig.series:
+            assert name in text
+
+    def test_log_y(self):
+        from repro.bench.plot import ascii_plot
+
+        fig = FIGURES["FIG10"]()
+        text = ascii_plot(fig, log_y=True)
+        assert "Time (us)" in text
+
+    def test_dimensions(self):
+        from repro.bench.plot import ascii_plot
+
+        fig = FIGURES["FIG13"]()
+        text = ascii_plot(fig, width=40, height=10)
+        chart_rows = [l for l in text.splitlines() if l.rstrip().endswith("|")]
+        assert len(chart_rows) == 10
+
+
+class TestCsvExport:
+    def test_csv_shape(self):
+        fig = FIGURES["FIG11"]()
+        csv = fig.to_csv()
+        lines = csv.splitlines()
+        assert lines[0].startswith("size_bytes,")
+        assert len(lines) == 1 + len(fig.sizes)
+        header_cols = lines[0].split(",")
+        assert len(header_cols) == 1 + len(fig.series)
+        first = lines[1].split(",")
+        assert int(first[0]) == fig.sizes[0]
+
+    def test_csv_values_match_series(self):
+        fig = FIGURES["FIG15"]()
+        lines = fig.to_csv().splitlines()
+        names = lines[0].split(",")[1:]
+        col = names.index("MPJ Express") + 1
+        row = lines[-1].split(",")
+        assert float(row[col]) == pytest.approx(
+            fig.series["MPJ Express"][-1], rel=1e-5
+        )

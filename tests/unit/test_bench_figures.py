@@ -1,0 +1,72 @@
+"""Unit tests for the figure generators and report rendering."""
+
+import pytest
+
+from repro.bench import FIGURES, format_figure, format_latency_table
+from repro.bench.figures import figure10_transfer_time_fast_ethernet
+
+
+class TestGenerators:
+    def test_registry_covers_all_figures(self):
+        assert set(FIGURES) == {
+            "FIG10", "FIG11", "FIG12", "FIG13", "FIG14", "FIG15", "VAR",
+        }
+
+    def test_variability_figure(self):
+        from repro.bench.figures import figure_pingpong_variability
+
+        fig = figure_pingpong_variability(runs=6, samples=4)
+        naive = fig.series["naive ping-pong"]
+        modified = fig.series["modified (random delay)"]
+        # The modified technique reduces spread at (almost) every size;
+        # require it in aggregate.
+        assert sum(modified) < sum(naive)
+
+    @pytest.mark.parametrize("figure_id", sorted(["FIG10", "FIG11", "FIG12", "FIG13", "FIG14", "FIG15"]))
+    def test_every_figure_generates(self, figure_id):
+        fig = FIGURES[figure_id]()
+        assert fig.figure_id == figure_id
+        assert fig.series
+        for name, values in fig.series.items():
+            assert len(values) == len(fig.sizes), name
+            assert all(v > 0 for v in values), name
+
+    def test_transfer_time_units_are_microseconds(self):
+        fig = figure10_transfer_time_fast_ethernet()
+        # 1-byte latency on Fast Ethernet is tens-to-hundreds of µs.
+        for name, values in fig.series.items():
+            assert 10 < values[0] < 500, name
+
+    def test_ethernet_figures_share_library_set(self):
+        f10 = FIGURES["FIG10"]()
+        f12 = FIGURES["FIG12"]()
+        assert set(f10.series) == set(f12.series)
+
+    def test_myrinet_has_mx_libraries(self):
+        f14 = FIGURES["FIG14"]()
+        assert "MPICH-MX" in f14.series
+        assert "LAM/MPI" not in f14.series
+
+    def test_at_size_lookup(self):
+        fig = FIGURES["FIG11"]()
+        nbytes = fig.sizes[3]
+        assert fig.at_size("MPJ Express", nbytes) == fig.series["MPJ Express"][3]
+
+
+class TestRendering:
+    def test_format_figure_contains_all_series(self):
+        fig = FIGURES["FIG10"]()
+        text = format_figure(fig, sizes=[1, 1024])
+        for name in fig.series:
+            assert name in text
+        assert "FIG10" in text
+
+    def test_format_latency_table(self):
+        text = format_latency_table("Myrinet2G")
+        assert "MPICH-MX" in text
+        assert "latency" in text
+
+    def test_size_labels(self):
+        fig = FIGURES["FIG11"]()
+        text = format_figure(fig, sizes=[1024, 1 << 20])
+        assert "1K" in text and "1M" in text

@@ -1,0 +1,213 @@
+"""Unit tests for the two-section mpjbuf Buffer."""
+
+import numpy as np
+import pytest
+
+from repro.buffer import (
+    Buffer,
+    BufferFormatError,
+    SectionType,
+    dtype_for,
+)
+
+
+class TestStaticSection:
+    def test_roundtrip_int32(self):
+        buf = Buffer()
+        buf.write(np.arange(10, dtype=np.int32))
+        got = buf.read_section()
+        assert np.array_equal(got, np.arange(10, dtype=np.int32))
+
+    @pytest.mark.parametrize(
+        "dtype",
+        [np.int8, np.int16, np.int32, np.int64, np.float32, np.float64, np.bool_, np.uint16],
+    )
+    def test_roundtrip_every_primitive(self, dtype):
+        data = np.array([0, 1, 1, 0, 1], dtype=dtype)
+        buf = Buffer()
+        buf.write(data)
+        got = buf.read_section()
+        assert np.array_equal(got.astype(dtype), data)
+
+    def test_multiple_sections_in_order(self):
+        buf = Buffer()
+        buf.write(np.array([1, 2], dtype=np.int32))
+        buf.write(np.array([3.5], dtype=np.float64))
+        hdr1 = buf.read_section_header()
+        assert hdr1.type == SectionType.INT and hdr1.count == 2
+        buf.read(2, dtype_for(SectionType.INT))
+        hdr2 = buf.read_section_header()
+        assert hdr2.type == SectionType.DOUBLE and hdr2.count == 1
+
+    def test_peek_header_does_not_consume(self):
+        buf = Buffer()
+        buf.write(np.array([1], dtype=np.int32))
+        assert buf.peek_section_header().count == 1
+        assert buf.read_section_header().count == 1
+
+    def test_peek_header_empty_returns_none(self):
+        assert Buffer().peek_section_header() is None
+
+    def test_read_into_out_array(self):
+        buf = Buffer()
+        buf.write(np.array([9, 8, 7], dtype=np.int64))
+        out = np.zeros(5, dtype=np.int64)
+        buf.read_section(out=out)
+        assert out[:3].tolist() == [9, 8, 7]
+
+    def test_read_into_too_small_raises(self):
+        buf = Buffer()
+        buf.write(np.arange(10, dtype=np.int32))
+        hdr = buf.read_section_header()
+        with pytest.raises(BufferFormatError):
+            buf.read(hdr.count, dtype_for(hdr.type), out=np.zeros(3, dtype=np.int32))
+
+    def test_write_scalar(self):
+        buf = Buffer()
+        buf.write_scalar(42, SectionType.LONG)
+        assert buf.read_section().tolist() == [42]
+
+    def test_iter_sections(self):
+        buf = Buffer()
+        buf.write(np.array([1], dtype=np.int32))
+        buf.write(np.array([2.0], dtype=np.float64))
+        kinds = [hdr.type for hdr, _data in buf.iter_sections()]
+        assert kinds == [SectionType.INT, SectionType.DOUBLE]
+
+    def test_2d_array_flattened(self):
+        buf = Buffer()
+        buf.write(np.arange(6, dtype=np.float32).reshape(2, 3))
+        assert buf.read_section().shape == (6,)
+
+    def test_empty_section(self):
+        buf = Buffer()
+        buf.write(np.array([], dtype=np.int32))
+        assert buf.read_section().size == 0
+
+    def test_read_without_header_raises(self):
+        with pytest.raises(BufferFormatError):
+            Buffer().read_section_header()
+
+    def test_skip_section(self):
+        buf = Buffer()
+        buf.write(np.arange(10, dtype=np.int32))
+        buf.write(np.array([7.5]))
+        skipped = buf.skip_section()
+        assert skipped.type == SectionType.INT
+        assert skipped.count == 10
+        assert buf.read_section().tolist() == [7.5]
+
+    def test_skip_section_on_empty_raises(self):
+        with pytest.raises(BufferFormatError):
+            Buffer().skip_section()
+
+
+class TestDynamicSection:
+    def test_roundtrip_object(self):
+        buf = Buffer()
+        buf.write_object({"k": [1, 2, 3]})
+        assert buf.read_object() == {"k": [1, 2, 3]}
+
+    def test_multiple_objects_in_order(self):
+        buf = Buffer()
+        for obj in ("a", 2, [3]):
+            buf.write_object(obj)
+        assert [buf.read_object() for _ in range(3)] == ["a", 2, [3]]
+
+    def test_has_objects(self):
+        buf = Buffer()
+        assert not buf.has_objects()
+        buf.write_object(None)
+        assert buf.has_objects()
+        buf.read_object()
+        assert not buf.has_objects()
+
+    def test_read_past_objects_raises(self):
+        with pytest.raises(BufferFormatError):
+            Buffer().read_object()
+
+    def test_mixed_static_and_dynamic(self):
+        buf = Buffer()
+        buf.write(np.array([5], dtype=np.int32))
+        buf.write_object("tail")
+        assert buf.read_section().tolist() == [5]
+        assert buf.read_object() == "tail"
+
+
+class TestCommit:
+    def test_write_after_commit_raises(self):
+        buf = Buffer()
+        buf.commit()
+        with pytest.raises(BufferFormatError):
+            buf.write(np.array([1], dtype=np.int32))
+
+    def test_write_object_after_commit_raises(self):
+        buf = Buffer()
+        buf.commit()
+        with pytest.raises(BufferFormatError):
+            buf.write_object("x")
+
+    def test_clear_reopens(self):
+        buf = Buffer()
+        buf.commit()
+        buf.clear()
+        buf.write(np.array([1], dtype=np.int32))  # no raise
+
+
+class TestWire:
+    def test_wire_roundtrip(self):
+        buf = Buffer()
+        buf.write(np.arange(4, dtype=np.float64))
+        buf.write_object(("x", 1))
+        buf.commit()
+        clone = Buffer.from_wire(buf.to_wire())
+        assert np.array_equal(clone.read_section(), np.arange(4.0))
+        assert clone.read_object() == ("x", 1)
+
+    def test_load_wire_in_place(self):
+        src = Buffer()
+        src.write(np.array([7, 7], dtype=np.int16))
+        wire = src.commit().to_wire()
+        dst = Buffer()
+        dst.load_wire(wire)
+        assert dst.committed
+        assert dst.read_section().tolist() == [7, 7]
+
+    def test_segments_cover_wire(self):
+        buf = Buffer()
+        buf.write(np.array([1], dtype=np.int64))
+        buf.write_object("obj")
+        buf.commit()
+        joined = b"".join(bytes(s) for s in buf.segments())
+        assert joined == buf.to_wire()
+
+    def test_sizes(self):
+        buf = Buffer()
+        buf.write(np.arange(3, dtype=np.int32))  # 5 hdr + 12 payload
+        assert buf.static_size == 17
+        assert buf.dynamic_size == 0
+        assert buf.size == 17
+
+    def test_from_wire_truncated_raises(self):
+        buf = Buffer()
+        buf.write(np.arange(3, dtype=np.int32))
+        wire = buf.commit().to_wire()
+        with pytest.raises(BufferFormatError):
+            Buffer.from_wire(wire[:-1])
+
+    def test_from_wire_too_short_raises(self):
+        with pytest.raises(BufferFormatError):
+            Buffer.from_wire(b"abc")
+
+    def test_from_wire_bad_sizes_raises(self):
+        import struct
+
+        with pytest.raises(BufferFormatError):
+            Buffer.from_wire(struct.pack("<qq", -1, 0))
+
+    def test_empty_buffer_wire_roundtrip(self):
+        buf = Buffer().commit()
+        clone = Buffer.from_wire(buf.to_wire())
+        assert clone.size == 0
+        assert not clone.has_static_data()
+        assert not clone.has_objects()

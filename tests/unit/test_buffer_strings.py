@@ -1,0 +1,61 @@
+"""Tests for CHAR-section string helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffer import Buffer, BufferFormatError
+
+
+class TestStrings:
+    def test_roundtrip(self):
+        buf = Buffer()
+        buf.write_string("hello, cluster")
+        assert buf.read_string() == "hello, cluster"
+
+    def test_empty_string(self):
+        buf = Buffer()
+        buf.write_string("")
+        assert buf.read_string() == ""
+
+    def test_unicode_bmp(self):
+        buf = Buffer()
+        buf.write_string("héllø ∑ — ok")
+        assert buf.read_string() == "héllø ∑ — ok"
+
+    def test_surrogate_pairs(self):
+        text = "emoji: \U0001F680"  # outside the BMP: two UTF-16 units
+        buf = Buffer()
+        buf.write_string(text)
+        assert buf.read_string() == text
+
+    def test_wire_roundtrip(self):
+        buf = Buffer()
+        buf.write_string("over the wire")
+        clone = Buffer.from_wire(buf.commit().to_wire())
+        assert clone.read_string() == "over the wire"
+
+    def test_mixed_with_other_sections(self):
+        buf = Buffer()
+        buf.write(np.array([1, 2], dtype=np.int32))
+        buf.write_string("mid")
+        buf.write(np.array([3.0]))
+        assert buf.read_section().tolist() == [1, 2]
+        assert buf.read_string() == "mid"
+        assert buf.read_section().tolist() == [3.0]
+
+    def test_wrong_section_type_raises(self):
+        buf = Buffer()
+        buf.write(np.array([1], dtype=np.int32))
+        with pytest.raises(BufferFormatError):
+            buf.read_string()
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=80, deadline=None)
+def test_string_roundtrip_property(text):
+    buf = Buffer()
+    buf.write_string(text)
+    clone = Buffer.from_wire(buf.commit().to_wire())
+    assert clone.read_string() == text

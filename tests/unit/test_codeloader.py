@@ -1,0 +1,73 @@
+"""Unit tests for local/remote code loading (paper Fig. 9)."""
+
+import textwrap
+
+import pytest
+
+from repro.runtime.codeloader import (
+    CodeLoadError,
+    load_local,
+    load_remote,
+    resolve_entry,
+)
+
+APP = textwrap.dedent(
+    """
+    VALUE = 41
+
+    def main(env):
+        return VALUE + 1
+    """
+)
+
+
+class TestLocal:
+    def test_load_and_resolve(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text(APP)
+        module = load_local(path, module_name="t_local_app")
+        assert module.VALUE == 41
+        assert resolve_entry(module)(None) == 42
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CodeLoadError):
+            load_local(tmp_path / "nope.py")
+
+    def test_broken_module(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text("raise RuntimeError('boom')")
+        with pytest.raises(CodeLoadError):
+            load_local(path, module_name="t_bad_app")
+
+
+class TestRemote:
+    def test_load_from_source(self, tmp_path):
+        module = load_remote(APP, module_name="t_remote_app", scratch_dir=tmp_path)
+        assert resolve_entry(module)(None) == 42
+        assert (tmp_path / "t_remote_app.py").exists()
+
+    def test_default_scratch_dir(self):
+        module = load_remote(APP, module_name="t_remote_app2")
+        assert module.VALUE == 41
+
+
+class TestEntry:
+    def test_missing_entry(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text("x = 1")
+        module = load_local(path, module_name="t_noentry_app")
+        with pytest.raises(CodeLoadError):
+            resolve_entry(module, "main")
+
+    def test_non_callable_entry(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text("main = 42")
+        module = load_local(path, module_name="t_badentry_app")
+        with pytest.raises(CodeLoadError):
+            resolve_entry(module, "main")
+
+    def test_custom_entry_name(self, tmp_path):
+        path = tmp_path / "app.py"
+        path.write_text("def launch(env):\n    return 'ok'")
+        module = load_local(path, module_name="t_custom_app")
+        assert resolve_entry(module, "launch")(None) == "ok"

@@ -1,0 +1,140 @@
+"""Unit tests for MPI-layer validation and error paths."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+
+class TestPackValidation:
+    def test_list_without_datatype_rejected(self):
+        def main(env):
+            with pytest.raises(mpi.MPIException):
+                env.COMM_WORLD.Send([1, 2, 3], 0, 3, None, 0, 0)
+            return True
+
+        assert all(run_spmd(main, 1))
+
+    def test_irecv_list_without_datatype_rejected(self):
+        def main(env):
+            with pytest.raises(mpi.MPIException):
+                env.COMM_WORLD.Irecv([None], 0, 1, None, 0, 0)
+            return True
+
+        assert all(run_spmd(main, 1))
+
+
+class TestReduceValidation:
+    def test_object_datatype_rejected(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            with pytest.raises(mpi.MPIException):
+                comm.Reduce([1], 0, [None], 0, 1, mpi.OBJECT, mpi.SUM, 0)
+            return True
+
+        assert all(run_spmd(main, 1))
+
+    def test_non_contiguous_datatype_rejected(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            vec = mpi.DOUBLE.vector(2, 1, 3)  # extent 4 != block_count 2
+            buf = np.zeros(8)
+            out = np.zeros(8)
+            with pytest.raises(mpi.MPIException):
+                comm.Reduce(buf, 0, out, 0, 1, vec, mpi.SUM, 0)
+            return True
+
+        assert all(run_spmd(main, 1))
+
+    def test_non_contiguous_recvbuf_rejected(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            send = np.zeros(2)
+            recv = np.zeros((4, 4))[::2, 0]  # non-contiguous view
+            with pytest.raises(mpi.MPIException):
+                comm.Reduce(send, 0, recv, 0, 2, mpi.DOUBLE, mpi.SUM, 0)
+            return True
+
+        assert all(run_spmd(main, 1))
+
+    def test_reduce_scatter_wrong_counts(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            with pytest.raises(mpi.MPIException):
+                comm.Reduce_scatter(
+                    np.zeros(4), 0, np.zeros(2), 0, [2, 2, 2], mpi.DOUBLE, mpi.SUM
+                )
+            return True
+
+        assert all(run_spmd(main, 2))
+
+
+class TestCollectiveValidation:
+    def test_bcast_bad_root(self):
+        def main(env):
+            with pytest.raises(mpi.InvalidRankError):
+                env.COMM_WORLD.Bcast(np.zeros(1), 0, 1, mpi.DOUBLE, 99)
+            return True
+
+        assert all(run_spmd(main, 2))
+
+    def test_gatherv_wrong_array_lengths(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            if comm.rank() == 0:
+                # One count entry for a two-rank communicator.
+                with pytest.raises(mpi.MPIException):
+                    comm.Gatherv(
+                        np.zeros(1), 0, 1, mpi.DOUBLE,
+                        np.zeros(4), 0, [1], [0], mpi.DOUBLE, 0,
+                    )
+                # Recover rank 1's pending send with a real Gatherv.
+                recv = np.zeros(2)
+                comm.Gatherv(np.zeros(1), 0, 1, mpi.DOUBLE,
+                             recv, 0, [1, 1], [0, 1], mpi.DOUBLE, 0)
+            else:
+                comm.Gatherv(np.zeros(1), 0, 1, mpi.DOUBLE,
+                             np.zeros(0), 0, [], [], mpi.DOUBLE, 0)
+            return True
+
+        assert all(run_spmd(main, 2))
+
+    def test_alltoallv_mismatched_arrays(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            with pytest.raises(mpi.MPIException):
+                comm.Alltoallv(
+                    np.zeros(2), 0, [1], [0], mpi.DOUBLE,
+                    np.zeros(2), 0, [1, 1], [0, 1], mpi.DOUBLE,
+                )
+            return True
+
+        assert all(run_spmd(main, 2))
+
+    def test_alltoall_objects_wrong_length(self):
+        def main(env):
+            comm = env.COMM_WORLD
+            with pytest.raises(mpi.MPIException):
+                comm.alltoall(["only-one"])
+            return True
+
+        assert all(run_spmd(main, 2))
+
+
+class TestAlgorithmValidation:
+    def test_bad_collective_name(self):
+        def main(env):
+            with pytest.raises(mpi.MPIException, match="tunable"):
+                env.COMM_WORLD.set_collective_algorithm("sendrecv", "linear")
+            return True
+
+        assert all(run_spmd(main, 1))
+
+    def test_bad_algorithm_name(self):
+        def main(env):
+            with pytest.raises(mpi.MPIException, match="known"):
+                env.COMM_WORLD.set_collective_algorithm("bcast", "smoke-signals")
+            return True
+
+        assert all(run_spmd(main, 1))

@@ -1,0 +1,79 @@
+"""Unit tests for the shared CompletedQueue (backs mxdev/ibisdev peek)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.mpjdev.request import Request, Status
+from repro.xdev.completion import CompletedQueue
+
+
+class TestCompletedQueue:
+    def test_tracked_request_appears_on_completion(self):
+        q = CompletedQueue()
+        req = q.track(Request(Request.SEND))
+        assert len(q) == 0
+        req.complete(Status())
+        assert len(q) == 1
+        assert q.peek(timeout=1) is req
+
+    def test_lifo_order(self):
+        q = CompletedQueue()
+        a = q.track(Request(Request.SEND))
+        b = q.track(Request(Request.RECV))
+        a.complete(Status())
+        b.complete(Status())
+        assert q.peek(timeout=1) is b
+        assert q.peek(timeout=1) is a
+
+    def test_peek_blocks_until_push(self):
+        q = CompletedQueue()
+        req = q.track(Request(Request.RECV))
+
+        def completer():
+            time.sleep(0.05)
+            req.complete(Status())
+
+        t = threading.Thread(target=completer, daemon=True)
+        t.start()
+        start = time.monotonic()
+        assert q.peek(timeout=5) is req
+        assert time.monotonic() - start >= 0.03
+        t.join(5)
+
+    def test_timeout(self):
+        q = CompletedQueue()
+        with pytest.raises(TimeoutError):
+            q.peek(timeout=0.02)
+
+    def test_already_completed_request_tracked(self):
+        q = CompletedQueue()
+        req = Request(Request.SEND)
+        req.complete(Status())
+        q.track(req)  # listener runs immediately
+        assert q.peek(timeout=1) is req
+
+    def test_concurrent_producers_consumers(self):
+        q = CompletedQueue()
+        n = 100
+        consumed = []
+
+        def producer():
+            for _ in range(n):
+                q.track(Request(Request.SEND)).complete(Status())
+
+        def consumer():
+            for _ in range(n):
+                consumed.append(q.peek(timeout=10))
+
+        threads = [
+            threading.Thread(target=producer, daemon=True),
+            threading.Thread(target=consumer, daemon=True),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert len(consumed) == n
+        assert len(set(map(id, consumed))) == n

@@ -1,0 +1,298 @@
+"""Unit tests for MPI datatypes, including the paper's matrix example."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.buffer import Buffer
+from repro.mpi.datatype import datatype_for
+from repro.mpi.exceptions import CountMismatchError, DatatypeError
+
+
+def roundtrip(datatype, src, count, offset=0, dest=None, recv_offset=None):
+    buf = Buffer()
+    datatype.pack(buf, src, offset, count)
+    buf.commit()
+    if dest is None:
+        dest = np.zeros_like(src)
+    got = datatype.unpack(
+        buf, dest, offset if recv_offset is None else recv_offset, count
+    )
+    return dest, got
+
+
+class TestBasicTypes:
+    @pytest.mark.parametrize(
+        "dt,np_dtype",
+        [
+            (mpi.BYTE, np.int8),
+            (mpi.BOOLEAN, np.bool_),
+            (mpi.CHAR, np.uint16),
+            (mpi.SHORT, np.int16),
+            (mpi.INT, np.int32),
+            (mpi.LONG, np.int64),
+            (mpi.FLOAT, np.float32),
+            (mpi.DOUBLE, np.float64),
+        ],
+    )
+    def test_roundtrip(self, dt, np_dtype):
+        src = np.array([0, 1, 1, 0], dtype=np_dtype)
+        dest, n = roundtrip(dt, src, 4)
+        assert n == 4
+        np.testing.assert_array_equal(dest, src)
+
+    def test_offset_window(self):
+        src = np.arange(10, dtype=np.int32)
+        buf = Buffer()
+        mpi.INT.pack(buf, src, 3, 4)
+        buf.commit()
+        dest = np.zeros(10, dtype=np.int32)
+        mpi.INT.unpack(buf, dest, 5, 4)
+        assert dest[5:9].tolist() == [3, 4, 5, 6]
+
+    def test_pack_beyond_array_raises(self):
+        with pytest.raises(DatatypeError):
+            mpi.INT.pack(Buffer(), np.zeros(3, dtype=np.int32), 0, 5)
+
+    def test_type_mismatch_on_unpack_raises(self):
+        buf = Buffer()
+        mpi.INT.pack(buf, np.zeros(2, dtype=np.int32), 0, 2)
+        buf.commit()
+        with pytest.raises(DatatypeError):
+            mpi.DOUBLE.unpack(buf, np.zeros(2), 0, 2)
+
+    def test_message_bigger_than_recv_raises(self):
+        buf = Buffer()
+        mpi.INT.pack(buf, np.zeros(5, dtype=np.int32), 0, 5)
+        buf.commit()
+        with pytest.raises(CountMismatchError):
+            mpi.INT.unpack(buf, np.zeros(5, dtype=np.int32), 0, 3)
+
+    def test_message_smaller_than_recv_ok(self):
+        buf = Buffer()
+        mpi.INT.pack(buf, np.arange(2, dtype=np.int32), 0, 2)
+        buf.commit()
+        dest = np.zeros(5, dtype=np.int32)
+        assert mpi.INT.unpack(buf, dest, 0, 5) == 2
+
+    def test_wrong_dtype_array_rejected(self):
+        with pytest.raises(DatatypeError):
+            mpi.INT.pack(Buffer(), np.zeros(2, dtype=np.float64), 0, 2)
+
+    def test_unsigned_rides_signed(self):
+        src = np.array([2**31 + 5], dtype=np.uint32)
+        buf = Buffer()
+        mpi.INT.pack(buf, src, 0, 1)
+        buf.commit()
+        dest = np.zeros(1, dtype=np.uint32)
+        mpi.INT.unpack(buf, dest, 0, 1)
+        assert dest[0] == 2**31 + 5
+
+    def test_get_size_and_extent(self):
+        assert mpi.DOUBLE.get_size() == 8
+        assert mpi.DOUBLE.get_extent() == 1
+
+
+class TestContiguous:
+    def test_roundtrip(self):
+        dt = mpi.INT.contiguous(3)
+        src = np.arange(12, dtype=np.int32)
+        dest, n = roundtrip(dt, src, 4)
+        assert n == 4
+        np.testing.assert_array_equal(dest, src)
+
+    def test_extent_and_size(self):
+        dt = mpi.DOUBLE.contiguous(5)
+        assert dt.get_extent() == 5
+        assert dt.get_size() == 40
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(DatatypeError):
+            mpi.INT.contiguous(0)
+
+    def test_nested_contiguous(self):
+        dt = mpi.INT.contiguous(2).contiguous(3)  # 6 ints per element
+        src = np.arange(12, dtype=np.int32)
+        dest, n = roundtrip(dt, src, 2)
+        assert n == 2
+        np.testing.assert_array_equal(dest, src)
+
+
+class TestVector:
+    def test_paper_matrix_column_example(self):
+        """The paper's example: column of a 4x4 float matrix, blocklength
+        1, stride 4 (Section IV-C)."""
+        matrix = np.arange(16, dtype=np.float32)
+        column = mpi.FLOAT.vector(4, 1, 4)
+        buf = Buffer()
+        column.pack(buf, matrix, 0, 1)  # first column: offset 0
+        buf.commit()
+        dest = np.zeros(16, dtype=np.float32)
+        column.unpack(buf, dest, 0, 1)
+        np.testing.assert_array_equal(dest.reshape(4, 4)[:, 0], matrix.reshape(4, 4)[:, 0])
+        assert dest.reshape(4, 4)[:, 1:].sum() == 0
+
+    def test_second_column_via_offset(self):
+        matrix = np.arange(16, dtype=np.float32)
+        column = mpi.FLOAT.vector(4, 1, 4)
+        buf = Buffer()
+        column.pack(buf, matrix, 1, 1)
+        buf.commit()
+        dest = np.zeros(16, dtype=np.float32)
+        column.unpack(buf, dest, 1, 1)
+        np.testing.assert_array_equal(dest.reshape(4, 4)[:, 1], matrix.reshape(4, 4)[:, 1])
+
+    def test_blocklength_gt_one(self):
+        dt = mpi.INT.vector(2, 3, 5)  # blocks [0,1,2] and [5,6,7]
+        src = np.arange(8, dtype=np.int32)
+        buf = Buffer()
+        dt.pack(buf, src, 0, 1)
+        buf.commit()
+        hdr = buf.read_section_header()
+        assert hdr.count == 6
+        got = buf.read(6, np.dtype("<i4"))
+        assert got.tolist() == [0, 1, 2, 5, 6, 7]
+
+    def test_extent(self):
+        assert mpi.INT.vector(4, 1, 4).get_extent() == 13  # (4-1)*4+1
+        assert mpi.INT.vector(2, 3, 5).get_extent() == 8
+
+    def test_illegal_parameters(self):
+        with pytest.raises(DatatypeError):
+            mpi.INT.vector(0, 1, 1)
+        with pytest.raises(DatatypeError):
+            mpi.INT.vector(1, 0, 1)
+        with pytest.raises(DatatypeError):
+            mpi.INT.vector(2, 1, 0)
+
+    def test_gather_scatter_roundtrip(self):
+        dt = mpi.DOUBLE.vector(3, 2, 4)
+        src = np.arange(20, dtype=np.float64)
+        dest = np.zeros(20)
+        buf = Buffer()
+        dt.pack(buf, src, 0, 2)
+        buf.commit()
+        dt.unpack(buf, dest, 0, 2)
+        idx = dt._indices(0, 2)
+        np.testing.assert_array_equal(dest[idx], src[idx])
+        mask = np.ones(20, dtype=bool)
+        mask[idx] = False
+        assert dest[mask].sum() == 0
+
+
+class TestIndexed:
+    def test_roundtrip(self):
+        dt = mpi.INT.indexed([2, 1], [0, 5])
+        src = np.arange(12, dtype=np.int32)
+        buf = Buffer()
+        dt.pack(buf, src, 0, 2)
+        buf.commit()
+        dest = np.zeros(12, dtype=np.int32)
+        assert dt.unpack(buf, dest, 0, 2) == 2
+        for i in (0, 1, 5, 6, 7, 11):
+            assert dest[i] == src[i]
+
+    def test_extent(self):
+        assert mpi.INT.indexed([2, 1], [0, 5]).get_extent() == 6
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(DatatypeError):
+            mpi.INT.indexed([1, 2], [0])
+
+    def test_empty(self):
+        with pytest.raises(DatatypeError):
+            mpi.INT.indexed([], [])
+
+    def test_overlapping_blocks_rejected(self):
+        with pytest.raises(DatatypeError):
+            mpi.INT.indexed([3, 2], [0, 2])
+
+
+class TestStruct:
+    def test_roundtrip(self):
+        dtype = np.dtype([("x", "<f8"), ("n", "<i4"), ("flag", "?")])
+        dt = mpi.StructType(dtype)
+        src = np.zeros(3, dtype=dtype)
+        src["x"] = [1.5, 2.5, 3.5]
+        src["n"] = [10, 20, 30]
+        src["flag"] = [True, False, True]
+        buf = Buffer()
+        dt.pack(buf, src, 0, 3)
+        buf.commit()
+        dest = np.zeros(3, dtype=dt.struct_dtype)
+        assert dt.unpack(buf, dest, 0, 3) == 3
+        np.testing.assert_array_equal(dest["x"], src["x"])
+        np.testing.assert_array_equal(dest["n"], src["n"])
+        np.testing.assert_array_equal(dest["flag"], src["flag"])
+
+    def test_non_struct_dtype_rejected(self):
+        with pytest.raises(DatatypeError):
+            mpi.StructType(np.dtype("float64"))
+
+    def test_partial_window(self):
+        dtype = np.dtype([("a", "<i8")])
+        dt = mpi.StructType(dtype)
+        src = np.zeros(5, dtype=dtype)
+        src["a"] = np.arange(5)
+        buf = Buffer()
+        dt.pack(buf, src, 1, 2)
+        buf.commit()
+        dest = np.zeros(5, dtype=dt.struct_dtype)
+        dt.unpack(buf, dest, 3, 2)
+        assert dest["a"].tolist() == [0, 0, 0, 1, 2]
+
+
+class TestObject:
+    def test_roundtrip(self):
+        src = [{"a": 1}, "two", 3]
+        buf = Buffer()
+        mpi.OBJECT.pack(buf, src, 0, 3)
+        buf.commit()
+        dest = [None] * 3
+        assert mpi.OBJECT.unpack(buf, dest, 0, 3) == 3
+        assert dest == src
+
+    def test_window(self):
+        src = ["a", "b", "c", "d"]
+        buf = Buffer()
+        mpi.OBJECT.pack(buf, src, 1, 2)
+        buf.commit()
+        dest = [None] * 4
+        mpi.OBJECT.unpack(buf, dest, 2, 2)
+        assert dest == [None, None, "b", "c"]
+
+    def test_too_many_objects_raises(self):
+        buf = Buffer()
+        mpi.OBJECT.pack(buf, [1, 2, 3], 0, 3)
+        buf.commit()
+        with pytest.raises(CountMismatchError):
+            mpi.OBJECT.unpack(buf, [None] * 3, 0, 2)
+
+    def test_packed_size_zero(self):
+        assert mpi.OBJECT.packed_size(10) == 0
+
+    def test_derived_over_object_rejected(self):
+        with pytest.raises(DatatypeError):
+            mpi.OBJECT.contiguous(2)
+
+
+class TestInference:
+    @pytest.mark.parametrize(
+        "np_dtype,expected",
+        [
+            (np.int32, mpi.INT),
+            (np.int64, mpi.LONG),
+            (np.float32, mpi.FLOAT),
+            (np.float64, mpi.DOUBLE),
+            (np.int8, mpi.BYTE),
+            (np.bool_, mpi.BOOLEAN),
+            (np.uint32, mpi.INT),
+            (np.uint64, mpi.LONG),
+        ],
+    )
+    def test_datatype_for(self, np_dtype, expected):
+        assert datatype_for(np.zeros(1, dtype=np_dtype)) is expected
+
+    def test_unsupported(self):
+        with pytest.raises(DatatypeError):
+            datatype_for(np.zeros(1, dtype=np.complex128))

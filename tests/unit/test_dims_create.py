@@ -1,0 +1,64 @@
+"""Unit tests for dims_create and the status object."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.mpi.cartcomm import dims_create
+from repro.mpi.exceptions import TopologyError
+from repro.mpi.status import MPIStatus
+from repro.mpjdev.request import Status as DevStatus
+
+
+class TestDimsCreate:
+    def test_square(self):
+        assert sorted(dims_create(4, 2)) == [2, 2]
+
+    def test_product_equals_nnodes(self):
+        for n in (6, 12, 16, 30, 64):
+            dims = dims_create(n, 3)
+            assert int(np.prod(dims)) == n
+
+    def test_fixed_dimension_kept(self):
+        dims = dims_create(12, 2, [3, 0])
+        assert dims[0] == 3
+        assert dims[1] == 4
+
+    def test_as_square_as_possible(self):
+        dims = dims_create(16, 2)
+        assert sorted(dims) == [4, 4]
+
+    def test_impossible_fixed(self):
+        with pytest.raises(TopologyError):
+            dims_create(10, 2, [3, 0])
+
+    def test_one_dim(self):
+        assert dims_create(7, 1) == [7]
+
+    def test_negative_rejected(self):
+        with pytest.raises(TopologyError):
+            dims_create(4, 2, [-1, 0])
+
+    def test_wrong_length(self):
+        with pytest.raises(TopologyError):
+            dims_create(4, 2, [0])
+
+
+class TestMPIStatus:
+    def test_accessors(self):
+        dev = DevStatus(source=3, tag=7, size=80)
+        st = MPIStatus(dev, count=10)
+        assert st.get_source() == 3
+        assert st.get_tag() == 7
+        assert st.get_count(mpi.DOUBLE) == 10
+
+    def test_count_derived_from_size_for_probe(self):
+        # 5-byte section header + 10 doubles.
+        dev = DevStatus(source=0, tag=0, size=5 + 80)
+        st = MPIStatus(dev)
+        assert st.get_count(mpi.DOUBLE) == 10
+
+    def test_mpijava_spellings(self):
+        st = MPIStatus(DevStatus(source=1, tag=2, size=0))
+        assert st.Get_source() == 1
+        assert st.Get_tag() == 2

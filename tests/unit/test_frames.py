@@ -1,0 +1,63 @@
+"""Unit tests for the device wire-frame format."""
+
+import pytest
+
+from repro.xdev.frames import (
+    FrameHeader,
+    FrameType,
+    HEADER_SIZE,
+    encode_frame,
+)
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        hdr = FrameHeader(FrameType.RTS, context=3, tag=42, send_id=7, recv_id=9, payload_len=100)
+        assert FrameHeader.decode(hdr.encode()) == hdr
+
+    def test_roundtrip_every_type(self):
+        for ftype in FrameType:
+            hdr = FrameHeader(ftype, 0, 0, 0, 0, 0)
+            assert FrameHeader.decode(hdr.encode()).type == ftype
+
+    def test_negative_tag_wildcard_survives(self):
+        hdr = FrameHeader(FrameType.EAGER, context=0, tag=-1, send_id=0, recv_id=0, payload_len=0)
+        assert FrameHeader.decode(hdr.encode()).tag == -1
+
+    def test_large_ids(self):
+        hdr = FrameHeader(FrameType.RNDZ_DATA, 0, 0, send_id=2**40, recv_id=2**41, payload_len=2**33)
+        back = FrameHeader.decode(hdr.encode())
+        assert back.send_id == 2**40
+        assert back.recv_id == 2**41
+        assert back.payload_len == 2**33
+
+    def test_header_size_is_stable(self):
+        # Wire format constant: 1 + 4 + 4 + 8 + 8 + 8 bytes.
+        assert HEADER_SIZE == 33
+
+    def test_unknown_type_raises(self):
+        raw = bytearray(FrameHeader(FrameType.EAGER, 0, 0, 0, 0, 0).encode())
+        raw[0] = 200
+        with pytest.raises(ValueError):
+            FrameHeader.decode(bytes(raw))
+
+
+class TestEncodeFrame:
+    def test_without_payload(self):
+        segs = encode_frame(FrameType.RTS, context=1, tag=2, send_id=3)
+        assert len(segs) == 1
+        hdr = FrameHeader.decode(segs[0])
+        assert hdr.payload_len == 0
+        assert hdr.send_id == 3
+
+    def test_with_payload_is_segment_list(self):
+        payload = b"payload-bytes"
+        segs = encode_frame(FrameType.EAGER, payload=payload)
+        assert len(segs) == 2
+        assert segs[1] is payload  # zero-copy: same object
+        assert FrameHeader.decode(segs[0]).payload_len == len(payload)
+
+    def test_memoryview_payload(self):
+        payload = memoryview(b"0123456789")[2:6]
+        segs = encode_frame(FrameType.RNDZ_DATA, payload=payload)
+        assert FrameHeader.decode(segs[0]).payload_len == 4

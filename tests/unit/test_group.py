@@ -1,0 +1,107 @@
+"""Unit tests for the MPI group calculus."""
+
+import pytest
+
+from repro.mpi import Group, IDENT, SIMILAR, UNDEFINED, UNEQUAL
+from repro.mpi.exceptions import InvalidRankError, MPIException
+from repro.xdev.processid import ProcessID
+
+
+@pytest.fixture
+def pids():
+    return [ProcessID(uid=100 + i) for i in range(6)]
+
+
+@pytest.fixture
+def group(pids):
+    return Group(pids[:4], my_uid=pids[1].uid)
+
+
+class TestBasics:
+    def test_size_and_rank(self, group):
+        assert group.size() == 4
+        assert group.rank() == 1
+
+    def test_rank_undefined_outside(self, pids):
+        g = Group(pids[:2], my_uid=pids[5].uid)
+        assert g.rank() == UNDEFINED
+
+    def test_pid_lookup(self, group, pids):
+        assert group.pid(2) == pids[2]
+        with pytest.raises(InvalidRankError):
+            group.pid(4)
+
+    def test_duplicates_rejected(self, pids):
+        with pytest.raises(MPIException):
+            Group([pids[0], pids[0]])
+
+    def test_contains(self, group, pids):
+        assert group.contains(pids[0])
+        assert not group.contains(pids[5])
+
+
+class TestSetOps:
+    def test_union_order(self, pids):
+        a = Group(pids[:3], my_uid=pids[0].uid)
+        b = Group(pids[2:5])
+        u = a.union(b)
+        assert [p.uid for p in u.pids] == [p.uid for p in pids[:5]]
+
+    def test_intersection_keeps_first_order(self, pids):
+        a = Group([pids[3], pids[1], pids[0]])
+        b = Group(pids[:2])
+        i = a.intersection(b)
+        assert [p.uid for p in i.pids] == [pids[1].uid, pids[0].uid]
+
+    def test_difference(self, pids):
+        a = Group(pids[:4])
+        b = Group(pids[1:3])
+        d = a.difference(b)
+        assert [p.uid for p in d.pids] == [pids[0].uid, pids[3].uid]
+
+    def test_union_with_self_is_ident(self, group):
+        assert group.union(group).compare(group) == IDENT
+
+
+class TestSubsetting:
+    def test_incl_order(self, group, pids):
+        g = group.incl([3, 0])
+        assert [p.uid for p in g.pids] == [pids[3].uid, pids[0].uid]
+
+    def test_excl(self, group, pids):
+        g = group.excl([1, 2])
+        assert [p.uid for p in g.pids] == [pids[0].uid, pids[3].uid]
+
+    def test_incl_bad_rank(self, group):
+        with pytest.raises(InvalidRankError):
+            group.incl([7])
+
+    def test_range_incl(self, group, pids):
+        g = group.range_incl([(0, 3, 2)])  # ranks 0, 2
+        assert [p.uid for p in g.pids] == [pids[0].uid, pids[2].uid]
+
+    def test_range_excl(self, group, pids):
+        g = group.range_excl([(0, 3, 2)])
+        assert [p.uid for p in g.pids] == [pids[1].uid, pids[3].uid]
+
+    def test_range_zero_stride(self, group):
+        with pytest.raises(MPIException):
+            group.range_incl([(0, 2, 0)])
+
+
+class TestCompareTranslate:
+    def test_ident(self, pids):
+        assert Group(pids[:3]).compare(Group(pids[:3])) == IDENT
+
+    def test_similar(self, pids):
+        a = Group(pids[:3])
+        b = Group([pids[2], pids[0], pids[1]])
+        assert a.compare(b) == SIMILAR
+
+    def test_unequal(self, pids):
+        assert Group(pids[:3]).compare(Group(pids[:2])) == UNEQUAL
+
+    def test_translate_ranks(self, pids):
+        a = Group(pids[:4])
+        b = Group([pids[2], pids[3], pids[5]])
+        assert Group.translate_ranks(a, [0, 2, 3], b) == [UNDEFINED, 0, 1]

@@ -1,0 +1,89 @@
+"""Property-based tests: Group calculus versus Python set semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi.group import Group
+from repro.xdev.processid import ProcessID
+
+# A fixed universe of processes; subgroups are index subsets.
+UNIVERSE = [ProcessID(uid=1000 + i) for i in range(8)]
+
+subsets = st.lists(
+    st.integers(0, len(UNIVERSE) - 1), unique=True, max_size=len(UNIVERSE)
+)
+
+
+def group_of(indices):
+    return Group([UNIVERSE[i] for i in indices])
+
+
+def uids(group):
+    return [p.uid for p in group.pids]
+
+
+@given(subsets, subsets)
+@settings(max_examples=100, deadline=None)
+def test_union_semantics(a_idx, b_idx):
+    a, b = group_of(a_idx), group_of(b_idx)
+    u = a.union(b)
+    # Set semantics...
+    assert {p.uid for p in u.pids} == {p.uid for p in a.pids} | {p.uid for p in b.pids}
+    # ...with MPI's ordering: all of a first, then b's extras in b-order.
+    assert uids(u)[: len(a_idx)] == uids(a)
+    # No duplicates ever.
+    assert len(set(uids(u))) == len(uids(u))
+
+
+@given(subsets, subsets)
+@settings(max_examples=100, deadline=None)
+def test_intersection_semantics(a_idx, b_idx):
+    a, b = group_of(a_idx), group_of(b_idx)
+    i = a.intersection(b)
+    assert {p.uid for p in i.pids} == {p.uid for p in a.pids} & {p.uid for p in b.pids}
+    # Order follows a.
+    assert uids(i) == [u for u in uids(a) if u in set(uids(b))]
+
+
+@given(subsets, subsets)
+@settings(max_examples=100, deadline=None)
+def test_difference_semantics(a_idx, b_idx):
+    a, b = group_of(a_idx), group_of(b_idx)
+    d = a.difference(b)
+    assert {p.uid for p in d.pids} == {p.uid for p in a.pids} - {p.uid for p in b.pids}
+    assert uids(d) == [u for u in uids(a) if u not in set(uids(b))]
+
+
+@given(subsets)
+@settings(max_examples=60, deadline=None)
+def test_incl_excl_partition(indices):
+    full = group_of(list(range(len(UNIVERSE))))
+    picked = full.incl(indices)
+    rest = full.excl(indices)
+    assert {p.uid for p in picked.pids} | {p.uid for p in rest.pids} == {
+        p.uid for p in full.pids
+    }
+    assert not ({p.uid for p in picked.pids} & {p.uid for p in rest.pids})
+
+
+@given(subsets, subsets)
+@settings(max_examples=60, deadline=None)
+def test_translate_ranks_consistency(a_idx, b_idx):
+    a, b = group_of(a_idx), group_of(b_idx)
+    ranks = list(range(len(a_idx)))
+    translated = Group.translate_ranks(a, ranks, b)
+    for r, t in zip(ranks, translated):
+        if t == -3:  # UNDEFINED
+            assert not b.contains(a.pid(r))
+        else:
+            assert b.pid(t) == a.pid(r)
+
+
+@given(subsets, subsets)
+@settings(max_examples=60, deadline=None)
+def test_demorgan(a_idx, b_idx):
+    """difference(a, intersection(a,b)) == difference(a, b)."""
+    a, b = group_of(a_idx), group_of(b_idx)
+    left = a.difference(a.intersection(b))
+    right = a.difference(b)
+    assert uids(left) == uids(right)

@@ -1,0 +1,195 @@
+"""Unit tests for the four-key matching engine (paper IV-E.2)."""
+
+import pytest
+
+from repro.mpjdev.request import Request
+from repro.xdev.constants import ANY_SOURCE, ANY_TAG
+from repro.xdev.matching import ArrivedMessage, MessageQueues, PostedRecv
+from repro.xdev.processid import ProcessID
+
+
+def recv(context=0, tag=0, src=0):
+    return PostedRecv(
+        request=Request(Request.RECV), context=context, tag=tag, src_uid=src
+    )
+
+
+def msg(context=0, tag=0, src=0, size=10):
+    return ArrivedMessage(
+        context=context, tag=tag, src_uid=src, size=size,
+        payload=b"x", src_pid=ProcessID(uid=src),
+    )
+
+
+class TestExactMatching:
+    def test_message_matches_posted_recv(self):
+        q = MessageQueues()
+        r = recv(context=1, tag=5, src=2)
+        assert q.post_recv(r) is None
+        assert q.arrive(msg(context=1, tag=5, src=2)) is r
+
+    def test_recv_matches_stored_message(self):
+        q = MessageQueues()
+        m = msg(context=1, tag=5, src=2)
+        assert q.arrive(m) is None
+        assert q.post_recv(recv(context=1, tag=5, src=2)) is m
+
+    @pytest.mark.parametrize(
+        "mismatch", [dict(context=9), dict(tag=9), dict(src=9)]
+    )
+    def test_no_match_on_any_field_mismatch(self, mismatch):
+        q = MessageQueues()
+        q.post_recv(recv(context=1, tag=5, src=2))
+        fields = dict(context=1, tag=5, src=2)
+        fields.update(mismatch)
+        assert q.arrive(msg(**fields)) is None
+
+
+class TestWildcards:
+    def test_any_source(self):
+        q = MessageQueues()
+        r = recv(tag=3, src=ANY_SOURCE)
+        q.post_recv(r)
+        assert q.arrive(msg(tag=3, src=7)) is r
+
+    def test_any_tag(self):
+        q = MessageQueues()
+        r = recv(tag=ANY_TAG, src=4)
+        q.post_recv(r)
+        assert q.arrive(msg(tag=11, src=4)) is r
+
+    def test_both_wildcards(self):
+        q = MessageQueues()
+        r = recv(tag=ANY_TAG, src=ANY_SOURCE)
+        q.post_recv(r)
+        assert q.arrive(msg(tag=11, src=7)) is r
+
+    def test_wildcard_recv_finds_stored_message(self):
+        q = MessageQueues()
+        m = msg(tag=9, src=3)
+        q.arrive(m)
+        assert q.post_recv(recv(tag=ANY_TAG, src=ANY_SOURCE)) is m
+
+    def test_context_never_wildcarded(self):
+        q = MessageQueues()
+        q.post_recv(recv(context=1, tag=ANY_TAG, src=ANY_SOURCE))
+        assert q.arrive(msg(context=2, tag=0, src=0)) is None
+
+
+class TestOrdering:
+    def test_earliest_posted_recv_wins(self):
+        q = MessageQueues()
+        r1 = recv(tag=ANY_TAG, src=0)
+        r2 = recv(tag=5, src=0)
+        q.post_recv(r1)
+        q.post_recv(r2)
+        # Message matches both; r1 was posted first.
+        assert q.arrive(msg(tag=5, src=0)) is r1
+        assert q.arrive(msg(tag=5, src=0)) is r2
+
+    def test_earliest_posted_wins_across_key_queues(self):
+        q = MessageQueues()
+        r_specific = recv(tag=5, src=0)
+        r_wild = recv(tag=ANY_TAG, src=ANY_SOURCE)
+        q.post_recv(r_specific)
+        q.post_recv(r_wild)
+        assert q.arrive(msg(tag=5, src=0)) is r_specific
+
+    def test_earliest_arrived_message_wins(self):
+        q = MessageQueues()
+        m1 = msg(tag=5, src=0)
+        m2 = msg(tag=5, src=0)
+        q.arrive(m1)
+        q.arrive(m2)
+        assert q.post_recv(recv(tag=5, src=0)) is m1
+        assert q.post_recv(recv(tag=5, src=0)) is m2
+
+    def test_fifo_per_pair_preserved_with_wildcards(self):
+        q = MessageQueues()
+        msgs = [msg(tag=1, src=0) for _ in range(5)]
+        for m in msgs:
+            q.arrive(m)
+        got = [q.post_recv(recv(tag=ANY_TAG, src=ANY_SOURCE)) for _ in range(5)]
+        assert got == msgs
+
+
+class TestClaiming:
+    def test_matched_message_not_matched_twice(self):
+        q = MessageQueues()
+        m = msg(tag=1, src=0)
+        q.arrive(m)
+        assert q.post_recv(recv(tag=1, src=0)) is m
+        # A second identical recv must NOT see the claimed message.
+        assert q.post_recv(recv(tag=1, src=0)) is None
+
+    def test_matched_message_removed_from_all_four_indexes(self):
+        q = MessageQueues()
+        m = msg(tag=1, src=0)
+        q.arrive(m)
+        assert q.post_recv(recv(tag=1, src=0)) is m
+        for pattern in [
+            recv(tag=1, src=0),
+            recv(tag=ANY_TAG, src=0),
+            recv(tag=1, src=ANY_SOURCE),
+            recv(tag=ANY_TAG, src=ANY_SOURCE),
+        ]:
+            assert q.post_recv(pattern) is None
+
+    def test_matched_recv_not_matched_twice(self):
+        q = MessageQueues()
+        r = recv(tag=1, src=0)
+        q.post_recv(r)
+        assert q.arrive(msg(tag=1, src=0)) is r
+        assert q.arrive(msg(tag=1, src=0)) is None
+
+
+class TestProbing:
+    def test_find_message_exact(self):
+        q = MessageQueues()
+        q.arrive(msg(context=1, tag=5, src=2, size=77))
+        found = q.find_message(1, 5, 2)
+        assert found is not None and found.size == 77
+
+    def test_find_message_wildcards(self):
+        q = MessageQueues()
+        q.arrive(msg(context=1, tag=5, src=2))
+        assert q.find_message(1, ANY_TAG, ANY_SOURCE) is not None
+
+    def test_find_does_not_consume(self):
+        q = MessageQueues()
+        m = msg(tag=5, src=2)
+        q.arrive(m)
+        assert q.find_message(0, 5, 2) is m
+        assert q.post_recv(recv(tag=5, src=2)) is m
+
+    def test_find_skips_claimed(self):
+        q = MessageQueues()
+        m = msg(tag=5, src=2)
+        q.arrive(m)
+        q.post_recv(recv(tag=5, src=2))
+        assert q.find_message(0, 5, 2) is None
+
+    def test_find_nothing(self):
+        assert MessageQueues().find_message(0, 0, 0) is None
+
+
+class TestCounters:
+    def test_pending_recv_count(self):
+        q = MessageQueues()
+        assert q.pending_recv_count() == 0
+        q.post_recv(recv(tag=1))
+        q.post_recv(recv(tag=2))
+        assert q.pending_recv_count() == 2
+        q.arrive(msg(tag=1))
+        assert q.pending_recv_count() == 1
+
+    def test_unexpected_count_no_double_count(self):
+        q = MessageQueues()
+        q.arrive(msg(tag=1))  # indexed under 4 keys but ONE message
+        assert q.unexpected_count() == 1
+
+    def test_iter_unexpected(self):
+        q = MessageQueues()
+        q.arrive(msg(tag=1))
+        q.arrive(msg(tag=2))
+        assert len(list(q.iter_unexpected())) == 2

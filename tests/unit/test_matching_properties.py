@@ -1,0 +1,122 @@
+"""Property-based tests for matching (hypothesis).
+
+The model under test: the four-key indexed MessageQueues must behave
+exactly like a naive linear-scan reference implementation, for any
+interleaving of posts and arrivals with any wildcard pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpjdev.request import Request
+from repro.xdev.constants import ANY_SOURCE, ANY_TAG
+from repro.xdev.matching import ArrivedMessage, MessageQueues, PostedRecv
+from repro.xdev.processid import ProcessID
+
+
+@dataclass
+class ReferenceQueues:
+    """Naive linear-scan model: lists scanned in order."""
+
+    recvs: list = field(default_factory=list)
+    msgs: list = field(default_factory=list)
+
+    @staticmethod
+    def _compatible(r, m) -> bool:
+        return (
+            r.context == m.context
+            and (r.tag == ANY_TAG or r.tag == m.tag)
+            and (r.src_uid == ANY_SOURCE or r.src_uid == m.src_uid)
+        )
+
+    def post_recv(self, r):
+        for m in self.msgs:
+            if self._compatible(r, m):
+                self.msgs.remove(m)
+                return m
+        self.recvs.append(r)
+        return None
+
+    def arrive(self, m):
+        for r in self.recvs:
+            if self._compatible(r, m):
+                self.recvs.remove(r)
+                return r
+        self.msgs.append(m)
+        return None
+
+
+tags = st.sampled_from([ANY_TAG, 0, 1, 2])
+srcs = st.sampled_from([ANY_SOURCE, 0, 1])
+contexts = st.sampled_from([0, 1])
+
+ops = st.lists(
+    st.tuples(st.booleans(), contexts, tags, srcs),
+    max_size=40,
+)
+
+
+@given(ops)
+@settings(max_examples=200, deadline=None)
+def test_indexed_matching_equals_linear_scan(sequence):
+    real = MessageQueues()
+    ref = ReferenceQueues()
+    for is_recv, context, tag, src in sequence:
+        if is_recv:
+            r_real = PostedRecv(Request(Request.RECV), context, tag, src)
+            r_ref = PostedRecv(Request(Request.RECV), context, tag, src)
+            got = real.post_recv(r_real)
+            expected = ref.post_recv(r_ref)
+        else:
+            # Arrivals always carry concrete tag/src.
+            tag_c = 0 if tag == ANY_TAG else tag
+            src_c = 0 if src == ANY_SOURCE else src
+            m_real = ArrivedMessage(context, tag_c, src_c, 1, b"", src_pid=ProcessID(uid=src_c))
+            m_ref = ArrivedMessage(context, tag_c, src_c, 1, b"", src_pid=ProcessID(uid=src_c))
+            got = real.arrive(m_real)
+            expected = ref.arrive(m_ref)
+        # The two implementations must agree on WHETHER a match
+        # happened and on the matched entry's identity (same envelope
+        # and creation order).
+        assert (got is None) == (expected is None)
+        if got is not None:
+            assert (got.context, got.tag, getattr(got, "src_uid", None)) == (
+                expected.context,
+                expected.tag,
+                getattr(expected, "src_uid", None),
+            )
+    assert real.pending_recv_count() == len(ref.recvs)
+    assert real.unexpected_count() == len(ref.msgs)
+
+
+@given(ops)
+@settings(max_examples=100, deadline=None)
+def test_no_entry_ever_double_matched(sequence):
+    """Every posted recv / arrived message is consumed at most once.
+
+    Matched entries are kept in lists (not an id() set — CPython
+    reuses addresses after garbage collection) and membership is
+    checked by identity.
+    """
+    q = MessageQueues()
+    matched_recvs: list = []
+    matched_msgs: list = []
+    for is_recv, context, tag, src in sequence:
+        if is_recv:
+            r = PostedRecv(Request(Request.RECV), context, tag, src)
+            m = q.post_recv(r)
+            if m is not None:
+                assert not any(x is m for x in matched_msgs)
+                matched_msgs.append(m)
+        else:
+            tag_c = 0 if tag == ANY_TAG else tag
+            src_c = 0 if src == ANY_SOURCE else src
+            msg = ArrivedMessage(context, tag_c, src_c, 1, b"", src_pid=ProcessID(uid=src_c))
+            r = q.arrive(msg)
+            if r is not None:
+                assert not any(x is r for x in matched_recvs)
+                matched_recvs.append(r)

@@ -1,0 +1,120 @@
+"""Unit tests for the mpjdev rank-table layer."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.buffer import Buffer
+from repro.mpjdev.comm import MPJDevComm
+from repro.xdev.constants import ANY_SOURCE
+from repro.xdev.exceptions import XDevException
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def pair():
+    devices, pids = make_job("smdev", 3)
+    comms = [MPJDevComm(devices[i], pids, i) for i in range(3)]
+    yield comms, devices
+    for d in devices:
+        d.finish()
+
+
+def send_buffer(arr):
+    buf = Buffer(capacity=arr.nbytes + 64)
+    buf.write(arr)
+    return buf
+
+
+class TestRankTable:
+    def test_identity(self, pair):
+        comms, _ = pair
+        assert comms[1].rank == 1
+        assert comms[1].size == 3
+
+    def test_bad_rank_rejected(self, pair):
+        comms, devices = pair
+        with pytest.raises(ValueError):
+            MPJDevComm(devices[0], [devices[0].id()], 5)
+
+    def test_pid_rank_roundtrip(self, pair):
+        comms, _ = pair
+        for r in range(3):
+            assert comms[0].rank_of(comms[0].pid_of(r)) == r
+
+    def test_unknown_rank(self, pair):
+        comms, _ = pair
+        with pytest.raises(XDevException):
+            comms[0].pid_of(9)
+
+    def test_not_a_member_table(self, pair):
+        comms, devices = pair
+        pids = [comms[0].pid_of(r) for r in range(3)]
+        outsider = MPJDevComm(devices[0], pids[1:], MPJDevComm.NOT_A_MEMBER)
+        assert outsider.rank == MPJDevComm.NOT_A_MEMBER
+        assert outsider.pid_of(0) == pids[1]
+
+
+class TestSubComm:
+    def test_renumbering(self, pair):
+        comms, _ = pair
+        sub = comms[2].sub_comm([2, 0], 0)
+        assert sub.rank == 0
+        assert sub.size == 2
+        # Rank 0 of the sub table is the old rank 2.
+        assert sub.pid_of(0) == comms[2].pid_of(2)
+
+    def test_traffic_uses_new_numbering(self, pair):
+        comms, _ = pair
+        sub0 = comms[2].sub_comm([2, 0], 0)   # old rank 2 -> new 0
+        sub1 = comms[0].sub_comm([2, 0], 1)   # old rank 0 -> new 1
+        data = np.array([1234], dtype=np.int64)
+        t = threading.Thread(
+            target=lambda: sub0.send(send_buffer(data), 1, 5, 9), daemon=True
+        )
+        t.start()
+        rbuf = Buffer()
+        status = sub1.recv(rbuf, 0, 5, 9)
+        t.join(10)
+        assert rbuf.read_section().tolist() == [1234]
+        assert status.source == 0  # translated to the sub numbering
+
+
+class TestStatusTranslation:
+    def test_source_translated_to_rank(self, pair):
+        comms, _ = pair
+        data = np.array([1], dtype=np.int8)
+        t = threading.Thread(
+            target=lambda: comms[1].send(send_buffer(data), 2, 3, 0), daemon=True
+        )
+        t.start()
+        rbuf = Buffer()
+        status = comms[2].recv(rbuf, ANY_SOURCE, 3, 0)
+        t.join(10)
+        assert status.source == 1  # an int rank, not a ProcessID
+
+    def test_translation_on_request_wait(self, pair):
+        comms, _ = pair
+        rbuf = Buffer()
+        req = comms[2].irecv(rbuf, ANY_SOURCE, 4, 0)
+        comms[0].send(send_buffer(np.array([2], dtype=np.int8)), 2, 4, 0)
+        status = req.wait(timeout=10)
+        assert status.source == 0
+
+    def test_translation_idempotent(self, pair):
+        comms, _ = pair
+        rbuf = Buffer()
+        req = comms[1].irecv(rbuf, ANY_SOURCE, 6, 0)
+        comms[0].send(send_buffer(np.array([3], dtype=np.int8)), 1, 6, 0)
+        first = req.wait(timeout=10)
+        second = req.test()
+        assert first.source == second.source == 0
+
+    def test_probe_translated(self, pair):
+        comms, _ = pair
+        comms[0].send(send_buffer(np.array([4], dtype=np.int8)), 1, 7, 0)
+        status = comms[1].probe(ANY_SOURCE, 7, 0)
+        assert status.source == 0
+        rbuf = Buffer()
+        comms[1].recv(rbuf, 0, 7, 0)

@@ -1,0 +1,163 @@
+"""Unit tests for the simulated Myrinet eXpress library."""
+
+import threading
+
+import pytest
+
+from repro.xdev.mxlib import MXError, MXLibrary
+
+
+@pytest.fixture
+def lib():
+    lib = MXLibrary()
+    lib.mx_init()
+    yield lib
+    lib.mx_finalize()
+
+
+@pytest.fixture
+def endpoints(lib):
+    return lib.mx_open_endpoint(), lib.mx_open_endpoint()
+
+
+class TestLifecycle:
+    def test_use_before_init_raises(self):
+        with pytest.raises(MXError):
+            MXLibrary().mx_open_endpoint()
+
+    def test_connect_unknown_endpoint(self, lib, endpoints):
+        a, _b = endpoints
+        with pytest.raises(MXError):
+            lib.mx_connect(a, 999)
+
+    def test_connect_known(self, lib, endpoints):
+        a, b = endpoints
+        assert lib.mx_connect(a, b.endpoint_id) == b.endpoint_id
+
+
+class TestSendRecv:
+    def test_recv_first(self, lib, endpoints):
+        a, b = endpoints
+        r = lib.mx_irecv(b, match_recv=7)
+        lib.mx_isend(a, [b"data"], b.endpoint_id, match_send=7)
+        status = lib.mx_wait(r, timeout=5)
+        assert r.data == b"data"
+        assert status.source == a.endpoint_id
+        assert status.match_info == 7
+
+    def test_send_first_unexpected_queue(self, lib, endpoints):
+        a, b = endpoints
+        lib.mx_isend(a, [b"early"], b.endpoint_id, match_send=3)
+        r = lib.mx_irecv(b, match_recv=3)
+        assert lib.mx_wait(r, timeout=5).msg_length == 5
+
+    def test_segment_list_gathered(self, lib, endpoints):
+        a, b = endpoints
+        lib.mx_isend(a, [b"ab", b"cd", b"ef"], b.endpoint_id, match_send=1)
+        r = lib.mx_irecv(b, match_recv=1)
+        lib.mx_wait(r, timeout=5)
+        assert r.data == b"abcdef"
+
+    def test_standard_send_completes_immediately(self, lib, endpoints):
+        a, b = endpoints
+        s = lib.mx_isend(a, [b"x"], b.endpoint_id, match_send=1)
+        assert s.done  # no receive posted yet
+
+    def test_sync_send_completes_on_match(self, lib, endpoints):
+        a, b = endpoints
+        s = lib.mx_issend(a, [b"x"], b.endpoint_id, match_send=1)
+        assert not s.done
+        r = lib.mx_irecv(b, match_recv=1)
+        lib.mx_wait(r, timeout=5)
+        assert lib.mx_wait(s, timeout=5) is not None
+
+
+class TestMatching:
+    def test_mask_wildcards(self, lib, endpoints):
+        a, b = endpoints
+        lib.mx_isend(a, [b"m"], b.endpoint_id, match_send=0xABCD)
+        r = lib.mx_irecv(b, match_recv=0xAB00, match_mask=0xFF00)
+        assert lib.mx_wait(r, timeout=5).match_info == 0xABCD
+
+    def test_no_match_on_masked_mismatch(self, lib, endpoints):
+        a, b = endpoints
+        lib.mx_isend(a, [b"m"], b.endpoint_id, match_send=0x1200)
+        r = lib.mx_irecv(b, match_recv=0x3400, match_mask=0xFF00)
+        assert lib.mx_test(r) is None
+
+    def test_fifo_per_match(self, lib, endpoints):
+        a, b = endpoints
+        for i in range(3):
+            lib.mx_isend(a, [bytes([i])], b.endpoint_id, match_send=9)
+        got = []
+        for _ in range(3):
+            r = lib.mx_irecv(b, match_recv=9)
+            lib.mx_wait(r, timeout=5)
+            got.append(r.data)
+        assert got == [b"\x00", b"\x01", b"\x02"]
+
+
+class TestCompletion:
+    def test_test_is_nonblocking(self, lib, endpoints):
+        _a, b = endpoints
+        r = lib.mx_irecv(b, match_recv=1)
+        assert lib.mx_test(r) is None
+
+    def test_wait_timeout(self, lib, endpoints):
+        _a, b = endpoints
+        r = lib.mx_irecv(b, match_recv=1)
+        with pytest.raises(TimeoutError):
+            lib.mx_wait(r, timeout=0.05)
+
+    def test_peek_returns_completed(self, lib, endpoints):
+        a, b = endpoints
+        r = lib.mx_irecv(b, match_recv=5)
+        lib.mx_isend(a, [b"z"], b.endpoint_id, match_send=5)
+        lib.mx_wait(r, timeout=5)
+        peeked = lib.mx_peek(b, timeout=5)
+        assert peeked is r
+
+    def test_peek_blocks_until_completion(self, lib, endpoints):
+        a, b = endpoints
+        r = lib.mx_irecv(b, match_recv=5)
+
+        def sender():
+            lib.mx_isend(a, [b"late"], b.endpoint_id, match_send=5)
+
+        t = threading.Thread(target=sender)
+        t.start()
+        assert lib.mx_peek(b, timeout=5) is r
+        t.join()
+
+    def test_probe(self, lib, endpoints):
+        a, b = endpoints
+        assert lib.mx_iprobe(b, 4) is None
+        lib.mx_isend(a, [b"pq"], b.endpoint_id, match_send=4)
+        st = lib.mx_iprobe(b, 4)
+        assert st is not None and st.msg_length == 2
+
+    def test_probe_timeout(self, lib, endpoints):
+        _a, b = endpoints
+        with pytest.raises(TimeoutError):
+            lib.mx_probe(b, 4, timeout=0.05)
+
+
+class TestThreadSafety:
+    def test_concurrent_senders(self, lib, endpoints):
+        a, b = endpoints
+        n = 50
+
+        def sender(i):
+            lib.mx_isend(a, [i.to_bytes(4, "little")], b.endpoint_id, match_send=1)
+
+        threads = [threading.Thread(target=sender, args=(i,)) for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        got = set()
+        for _ in range(n):
+            r = lib.mx_irecv(b, match_recv=1)
+            lib.mx_wait(r, timeout=5)
+            got.add(int.from_bytes(r.data, "little"))
+        assert got == set(range(n))

@@ -1,0 +1,172 @@
+"""Unit tests for the netsim engine, fabrics and library models."""
+
+import pytest
+
+from repro.netsim import (
+    FAST_ETHERNET,
+    GIGABIT_ETHERNET,
+    MYRINET_2G,
+    PingPong,
+    Simulator,
+    libraries_for,
+    sweep,
+)
+from repro.netsim.libraries import CopyStage, EAGER_THRESHOLD
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.at(2.0, lambda: seen.append("b"))
+        sim.at(1.0, lambda: seen.append("a"))
+        sim.at(3.0, lambda: seen.append("c"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_ties_break_by_insertion(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1.0, lambda: seen.append(1))
+        sim.at(1.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_after_is_relative(self):
+        sim = Simulator()
+        sim.at(5.0, lambda: sim.after(2.0, lambda: None))
+        sim.run()
+        assert sim.now == 7.0
+
+    def test_cancel(self):
+        sim = Simulator()
+        seen = []
+        e = sim.at(1.0, lambda: seen.append(1))
+        e.cancel()
+        sim.run()
+        assert not seen
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator()
+        sim.at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(0.5, lambda: None)
+
+    def test_run_until(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1.0, lambda: seen.append(1))
+        sim.at(5.0, lambda: seen.append(5))
+        sim.run(until=2.0)
+        assert seen == [1]
+        assert sim.pending() == 1
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            Simulator().after(-1, lambda: None)
+
+
+class TestFabrics:
+    def test_wire_time_monotone(self):
+        for fabric in (FAST_ETHERNET, GIGABIT_ETHERNET, MYRINET_2G):
+            assert fabric.wire_time(1) < fabric.wire_time(1 << 20)
+
+    def test_faster_fabric_faster_wire(self):
+        n = 1 << 20
+        assert MYRINET_2G.wire_time(n) < GIGABIT_ETHERNET.wire_time(n) < FAST_ETHERNET.wire_time(n)
+
+    def test_effective_bandwidth_below_nominal(self):
+        for fabric in (FAST_ETHERNET, GIGABIT_ETHERNET, MYRINET_2G):
+            assert fabric.effective_bandwidth_Bps < fabric.bandwidth_bps / 8
+
+
+class TestCopyStage:
+    def test_linear_cost(self):
+        stage = CopyStage("c", bandwidth_MBps=100.0)
+        assert stage.time(100 * 1024 * 1024) == pytest.approx(1.0, rel=0.1)
+
+    def test_cache_knee(self):
+        stage = CopyStage("c", 1000.0, cache_bytes=1024, beyond_cache_MBps=100.0)
+        fast = stage.time(1024) / 1024
+        slow = stage.time(2048) / 2048
+        assert slow > fast * 5
+
+
+class TestLibraryModels:
+    @pytest.mark.parametrize("fabric", ["FastEthernet", "GigabitEthernet", "Myrinet2G"])
+    def test_transfer_time_monotone_in_size(self, fabric):
+        for lib in libraries_for(fabric).values():
+            prev = 0.0
+            for k in range(0, 25, 2):
+                t = lib.one_way_time(1 << k)
+                assert t > prev * 0.999  # allow the threshold discontinuity
+                prev = t
+
+    def test_rendezvous_adds_control_cost(self):
+        lib = libraries_for("FastEthernet")["MPJ Express"]
+        below = lib.one_way_time(EAGER_THRESHOLD)
+        above = lib.one_way_time(EAGER_THRESHOLD + 1)
+        assert above - below > 2 * lib.fabric.latency_s
+
+    def test_no_threshold_no_dip(self):
+        lib = libraries_for("FastEthernet")["LAM/MPI"]
+        below = lib.one_way_time(EAGER_THRESHOLD)
+        above = lib.one_way_time(EAGER_THRESHOLD + 1)
+        assert above - below < 1e-6
+
+    def test_unknown_fabric(self):
+        with pytest.raises(ValueError):
+            libraries_for("Token Ring")
+
+    def test_bandwidth_approaches_plateau(self):
+        lib = libraries_for("GigabitEthernet")["LAM/MPI"]
+        assert lib.bandwidth_mbps(16 << 20) > lib.bandwidth_mbps(1 << 10)
+
+
+class TestPingPong:
+    def test_event_sim_matches_closed_form(self):
+        """With polling off, the simulated one-way time equals the
+        analytic model exactly."""
+        for fabric in ("FastEthernet", "Myrinet2G"):
+            for lib in libraries_for(fabric).values():
+                pp = PingPong(lib, polling=False)
+                for n in (1, 4096, 1 << 20):
+                    simulated = pp.round_trip(n).one_way_s
+                    assert simulated == pytest.approx(lib.one_way_time(n), rel=1e-9)
+
+    def test_polling_quantizes_arrivals(self):
+        lib = libraries_for("FastEthernet")["MPICH"]
+        pp = PingPong(lib, polling=True, seed=1)
+        jittered = pp.round_trip(1).one_way_s
+        assert jittered >= lib.one_way_time(1) - 1e-12
+
+    def test_myrinet_has_no_polling(self):
+        lib = libraries_for("Myrinet2G")["MPICH-MX"]
+        pp = PingPong(lib, polling=True)
+        assert pp.round_trip(1).one_way_s == pytest.approx(lib.one_way_time(1), rel=1e-9)
+
+    def test_sweep_shape(self):
+        lib = libraries_for("FastEthernet")["MPJ Express"]
+        rows = sweep(lib, sizes=[1, 1024, 1 << 20])
+        assert len(rows) == 3
+        sizes, times, bws = zip(*rows)
+        assert sizes == (1, 1024, 1 << 20)
+        assert times[0] < times[2]
+        assert bws[0] < bws[2]
+
+    def test_modified_technique_reduces_run_to_run_spread(self):
+        """The paper's random-delay trick: across independent runs the
+        naive estimator spreads over the polling quantum, the modified
+        estimator concentrates."""
+        import statistics
+
+        lib = libraries_for("FastEthernet")["MPICH"]
+        naive, modified = [], []
+        for seed in range(12):
+            pn = PingPong(lib, polling=True, seed=seed)
+            naive.append(statistics.mean(pn.measure_naive(1024, 8)))
+            pm = PingPong(lib, polling=True, seed=seed)
+            modified.append(statistics.mean(pm.measure_modified(1024, 24)))
+        assert statistics.stdev(modified) < statistics.stdev(naive)

@@ -1,0 +1,68 @@
+"""Unit tests for the analytic collective models."""
+
+import pytest
+
+from repro.netsim.collectives import (
+    MODELS,
+    allgather_gather_bcast_time,
+    allgather_ring_time,
+    allreduce_recursive_doubling_time,
+    allreduce_reduce_bcast_time,
+    barrier_dissemination_time,
+    bcast_binomial_time,
+    bcast_linear_time,
+    bcast_scatter_allgather_time,
+    compare,
+)
+from repro.netsim.libraries import libraries_for
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return libraries_for("FastEthernet")["MPJ Express"]
+
+
+class TestBasics:
+    def test_single_process_is_free(self, lib):
+        assert bcast_binomial_time(lib, 1, 1024) == 0
+        assert bcast_linear_time(lib, 1, 1024) == 0
+        assert bcast_scatter_allgather_time(lib, 1, 1024) == 0
+
+    def test_two_processes_equal_one_message(self, lib):
+        t = lib.one_way_time(4096)
+        assert bcast_binomial_time(lib, 2, 4096) == pytest.approx(t)
+        assert bcast_linear_time(lib, 2, 4096) == pytest.approx(t)
+
+    def test_times_grow_with_p(self, lib):
+        for fn in (bcast_binomial_time, bcast_linear_time, bcast_scatter_allgather_time):
+            assert fn(lib, 16, 4096) > fn(lib, 4, 4096)
+
+    def test_times_grow_with_m(self, lib):
+        for fn in (bcast_binomial_time, bcast_linear_time):
+            assert fn(lib, 8, 1 << 20) > fn(lib, 8, 1024)
+
+    def test_barrier_independent_of_message_size(self, lib):
+        assert barrier_dissemination_time(lib, 8) == 3 * lib.one_way_time(0)
+
+
+class TestRelations:
+    def test_recursive_doubling_is_half_reduce_bcast(self, lib):
+        assert allreduce_recursive_doubling_time(lib, 8, 4096) == pytest.approx(
+            allreduce_reduce_bcast_time(lib, 8, 4096) / 2
+        )
+
+    def test_ring_beats_gather_bcast(self, lib):
+        assert allgather_ring_time(lib, 8, 8192) < allgather_gather_bcast_time(
+            lib, 8, 8192
+        )
+
+    def test_compare_covers_registry(self, lib):
+        for collective, algos in MODELS.items():
+            result = compare(lib, collective, 8, 4096)
+            assert set(result) == set(algos)
+            assert all(v >= 0 for v in result.values())
+
+    def test_binomial_log_rounds(self, lib):
+        t_one = lib.one_way_time(100)
+        assert bcast_binomial_time(lib, 9, 100) == pytest.approx(4 * t_one)
+        assert bcast_binomial_time(lib, 8, 100) == pytest.approx(3 * t_one)

@@ -1,0 +1,60 @@
+"""Tests for the analytic Section V-A model."""
+
+import pytest
+
+from repro.netsim.qualitative import (
+    HostModel,
+    OverlapExperiment,
+    PAPER_EXPERIMENT,
+    STARBUG_NODE,
+    matmul_time_polling,
+    matmul_time_progress_engine,
+    polling_cpu_share,
+    speedup_percent,
+)
+
+
+class TestModel:
+    def test_paper_configuration_reproduces_11_percent(self):
+        """The headline: dual-CPU node, 100 pollers at 1 ms → ~11%."""
+        assert speedup_percent(STARBUG_NODE, PAPER_EXPERIMENT) == pytest.approx(
+            11.0, abs=2.0
+        )
+
+    def test_progress_engine_time_is_pure_compute(self):
+        t = matmul_time_progress_engine(STARBUG_NODE, PAPER_EXPERIMENT)
+        assert t == pytest.approx(
+            PAPER_EXPERIMENT.matmul_flops / STARBUG_NODE.flops
+        )
+
+    def test_polling_always_slower(self):
+        for cpus in (1, 2, 4):
+            host = HostModel(cpus=cpus)
+            assert matmul_time_polling(host, PAPER_EXPERIMENT) > (
+                matmul_time_progress_engine(host, PAPER_EXPERIMENT)
+            )
+
+    def test_single_core_effect_much_larger(self):
+        """Why our live laptop numbers exceed the paper's 11%: no second
+        CPU to absorb the polling."""
+        one = speedup_percent(HostModel(cpus=1), PAPER_EXPERIMENT)
+        two = speedup_percent(HostModel(cpus=2), PAPER_EXPERIMENT)
+        assert one > two * 1.5
+
+    def test_more_cpus_absorb_polling(self):
+        lots = speedup_percent(HostModel(cpus=8), PAPER_EXPERIMENT)
+        assert lots < speedup_percent(STARBUG_NODE, PAPER_EXPERIMENT)
+
+    def test_polling_share_scales_with_receivers(self):
+        few = polling_cpu_share(STARBUG_NODE, OverlapExperiment(pending_receives=10))
+        many = polling_cpu_share(STARBUG_NODE, OverlapExperiment(pending_receives=100))
+        assert many == pytest.approx(few * 10)
+
+    def test_slower_polling_smaller_effect(self):
+        lazy = OverlapExperiment(poll_interval_s=0.01)
+        assert speedup_percent(STARBUG_NODE, lazy) < speedup_percent(
+            STARBUG_NODE, PAPER_EXPERIMENT
+        )
+
+    def test_matmul_flops(self):
+        assert OverlapExperiment(matrix_n=10).matmul_flops == 2000

@@ -1,0 +1,122 @@
+"""Unit tests for reduction operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import mpi
+from repro.mpi.exceptions import DatatypeError
+
+
+class TestArithmetic:
+    def test_sum(self):
+        a = np.array([1, 2, 3]); b = np.array([10, 20, 30])
+        np.testing.assert_array_equal(mpi.SUM(a, b), [11, 22, 33])
+
+    def test_prod(self):
+        np.testing.assert_array_equal(
+            mpi.PROD(np.array([2, 3]), np.array([4, 5])), [8, 15]
+        )
+
+    def test_max_min(self):
+        a = np.array([1, 9]); b = np.array([5, 2])
+        np.testing.assert_array_equal(mpi.MAX(a, b), [5, 9])
+        np.testing.assert_array_equal(mpi.MIN(a, b), [1, 2])
+
+    def test_float_sum(self):
+        out = mpi.SUM(np.array([0.5]), np.array([0.25]))
+        assert out[0] == 0.75
+
+
+class TestLogical:
+    def test_land(self):
+        a = np.array([1, 0, 2], dtype=np.int32)
+        b = np.array([1, 1, 0], dtype=np.int32)
+        assert mpi.LAND(a, b).tolist() == [1, 0, 0]
+
+    def test_lor(self):
+        a = np.array([1, 0, 0], dtype=np.int32)
+        b = np.array([0, 0, 2], dtype=np.int32)
+        assert mpi.LOR(a, b).tolist() == [1, 0, 1]
+
+    def test_lxor(self):
+        a = np.array([1, 1, 0], dtype=np.int32)
+        b = np.array([1, 0, 0], dtype=np.int32)
+        assert mpi.LXOR(a, b).tolist() == [0, 1, 0]
+
+    def test_result_keeps_dtype(self):
+        a = np.array([1, 0], dtype=np.int64)
+        assert mpi.LAND(a, a).dtype == np.int64
+
+
+class TestBitwise:
+    def test_band_bor_bxor(self):
+        a = np.array([0b1100], dtype=np.int32)
+        b = np.array([0b1010], dtype=np.int32)
+        assert mpi.BAND(a, b)[0] == 0b1000
+        assert mpi.BOR(a, b)[0] == 0b1110
+        assert mpi.BXOR(a, b)[0] == 0b0110
+
+
+class TestLoc:
+    def test_maxloc(self):
+        a = np.array([[3.0, 0], [5.0, 0]])
+        b = np.array([[4.0, 1], [2.0, 1]])
+        out = mpi.MAXLOC(a, b)
+        assert out[0].tolist() == [4.0, 1]
+        assert out[1].tolist() == [5.0, 0]
+
+    def test_minloc(self):
+        a = np.array([[3.0, 0]])
+        b = np.array([[3.0, 1]])
+        # Tie: lower index wins.
+        assert mpi.MINLOC(a, b)[0].tolist() == [3.0, 0]
+
+    def test_maxloc_tie_lower_index(self):
+        a = np.array([[7.0, 4]])
+        b = np.array([[7.0, 2]])
+        assert mpi.MAXLOC(a, b)[0].tolist() == [7.0, 2]
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(DatatypeError):
+            mpi.MAXLOC(np.zeros(3), np.zeros(3))
+
+
+class TestUserOp:
+    def test_custom_callable(self):
+        op = mpi.Op(lambda a, b: a * 2 + b, commute=False, name="weird")
+        assert not op.commute
+        np.testing.assert_array_equal(
+            op(np.array([1, 2]), np.array([3, 4])), [5, 8]
+        )
+
+    def test_reduce_arrays_preserves_dtype(self):
+        op = mpi.Op(np.add)
+        acc = np.array([1], dtype=np.int16)
+        out = op.reduce_arrays(acc, np.array([2], dtype=np.int16))
+        assert out.dtype == np.int16
+
+
+@given(
+    st.lists(st.integers(-100, 100), min_size=1, max_size=10),
+    st.lists(st.integers(-100, 100), min_size=1, max_size=10),
+)
+@settings(max_examples=50, deadline=None)
+def test_sum_commutes(xs, ys):
+    n = min(len(xs), len(ys))
+    a = np.array(xs[:n], dtype=np.int64)
+    b = np.array(ys[:n], dtype=np.int64)
+    np.testing.assert_array_equal(mpi.SUM(a, b), mpi.SUM(b, a))
+
+
+@given(st.lists(st.integers(-50, 50), min_size=3, max_size=9))
+@settings(max_examples=50, deadline=None)
+def test_max_associative(xs):
+    n = len(xs) // 3
+    if n == 0:
+        return
+    a, b, c = (np.array(xs[i * n : (i + 1) * n], dtype=np.int64) for i in range(3))
+    np.testing.assert_array_equal(
+        mpi.MAX(mpi.MAX(a, b), c), mpi.MAX(a, mpi.MAX(b, c))
+    )

@@ -1,0 +1,40 @@
+"""Unit tests for ProcessID."""
+
+import pickle
+
+from repro.xdev import ProcessID
+
+
+class TestIdentity:
+    def test_uids_unique(self):
+        ids = [ProcessID() for _ in range(100)]
+        assert len({p.uid for p in ids}) == 100
+
+    def test_equality_by_uid_only(self):
+        p = ProcessID(uid=7, address=("a", 1))
+        q = ProcessID(uid=7, address=("b", 2))
+        assert p == q
+        assert hash(p) == hash(q)
+
+    def test_inequality(self):
+        assert ProcessID(uid=1) != ProcessID(uid=2)
+
+    def test_with_address(self):
+        p = ProcessID(uid=3)
+        q = p.with_address(("host", 99))
+        assert q.uid == 3
+        assert q.address == ("host", 99)
+        assert p == q
+
+    def test_usable_as_dict_key(self):
+        table = {ProcessID(uid=0): "a", ProcessID(uid=1): "b"}
+        assert table[ProcessID(uid=1, address="x")] == "b"
+
+    def test_picklable(self):
+        p = ProcessID(uid=5, address=("127.0.0.1", 1234))
+        q = pickle.loads(pickle.dumps(p))
+        assert q == p
+        assert q.address == p.address
+
+    def test_repr_contains_uid(self):
+        assert "5" in repr(ProcessID(uid=5))

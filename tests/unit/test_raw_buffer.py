@@ -1,0 +1,139 @@
+"""Unit tests for RawBuffer — the direct-byte-buffer analogue."""
+
+import pytest
+
+from repro.buffer import RawBuffer
+
+
+class TestConstruction:
+    def test_empty_buffer(self):
+        buf = RawBuffer()
+        assert buf.size == 0
+        assert buf.remaining == 0
+        assert len(buf) == 0
+
+    def test_minimum_capacity(self):
+        assert RawBuffer(0).capacity >= 16
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RawBuffer(-1)
+
+    def test_requested_capacity_respected(self):
+        assert RawBuffer(1024).capacity >= 1024
+
+
+class TestWrite:
+    def test_write_returns_offset(self):
+        buf = RawBuffer()
+        assert buf.write(b"abc") == 0
+        assert buf.write(b"de") == 3
+        assert buf.size == 5
+
+    def test_write_grows_capacity(self):
+        buf = RawBuffer(16)
+        buf.write(bytes(1000))
+        assert buf.capacity >= 1000
+        assert buf.size == 1000
+
+    def test_growth_preserves_content(self):
+        buf = RawBuffer(16)
+        buf.write(b"hello")
+        buf.write(bytes(100))
+        assert bytes(buf.contents()[:5]) == b"hello"
+
+    def test_writable_view_fills_in_place(self):
+        buf = RawBuffer()
+        view = buf.writable_view(4)
+        view[:] = b"wxyz"
+        assert buf.tobytes() == b"wxyz"
+
+    def test_write_accepts_memoryview(self):
+        buf = RawBuffer()
+        buf.write(memoryview(b"data"))
+        assert buf.tobytes() == b"data"
+
+
+class TestRead:
+    def test_read_consumes(self):
+        buf = RawBuffer()
+        buf.write(b"abcdef")
+        assert bytes(buf.read(3)) == b"abc"
+        assert bytes(buf.read(3)) == b"def"
+        assert buf.remaining == 0
+
+    def test_read_past_end_raises(self):
+        buf = RawBuffer()
+        buf.write(b"ab")
+        with pytest.raises(EOFError):
+            buf.read(3)
+
+    def test_read_negative_raises(self):
+        buf = RawBuffer()
+        with pytest.raises(ValueError):
+            buf.read(-1)
+
+    def test_peek_does_not_consume(self):
+        buf = RawBuffer()
+        buf.write(b"abcd")
+        assert bytes(buf.peek(2)) == b"ab"
+        assert bytes(buf.read(2)) == b"ab"
+
+    def test_peek_with_offset(self):
+        buf = RawBuffer()
+        buf.write(b"abcd")
+        assert bytes(buf.peek(2, offset=2)) == b"cd"
+
+    def test_peek_past_end_raises(self):
+        buf = RawBuffer()
+        buf.write(b"ab")
+        with pytest.raises(EOFError):
+            buf.peek(3)
+
+    def test_skip(self):
+        buf = RawBuffer()
+        buf.write(b"abcd")
+        buf.skip(2)
+        assert bytes(buf.read(2)) == b"cd"
+
+    def test_skip_past_end_raises(self):
+        buf = RawBuffer()
+        with pytest.raises(EOFError):
+            buf.skip(1)
+
+    def test_read_is_zero_copy_view(self):
+        buf = RawBuffer()
+        buf.write(b"abcd")
+        view = buf.read(4)
+        assert isinstance(view, memoryview)
+
+
+class TestLifecycle:
+    def test_clear_resets_cursors(self):
+        buf = RawBuffer()
+        buf.write(b"abcd")
+        buf.read(2)
+        buf.clear()
+        assert buf.size == 0
+        assert buf.remaining == 0
+
+    def test_clear_keeps_capacity(self):
+        buf = RawBuffer(16)
+        buf.write(bytes(500))
+        cap = buf.capacity
+        buf.clear()
+        assert buf.capacity == cap
+
+    def test_rewind_rereads(self):
+        buf = RawBuffer()
+        buf.write(b"xy")
+        assert bytes(buf.read(2)) == b"xy"
+        buf.rewind()
+        assert bytes(buf.read(2)) == b"xy"
+
+    def test_load_replaces_contents(self):
+        buf = RawBuffer()
+        buf.write(b"old data here")
+        buf.load(b"new")
+        assert buf.tobytes() == b"new"
+        assert bytes(buf.read(3)) == b"new"

@@ -1,0 +1,121 @@
+"""Unit tests for mpjdev Request/Status completion semantics."""
+
+import threading
+import time
+
+import pytest
+
+from repro.mpjdev.request import CompletedRequest, Request, Status
+
+
+class TestCompletion:
+    def test_starts_pending(self):
+        req = Request(Request.RECV)
+        assert not req.done
+        assert req.test() is None
+
+    def test_complete_sets_status(self):
+        req = Request(Request.SEND)
+        req.complete(Status(tag=5, size=10))
+        assert req.done
+        assert req.test().tag == 5
+
+    def test_double_complete_raises(self):
+        req = Request(Request.SEND)
+        req.complete(Status())
+        with pytest.raises(RuntimeError):
+            req.complete(Status())
+
+    def test_wait_returns_status(self):
+        req = Request(Request.RECV)
+        req.complete(Status(size=3))
+        assert req.wait().size == 3
+
+    def test_wait_blocks_until_complete(self):
+        req = Request(Request.RECV)
+
+        def completer():
+            time.sleep(0.05)
+            req.complete(Status(tag=1))
+
+        threading.Thread(target=completer).start()
+        assert req.wait(timeout=5).tag == 1
+
+    def test_wait_timeout(self):
+        req = Request(Request.RECV)
+        with pytest.raises(TimeoutError):
+            req.wait(timeout=0.05)
+
+    def test_mpijava_spellings(self):
+        req = Request(Request.SEND)
+        assert req.Test() is None
+        req.complete(Status())
+        assert req.Wait() is not None
+
+
+class TestListeners:
+    def test_listener_runs_on_completion(self):
+        req = Request(Request.SEND)
+        seen = []
+        req.add_completion_listener(seen.append)
+        assert not seen
+        req.complete(Status())
+        assert seen == [req]
+
+    def test_listener_after_completion_runs_immediately(self):
+        req = Request(Request.SEND)
+        req.complete(Status())
+        seen = []
+        req.add_completion_listener(seen.append)
+        assert seen == [req]
+
+    def test_multiple_listeners_all_run(self):
+        req = Request(Request.SEND)
+        seen = []
+        for _ in range(3):
+            req.add_completion_listener(lambda r: seen.append(r))
+        req.complete(Status())
+        assert len(seen) == 3
+
+    def test_listener_registration_race(self):
+        """A listener added concurrently with completion never gets lost."""
+        for _ in range(50):
+            req = Request(Request.SEND)
+            seen = []
+            barrier = threading.Barrier(2)
+
+            def add():
+                barrier.wait()
+                req.add_completion_listener(seen.append)
+
+            def finish():
+                barrier.wait()
+                req.complete(Status())
+
+            t1 = threading.Thread(target=add)
+            t2 = threading.Thread(target=finish)
+            t1.start(); t2.start()
+            t1.join(); t2.join()
+            assert seen == [req]
+
+
+class TestSequencing:
+    def test_seqnos_strictly_increasing(self):
+        a, b, c = Request("send"), Request("recv"), Request("send")
+        assert a.seqno < b.seqno < c.seqno
+
+    def test_waitany_ref_default_none(self):
+        # "Otherwise, the WaitAny object reference in Request object is
+        # null" (paper IV-E.1).
+        assert Request(Request.RECV).waitany_ref is None
+
+
+class TestCompletedRequest:
+    def test_born_done(self):
+        req = CompletedRequest()
+        assert req.done
+        assert req.wait(timeout=0) is not None
+
+    def test_carries_given_status(self):
+        req = CompletedRequest(status=Status(tag=9))
+        assert req.test().tag == 9

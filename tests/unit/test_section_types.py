@@ -1,0 +1,74 @@
+"""Unit tests for section type codes and dtype mapping."""
+
+import numpy as np
+import pytest
+
+from repro.buffer import SectionType, dtype_for, element_size, section_type_for_dtype
+
+
+class TestDtypeFor:
+    @pytest.mark.parametrize(
+        "stype,expected_size",
+        [
+            (SectionType.BYTE, 1),
+            (SectionType.BOOLEAN, 1),
+            (SectionType.CHAR, 2),
+            (SectionType.SHORT, 2),
+            (SectionType.INT, 4),
+            (SectionType.LONG, 8),
+            (SectionType.FLOAT, 4),
+            (SectionType.DOUBLE, 8),
+        ],
+    )
+    def test_sizes_match_java(self, stype, expected_size):
+        assert element_size(stype) == expected_size
+
+    def test_object_has_no_dtype(self):
+        with pytest.raises(ValueError):
+            dtype_for(SectionType.OBJECT)
+
+    def test_wire_dtypes_little_endian(self):
+        for stype in SectionType:
+            if stype == SectionType.OBJECT:
+                continue
+            dt = dtype_for(stype)
+            # Equal to its explicit little-endian form (numpy may
+            # normalize '<' to '=' on little-endian hosts).
+            assert dt == dt.newbyteorder("<"), f"{stype} is not little-endian"
+
+
+class TestInverse:
+    @pytest.mark.parametrize(
+        "np_dtype,stype",
+        [
+            ("int8", SectionType.BYTE),
+            ("uint8", SectionType.BYTE),
+            ("bool", SectionType.BOOLEAN),
+            ("uint16", SectionType.CHAR),
+            ("int16", SectionType.SHORT),
+            ("int32", SectionType.INT),
+            ("int64", SectionType.LONG),
+            ("float32", SectionType.FLOAT),
+            ("float64", SectionType.DOUBLE),
+            ("uint32", SectionType.INT),  # unsigned → same-width signed
+            ("uint64", SectionType.LONG),
+        ],
+    )
+    def test_mapping(self, np_dtype, stype):
+        assert section_type_for_dtype(np.dtype(np_dtype)) == stype
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            section_type_for_dtype(np.dtype("complex128"))
+
+    def test_roundtrip_consistency(self):
+        for stype in SectionType:
+            if stype == SectionType.OBJECT:
+                continue
+            assert section_type_for_dtype(dtype_for(stype)) == stype
+
+    def test_codes_are_stable_wire_values(self):
+        # These values are serialized; changing them breaks the format.
+        assert SectionType.BYTE == 1
+        assert SectionType.DOUBLE == 8
+        assert SectionType.OBJECT == 9

@@ -1,0 +1,123 @@
+"""Tests for the communication tracing decorator."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.buffer import Buffer
+from repro.trace import TracingDevice
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def traced_pair():
+    devices, pids = make_job("smdev", 2)
+    traced = [TracingDevice(d) for d in devices]
+    yield traced, pids
+    for d in devices:
+        d.finish()
+
+
+def send_buffer(arr):
+    buf = Buffer(capacity=arr.nbytes + 64)
+    buf.write(arr)
+    return buf
+
+
+class TestRecording:
+    def test_send_recv_recorded(self, traced_pair):
+        traced, pids = traced_pair
+        data = np.arange(4, dtype=np.int64)
+        t = threading.Thread(
+            target=lambda: traced[0].send(send_buffer(data), pids[1], 5, 0)
+        )
+        t.start()
+        rbuf = Buffer()
+        traced[1].recv(rbuf, pids[0], 5, 0)
+        t.join(10)
+
+        sends = [e for e in traced[0].events() if e.op == "send"]
+        assert len(sends) == 1
+        assert sends[0].tag == 5
+        assert sends[0].peer == pids[1].uid
+        assert sends[0].size == 37  # 5-byte header + 32 payload
+        assert sends[0].completed_at is not None
+
+        recvs = [e for e in traced[1].events() if e.op == "recv"]
+        assert len(recvs) == 1
+        assert recvs[0].completed_at is not None
+
+    def test_pending_irecv_listed(self, traced_pair):
+        traced, pids = traced_pair
+        rbuf = Buffer()
+        req = traced[1].irecv(rbuf, pids[0], 9, 0)
+        pending = traced[1].pending_events()
+        assert len(pending) == 1
+        assert pending[0].op == "irecv"
+        # Satisfy it: pending list empties.
+        traced[0].send(send_buffer(np.array([1], dtype=np.int8)), pids[1], 9, 0)
+        req.wait(timeout=10)
+        assert traced[1].pending_events() == []
+
+    def test_summary(self, traced_pair):
+        traced, pids = traced_pair
+        for i in range(3):
+            traced[0].send(send_buffer(np.array([i], dtype=np.int64)), pids[1], i, 0)
+        summary = traced[0].summary()
+        assert summary["by_op"]["send"] == 3
+        assert summary["bytes_sent"] == 3 * 13
+        for i in range(3):
+            rbuf = Buffer()
+            traced[1].recv(rbuf, pids[0], i, 0)
+
+    def test_dump_json_is_valid(self, traced_pair):
+        traced, pids = traced_pair
+        traced[0].send(send_buffer(np.array([1], dtype=np.int8)), pids[1], 1, 0)
+        rbuf = Buffer()
+        traced[1].recv(rbuf, pids[0], 1, 0)
+        events = json.loads(traced[0].dump_json())
+        assert any(e["op"] == "send" for e in events)
+
+    def test_clear(self, traced_pair):
+        traced, pids = traced_pair
+        traced[0].send(send_buffer(np.array([1], dtype=np.int8)), pids[1], 1, 0)
+        traced[0].clear()
+        assert traced[0].events() == []
+        rbuf = Buffer()
+        traced[1].recv(rbuf, pids[0], 1, 0)
+
+    def test_sequence_monotone(self, traced_pair):
+        traced, pids = traced_pair
+        for i in range(4):
+            traced[0].iprobe(pids[1], i, 0)
+        seqs = [e.seq for e in traced[0].events()]
+        assert seqs == sorted(seqs)
+
+
+class TestDelegation:
+    def test_traced_device_fully_functional(self, traced_pair):
+        """The decorator must be a drop-in Device."""
+        traced, pids = traced_pair
+        # ssend, probe, peek all pass through.
+        t = threading.Thread(
+            target=lambda: traced[0].ssend(
+                send_buffer(np.array([2], dtype=np.int8)), pids[1], 3, 0
+            )
+        )
+        t.start()
+        status = traced[1].probe(pids[0], 3, 0)
+        assert status.tag == 3
+        rbuf = Buffer()
+        traced[1].recv(rbuf, pids[0], 3, 0)
+        t.join(10)
+        assert traced[1].peek(timeout=5) is not None
+
+    def test_overheads_delegated(self, traced_pair):
+        traced, _pids = traced_pair
+        assert traced[0].get_send_overhead() == traced[0].inner.get_send_overhead()
+
+    def test_id_delegated(self, traced_pair):
+        traced, pids = traced_pair
+        assert traced[0].id().uid == pids[0].uid
