@@ -44,13 +44,26 @@ class Status:
         return self.size
 
 
+class RequestFailedError(Exception):
+    """The operation behind a request failed instead of completing.
+
+    Raised from :meth:`Request.wait`/:meth:`Request.test` after the
+    device calls :meth:`Request.fail` — e.g. a truncated payload that
+    cannot be unpacked into the posted buffer.  The original error is
+    chained as ``__cause__``.
+    """
+
+
 class Request:
     """A pending or completed communication operation.
 
     The completion protocol: the device calls :meth:`complete` exactly
     once; every listener registered with :meth:`add_completion_listener`
     runs on the completing thread *after* the request is marked done,
-    and blocked waiters are then woken.
+    and blocked waiters are then woken.  A request that can never
+    complete (payload corrupt, peer gone) is flipped with :meth:`fail`
+    instead, which wakes waiters with :class:`RequestFailedError`
+    rather than leaving them blocked forever.
     """
 
     SEND = "send"
@@ -62,6 +75,7 @@ class Request:
         "_cond",
         "_status",
         "_done",
+        "_exc",
         "_listeners",
         "waitany_ref",
         "context",
@@ -79,6 +93,7 @@ class Request:
         self._cond = threading.Condition()
         self._status: Optional[Status] = None
         self._done = False
+        self._exc: Optional[BaseException] = None
         self._listeners: list[Callable[["Request"], None]] = []
         #: WaitAny object this request participates in, else None
         #: (paper Section IV-E.1).
@@ -107,6 +122,40 @@ class Request:
         for listener in listeners:
             listener(self)
 
+    def fail(self, exc: BaseException) -> None:
+        """Mark this request failed with *exc* (called at most once).
+
+        Waiters wake with :class:`RequestFailedError`; completion
+        listeners still run (so peek queues and Waitany callers learn
+        about the failure instead of sleeping forever).
+        """
+        with self._cond:
+            if self._done:
+                raise RuntimeError("request completed twice")
+            self._exc = exc
+            self._done = True
+            listeners = list(self._listeners)
+            self._cond.notify_all()
+        for listener in listeners:
+            listener(self)
+
+    @property
+    def failed(self) -> bool:
+        with self._cond:
+            return self._exc is not None
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The failure cause, or None if pending/completed."""
+        with self._cond:
+            return self._exc
+
+    def _raise_failure(self) -> None:
+        raise RequestFailedError(
+            f"{self.kind} request (tag={self.tag}, peer={self.peer}) "
+            f"failed: {self._exc}"
+        ) from self._exc
+
     def add_completion_listener(self, fn: Callable[["Request"], None]) -> None:
         """Run *fn(self)* when the request completes.
 
@@ -132,8 +181,15 @@ class Request:
             return self._done
 
     def test(self) -> Optional[Status]:
-        """Non-blocking completion check: Status if done, else None."""
+        """Non-blocking completion check: Status if done, else None.
+
+        Raises :class:`RequestFailedError` for a failed request — a
+        poll loop must not spin forever on an operation that can never
+        complete.
+        """
         with self._cond:
+            if self._exc is not None:
+                self._raise_failure()
             return self._status if self._done else None
 
     def wait(self, timeout: Optional[float] = None) -> Status:
@@ -148,6 +204,8 @@ class Request:
                     f"{self.kind} request (tag={self.tag}, peer={self.peer}) "
                     f"did not complete within {timeout}s"
                 )
+            if self._exc is not None:
+                self._raise_failure()
             assert self._status is not None
             return self._status
 

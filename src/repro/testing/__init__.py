@@ -1,0 +1,58 @@
+"""Concurrency-torture harness: chaosdev, seeded scheduling, watchdog.
+
+The correctness-tooling layer behind the paper's thread-safety claim.
+Three cooperating pieces:
+
+* :mod:`repro.testing.chaos` — ``chaosdev``, a wrapper Device that
+  injects seeded, deterministic frame-level faults (delays, safe
+  reordering, duplicated RTS/RTR, truncated payloads);
+* :mod:`repro.testing.scheduler` — a seeded interleaving scheduler
+  for smdev's per-rank frame queues, replaying delivery choices from
+  a PRNG seed;
+* :mod:`repro.testing.watchdog` — lock-order cycle detection over the
+  engine's locks plus a stuck-progress watchdog with trace-integrated
+  stall reports.
+
+Plus :func:`repro.testing.sync.wait_until` for race-free test
+synchronization and pytest fixtures in :mod:`repro.testing.fixtures`.
+"""
+
+from repro.testing.chaos import (
+    ChaosConfig,
+    ChaosDevice,
+    ChaosEvent,
+    ChaosTransport,
+    SEED_ENV_VAR,
+    seed_from_env,
+)
+from repro.testing.scheduler import (
+    ScheduledInbox,
+    SeededSchedule,
+    make_scheduled_fabric,
+)
+from repro.testing.sync import wait_until
+from repro.testing.watchdog import (
+    InstrumentedLock,
+    LockGraph,
+    LockOrderViolation,
+    ProgressWatchdog,
+    instrument_engine,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosDevice",
+    "ChaosEvent",
+    "ChaosTransport",
+    "SEED_ENV_VAR",
+    "seed_from_env",
+    "ScheduledInbox",
+    "SeededSchedule",
+    "make_scheduled_fabric",
+    "wait_until",
+    "InstrumentedLock",
+    "LockGraph",
+    "LockOrderViolation",
+    "ProgressWatchdog",
+    "instrument_engine",
+]

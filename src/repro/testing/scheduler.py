@@ -1,0 +1,135 @@
+"""Seeded interleaving scheduler for smdev's per-rank frame queues.
+
+smdev delivers frames in exact arrival order, which means a test run
+exercises exactly one interleaving — whichever one the OS scheduler
+happened to produce.  :func:`make_scheduled_fabric` builds an
+:class:`~repro.xdev.smdev.SMFabric` whose inboxes are
+:class:`ScheduledInbox` objects: each ``get()`` picks the next frame
+to deliver with a PRNG seeded by the test, permuting delivery across
+independent streams while preserving MPI's per-stream FIFO guarantee
+(frames from one source with one ``(context, tag)`` key are never
+reordered against each other).
+
+Every choice is recorded in the shared :class:`SeededSchedule`; a
+failing test prints its seed, and re-running with that seed replays
+the same sequence of scheduler choices.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Any, Optional
+
+from repro.xdev.frames import FrameHeader, FrameType, HEADER_SIZE
+from repro.xdev.smdev import SMFabric
+
+
+class SeededSchedule:
+    """The PRNG and choice log shared by every inbox of one job."""
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        #: (rank, chosen index, number of candidates) per decision.
+        self.choices: list[tuple[int, int, int]] = []
+
+    def pick(self, rank: int, n: int) -> int:
+        """Choose one of *n* deliverable frames for *rank*'s inbox."""
+        with self._lock:
+            idx = self._rng.randrange(n) if n > 1 else 0
+            self.choices.append((rank, idx, n))
+            return idx
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SeededSchedule(seed={self.seed}, choices={len(self.choices)})"
+
+
+class ScheduledInbox:
+    """A drop-in replacement for smdev's ``queue.Queue`` inboxes.
+
+    Buffers enqueued frames and, on every ``get()``, delivers one
+    chosen by the :class:`SeededSchedule` among the *eligible heads*:
+    for matching-ordered frames (EAGER/RTS) only the earliest frame of
+    each ``(src, context, tag)`` stream is a candidate; id-addressed
+    frames (RTR/RNDZ_DATA) and BYE are always candidates.  Control
+    items (the transport's shutdown sentinel) are delivered only once
+    the buffer is empty, so no frame is lost at teardown.
+    """
+
+    def __init__(
+        self, schedule: SeededSchedule, rank: int, gather_window_s: float = 0.001
+    ) -> None:
+        self._schedule = schedule
+        self._rank = rank
+        #: After the first frame arrives, wait this long for rivals so
+        #: the scheduler has an actual choice to make under contention.
+        self._gather_window_s = gather_window_s
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._frames: list[tuple[Any, Any]] = []  # (item, stream key | None)
+        self._controls: list[Any] = []
+
+    @staticmethod
+    def _stream_key(item: Any) -> Optional[tuple]:
+        src_pid, data = item
+        header = FrameHeader.decode(bytes(data[:HEADER_SIZE]))
+        if header.type in (FrameType.EAGER, FrameType.RTS):
+            return (src_pid.uid, header.context, header.tag)
+        return None
+
+    # queue.Queue-compatible surface used by SMTransport ---------------
+
+    def put(self, item: Any) -> None:
+        with self._cond:
+            if isinstance(item, tuple) and len(item) == 2:
+                self._frames.append((item, self._stream_key(item)))
+            else:
+                self._controls.append(item)
+            self._cond.notify_all()
+
+    def get(self) -> Any:
+        with self._cond:
+            self._cond.wait_for(lambda: self._frames or self._controls)
+            if not self._frames:
+                return self._controls.pop(0)
+            if self._gather_window_s > 0 and len(self._frames) < 2:
+                deadline = time.monotonic() + self._gather_window_s
+                while len(self._frames) < 2:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        break
+            eligible: list[int] = []
+            seen_streams: set[tuple] = set()
+            for i, (_item, key) in enumerate(self._frames):
+                if key is None:
+                    eligible.append(i)
+                elif key not in seen_streams:
+                    seen_streams.add(key)
+                    eligible.append(i)
+            choice = self._schedule.pick(self._rank, len(eligible))
+            item, _key = self._frames.pop(eligible[choice])
+            return item
+
+    def qsize(self) -> int:
+        with self._lock:
+            return len(self._frames) + len(self._controls)
+
+
+def make_scheduled_fabric(
+    nprocs: int,
+    seed: int,
+    schedule: Optional[SeededSchedule] = None,
+    gather_window_s: float = 0.001,
+) -> tuple[SMFabric, SeededSchedule]:
+    """An SMFabric whose inboxes replay the seeded schedule."""
+    if schedule is None:
+        schedule = SeededSchedule(seed)
+    fabric = SMFabric(nprocs)
+    fabric.inboxes = [
+        ScheduledInbox(schedule, rank, gather_window_s=gather_window_s)
+        for rank in range(nprocs)
+    ]
+    return fabric, schedule

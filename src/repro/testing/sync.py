@@ -1,0 +1,31 @@
+"""Deterministic synchronization helpers for concurrent tests.
+
+``time.sleep(0.05)`` in a test is a guess about scheduling; it is both
+slow (the guess must be generous) and flaky (the guess can be wrong).
+:func:`wait_until` replaces the guess with the condition the sleep was
+approximating, bounded by an explicit timeout.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+def wait_until(
+    predicate: Callable[[], bool],
+    timeout: float = 5.0,
+    interval: float = 0.001,
+    message: str = "condition",
+) -> None:
+    """Poll *predicate* until it is true or *timeout* seconds elapse.
+
+    Raises :class:`TimeoutError` naming *message* on expiry.  The poll
+    interval is short because callers wait for in-process state — this
+    is a test aid, not a production busy-wait.
+    """
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise TimeoutError(f"timed out after {timeout}s waiting for {message}")
+        time.sleep(interval)

@@ -19,6 +19,16 @@ class ConnectionSetupError(XDevException):
     """A device failed to establish its peer connections during ``init``."""
 
 
+class DuplicateControlFrameError(XDevException):
+    """A rendezvous control frame (RTS/RTR) arrived more than once.
+
+    Duplicated control frames would silently consume posted receives
+    (a duplicate RTS matches — and forever wedges — a second receive)
+    or complete a send twice, so the engine rejects them loudly; the
+    transport contains the error and the duplicate costs nothing.
+    """
+
+
 class ResourceExhaustedError(XDevException):
     """A device ran out of an OS resource (e.g. threads).
 

@@ -44,7 +44,11 @@ from repro.buffer import Buffer
 from repro.buffer.pool import BufferPool, DEFAULT_POOL
 from repro.mpjdev.request import Request, Status
 from repro.xdev.constants import ANY_SOURCE
-from repro.xdev.exceptions import DeviceFinishedError, XDevException
+from repro.xdev.exceptions import (
+    DeviceFinishedError,
+    DuplicateControlFrameError,
+    XDevException,
+)
 from repro.xdev.frames import FrameHeader, FrameType, encode_frame
 from repro.xdev.matching import ArrivedMessage, MessageQueues, PostedRecv
 from repro.xdev.processid import ProcessID
@@ -120,8 +124,14 @@ class ProtocolEngine:
         self._recv_lock = threading.Lock()
         self._recv_cond = threading.Condition(self._recv_lock)
         self._queues = MessageQueues()
-        #: recv_id -> Request, for rendezvous data addressed by id
-        self._rendezvous_recvs: dict[int, tuple[Request, ProcessID, int, int]] = {}
+        #: recv_id -> (Request, src, tag, context, send_id), for
+        #: rendezvous data addressed by id
+        self._rendezvous_recvs: dict[
+            int, tuple[Request, ProcessID, int, int, int]
+        ] = {}
+        #: (src uid, send_id) of every RTS seen but not yet satisfied
+        #: by its RNDZ_DATA — duplicates are rejected against this set.
+        self._active_rts: set[tuple[int, int]] = set()
 
         # send-communication-sets lock
         self._send_lock = threading.Lock()
@@ -145,6 +155,9 @@ class ProtocolEngine:
             "rendezvous_sends": 0,
             "unexpected_messages": 0,
             "rendezvous_writer_threads": 0,
+            "completions": 0,
+            "duplicate_control_frames": 0,
+            "failed_deliveries": 0,
         }
 
     # ------------------------------------------------------------------
@@ -170,6 +183,7 @@ class ProtocolEngine:
 
     def _on_complete(self, request: Request) -> None:
         with self._completed_cond:
+            self.stats["completions"] += 1
             self._completed.append(request)
             self._completed_cond.notify_all()
 
@@ -274,6 +288,7 @@ class ProtocolEngine:
                         msg.src_pid,
                         msg.tag,
                         msg.context,
+                        msg.send_id,
                     )
                     rts_to_answer = msg
                 else:
@@ -301,8 +316,19 @@ class ProtocolEngine:
         return self.irecv(buf, src, tag, context).wait()
 
     def _deliver(self, request: Request, buf: Buffer, msg: ArrivedMessage) -> None:
-        """Unpack an arrived eager message into the posted buffer."""
-        buf.load_wire(msg.payload)
+        """Unpack an arrived eager message into the posted buffer.
+
+        A payload that cannot be unpacked (truncated/corrupt wire
+        data) fails the request — waiters must wake with the error,
+        not block forever — and is then re-raised so the transport
+        records the frame-level fault.
+        """
+        try:
+            buf.load_wire(msg.payload)
+        except Exception as exc:
+            self.stats["failed_deliveries"] += 1
+            request.fail(exc)
+            raise
         request.complete(
             Status(source=msg.src_pid, tag=msg.tag, size=buf.size, buffer=buf)
         )
@@ -408,6 +434,15 @@ class ProtocolEngine:
         matched: Optional[PostedRecv] = None
         recv_id = 0
         with self._recv_cond:
+            # A duplicated RTS would claim (and forever wedge) a second
+            # posted receive; reject it before it can match anything.
+            rts_key = (src_pid.uid, header.send_id)
+            if rts_key in self._active_rts:
+                self.stats["duplicate_control_frames"] += 1
+                raise DuplicateControlFrameError(
+                    f"duplicate RTS send_id={header.send_id} from {src_pid}"
+                )
+            self._active_rts.add(rts_key)
             msg = ArrivedMessage(
                 context=header.context,
                 tag=header.tag,
@@ -426,6 +461,7 @@ class ProtocolEngine:
                     src_pid,
                     header.tag,
                     header.context,
+                    header.send_id,
                 )
             else:
                 self.stats["unexpected_messages"] += 1
@@ -449,8 +485,13 @@ class ProtocolEngine:
         with self._send_lock:
             pending = self._pending_sends.pop(header.send_id, None)
         if pending is None:
-            raise XDevException(
+            # Either corruption or a duplicated RTR — the first RTR
+            # already consumed the pending send, so answering again
+            # would complete the request twice.  Reject loudly.
+            self.stats["duplicate_control_frames"] += 1
+            raise DuplicateControlFrameError(
                 f"RTR for unknown send id {header.send_id} from {src_pid}"
+                " (duplicate or corrupt ready-to-recv)"
             )
 
         def rendez_write() -> None:
@@ -482,12 +523,20 @@ class ProtocolEngine:
     ) -> None:
         with self._recv_lock:
             entry = self._rendezvous_recvs.pop(header.recv_id, None)
+            if entry is not None:
+                self._active_rts.discard((src_pid.uid, entry[4]))
         if entry is None:
-            raise XDevException(
+            raise DuplicateControlFrameError(
                 f"rendezvous data for unknown recv id {header.recv_id}"
+                " (duplicate or corrupt)"
             )
-        request, peer, tag, context = entry
-        request.buffer.load_wire(payload)
+        request, peer, tag, context, _send_id = entry
+        try:
+            request.buffer.load_wire(payload)
+        except Exception as exc:
+            self.stats["failed_deliveries"] += 1
+            request.fail(exc)
+            raise
         request.complete(
             Status(source=peer, tag=tag, size=request.buffer.size, buffer=request.buffer)
         )
@@ -509,3 +558,13 @@ class ProtocolEngine:
     def unexpected_count(self) -> int:
         with self._recv_lock:
             return self._queues.unexpected_count()
+
+    def pending_send_count(self) -> int:
+        """Rendezvous sends awaiting their ready-to-recv."""
+        with self._send_lock:
+            return len(self._pending_sends)
+
+    def rendezvous_recv_count(self) -> int:
+        """Rendezvous receives awaiting their data frame."""
+        with self._recv_lock:
+            return len(self._rendezvous_recvs)

@@ -9,6 +9,10 @@ from __future__ import annotations
 
 import pytest
 
+#: The torture-harness fixtures (chaos_job, seeded_schedule, chaos_seed)
+#: and the failure-report hook that prints the replay seed.
+pytest_plugins = ["repro.testing.fixtures"]
+
 #: All four devices of DESIGN.md's inventory, plus the tracing
 #: decorator over smdev — the whole device-generic matrix must pass
 #: through the tracer unchanged (decorator-correctness guarantee).

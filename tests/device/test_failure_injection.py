@@ -13,8 +13,8 @@ import numpy as np
 import pytest
 
 from repro.buffer import Buffer, BufferFormatError
-from repro.xdev.exceptions import XDevException
-from repro.xdev.frames import FrameHeader, FrameType, encode_frame
+from repro.xdev.exceptions import DuplicateControlFrameError, XDevException
+from repro.xdev.frames import HEADER_SIZE, FrameHeader, FrameType, encode_frame
 from repro.xdev.processid import ProcessID
 from repro.xdev.protocol import ProtocolEngine, Transport
 
@@ -69,6 +69,84 @@ class TestProtocolViolations:
         header = FrameHeader(FrameType.EAGER, 0, 1, 0, 0, payload_len=5)
         with pytest.raises(BufferFormatError):
             engine.handle_frame(ProcessID(uid=1), header, b"xxxxx")
+
+
+class TestDuplicateControlFrames:
+    """Regression tests for the duplicate-RTS wedge.
+
+    Before the engine tracked active rendezvous handshakes, a
+    duplicated RTS would claim (and forever wedge) a second posted
+    receive, and a duplicated RTR would complete the send request
+    twice.  Both must now be rejected loudly without consuming
+    protocol state.
+    """
+
+    SRC = ProcessID(uid=1)
+
+    def _rts(self, send_id=10, tag=1, size=4096):
+        # RTS frames advertise the payload size in recv_id.
+        return FrameHeader(
+            FrameType.RTS, 0, tag, send_id=send_id, recv_id=size, payload_len=0
+        )
+
+    def test_duplicate_rts_does_not_claim_second_recv(self, engine):
+        first, second = Buffer(), Buffer()
+        engine.irecv(first, self.SRC, 1, 0)
+        engine.irecv(second, self.SRC, 1, 0)
+        engine.handle_frame(self.SRC, self._rts(), b"")
+        assert engine.pending_recv_count() == 1
+        assert len(engine.transport.writes) == 1  # the RTR
+
+        with pytest.raises(DuplicateControlFrameError, match="duplicate RTS"):
+            engine.handle_frame(self.SRC, self._rts(), b"")
+        # The second posted receive survives, no second RTR went out.
+        assert engine.pending_recv_count() == 1
+        assert len(engine.transport.writes) == 1
+        assert engine.stats["duplicate_control_frames"] == 1
+
+    def test_duplicate_unexpected_rts_rejected(self, engine):
+        engine.handle_frame(self.SRC, self._rts(), b"")
+        assert engine.unexpected_count() == 1
+        with pytest.raises(DuplicateControlFrameError):
+            engine.handle_frame(self.SRC, self._rts(), b"")
+        assert engine.unexpected_count() == 1
+
+    def test_duplicate_rtr_cannot_complete_send_twice(self, engine):
+        big = Buffer(capacity=engine.eager_threshold * 2)
+        big.write(np.zeros(engine.eager_threshold // 8 + 16, dtype=np.int64))
+        sreq = engine.isend(big, self.SRC, 3, 0)
+        _dest, rts_bytes = engine.transport.writes[0]
+        send_id = FrameHeader.decode(rts_bytes[:HEADER_SIZE]).send_id
+
+        rtr = FrameHeader(FrameType.RTR, 0, 3, send_id=send_id, recv_id=7, payload_len=0)
+        engine.handle_frame(self.SRC, rtr, b"")
+        assert sreq.test() is not None  # completed by the first RTR
+        with pytest.raises(DuplicateControlFrameError, match="unknown send id"):
+            engine.handle_frame(self.SRC, rtr, b"")
+        assert engine.stats["duplicate_control_frames"] == 1
+
+    def test_handshake_state_retires_after_rendezvous_data(self, engine):
+        """Completed handshakes are forgotten — send ids may recycle."""
+        rbuf = Buffer()
+        engine.irecv(rbuf, self.SRC, 1, 0)
+        engine.handle_frame(self.SRC, self._rts(send_id=77), b"")
+        _dest, rtr_bytes = engine.transport.writes[0]
+        recv_id = FrameHeader.decode(rtr_bytes[:HEADER_SIZE]).recv_id
+
+        payload_buf = Buffer()
+        payload_buf.write(np.array([1, 2, 3], dtype=np.int64))
+        wire = payload_buf.to_wire()
+        data = FrameHeader(
+            FrameType.RNDZ_DATA, 0, 1, send_id=0, recv_id=recv_id,
+            payload_len=len(wire),
+        )
+        engine.handle_frame(self.SRC, data, wire)
+        assert not engine._active_rts
+        # The same send id arriving fresh is a new handshake, not a dup.
+        rbuf2 = Buffer()
+        engine.irecv(rbuf2, self.SRC, 1, 0)
+        engine.handle_frame(self.SRC, self._rts(send_id=77), b"")
+        assert engine.stats["duplicate_control_frames"] == 0
 
 
 class TestSocketFailures:

@@ -5,12 +5,12 @@ thread explosion under many outstanding operations (Section VI) and
 poll-based receives (the CPU-stealing behaviour behind Section V-A).
 """
 
-import time
 
 import numpy as np
 import pytest
 
 from repro.buffer import Buffer
+from repro.testing import wait_until
 from repro.xdev import new_instance
 from repro.xdev.constants import ANY_SOURCE
 from repro.xdev.device import DeviceConfig
@@ -88,10 +88,11 @@ class TestThreadBudget:
                     )
                 for r in reqs:
                     r.wait(timeout=20)
-                deadline = time.time() + 10
-                while fabric.live_threads > 0 and time.time() < deadline:
-                    time.sleep(0.01)
-                assert fabric.live_threads == 0
+                wait_until(
+                    lambda: fabric.live_threads == 0,
+                    timeout=10,
+                    message="receive threads retired",
+                )
         finally:
             for d in devices:
                 d.finish()
@@ -102,9 +103,11 @@ class TestPolling:
         devices, pids = make_job("ibisdev", 2, options={"poll_interval": 0.001})
         try:
             req = devices[1].irecv(Buffer(), pids[0], 1, 0)
-            time.sleep(0.08)
-            polls_before_send = devices[1].stats["poll_iterations"]
-            assert polls_before_send > 10, "receive thread is not polling"
+            wait_until(
+                lambda: devices[1].stats["poll_iterations"] > 10,
+                timeout=10,
+                message="receive thread polling",
+            )
             devices[0].send(send_buffer(np.array([1], dtype=np.int64)), pids[1], 1, 0)
             req.wait(timeout=20)
         finally:

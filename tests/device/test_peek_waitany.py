@@ -1,13 +1,13 @@
 """Tests for the device peek() and the WaitAny machinery (paper IV-E.1)."""
 
 import threading
-import time
 
 import numpy as np
 import pytest
 
 from repro.buffer import Buffer
 from repro.mpjdev.waitany import WaitAnyQueue, waitany
+from repro.testing import wait_until
 from repro.xdev.constants import ANY_SOURCE
 
 
@@ -30,18 +30,19 @@ class TestPeek:
         devs, pids = job2
         rbuf = Buffer()
         rreq = devs[1].irecv(rbuf, pids[0], 2, 0)
+        out = {}
 
-        def late_send():
-            time.sleep(0.1)
-            devs[0].send(send_buffer(2), pids[1], 2, 0)
+        def peeker():
+            out["req"] = devs[1].peek(timeout=10)
 
-        t = threading.Thread(target=late_send, daemon=True)
+        t = threading.Thread(target=peeker, daemon=True)
         t.start()
-        start = time.monotonic()
-        peeked = devs[1].peek(timeout=10)
-        assert time.monotonic() - start >= 0.05
-        assert peeked is rreq
-        t.join(5)
+        # Nothing has completed, so peek must still be blocking — it
+        # could only have returned by burning its whole 10 s timeout.
+        assert "req" not in out
+        devs[0].send(send_buffer(2), pids[1], 2, 0)
+        t.join(10)
+        assert out["req"] is rreq
 
     def test_peek_timeout(self, job2):
         devs, _pids = job2
@@ -120,7 +121,12 @@ class TestWaitAny:
         threads = [threading.Thread(target=waiter, args=(i,)) for i in range(nthreads)]
         for t in threads:
             t.start()
-        time.sleep(0.05)
+        wait_until(
+            lambda: getattr(devs[1], "_waitany_queue", None) is not None
+            and len(devs[1]._waitany_queue) == nthreads,
+            timeout=10,
+            message="all waitany callers enqueued",
+        )
         for i in range(nthreads):
             devs[0].send(send_buffer(i), pids[1], 40 + i, 0)
         for t in threads:
@@ -139,16 +145,26 @@ class TestWaitAny:
         # Now a real waitany on a different request:
         rbuf = Buffer()
         req = devs[1].irecv(rbuf, pids[0], 51, 0)
+        out = {}
 
-        def sender():
-            time.sleep(0.05)
-            devs[0].send(send_buffer(1), pids[1], 51, 0)
+        def waiter():
+            out["r"] = waitany(devs[1], [req], timeout=10)
 
-        t = threading.Thread(target=sender, daemon=True)
+        t = threading.Thread(target=waiter, daemon=True)
         t.start()
-        idx, status = waitany(devs[1], [req], timeout=10)
+        # Once the caller is enqueued its first peek (which sees only
+        # the foreign noise completion) is already under way; satisfy
+        # the real request only then.
+        wait_until(
+            lambda: getattr(devs[1], "_waitany_queue", None) is not None
+            and len(devs[1]._waitany_queue) == 1,
+            timeout=10,
+            message="waitany enqueued",
+        )
+        devs[0].send(send_buffer(1), pids[1], 51, 0)
+        t.join(10)
+        idx, status = out["r"]
         assert idx == 0 and status.tag == 51
-        t.join(5)
 
     def test_scenario2_front_wakes_other_waitany(self, job2):
         """The front WaitAny's peek returns a completion belonging to a
@@ -168,12 +184,19 @@ class TestWaitAny:
             results[name] = status.tag
             order.append(name)
 
+        def queued(n):
+            # The queue attaches lazily on the first waitany call.
+            q = getattr(devs[1], "_waitany_queue", None)
+            return q is not None and len(q) == n
+
         t_front = threading.Thread(target=waiter, args=("front", req_front))
         t_front.start()
-        time.sleep(0.05)  # ensure "front" is at the head of the queue
+        # "front" must be at the head of the queue before the second
+        # caller arrives; the queue length makes that observable.
+        wait_until(lambda: queued(1), timeout=10, message="front enqueued")
         t_queued = threading.Thread(target=waiter, args=("queued", req_queued))
         t_queued.start()
-        time.sleep(0.05)
+        wait_until(lambda: queued(2), timeout=10, message="queued enqueued")
         # Satisfy the QUEUED one first: the front thread's peek gets it.
         devs[0].send(send_buffer(1), pids[1], 71, 0)
         t_queued.join(20)

@@ -17,6 +17,7 @@ from repro.xdev.protocol import (
     MODE_SYNC,
 )
 from repro.xdev.smdev import SMFabric
+from repro.testing import wait_until
 
 from tests.conftest import make_job
 
@@ -137,12 +138,11 @@ class TestUnexpectedMessages:
         devs, pids = smjob
         devs[0].send(send_buffer(np.array([1], dtype=np.int8)), pids[1], 9, 0)
         # Wait until the input handler has filed it.
-        import time
-
-        deadline = time.time() + 10
-        while devs[1].engine.unexpected_count() == 0 and time.time() < deadline:
-            time.sleep(0.005)
-        assert devs[1].engine.unexpected_count() == 1
+        wait_until(
+            lambda: devs[1].engine.unexpected_count() == 1,
+            timeout=10,
+            message="unexpected message filed",
+        )
         rbuf = Buffer()
         devs[1].recv(rbuf, pids[0], 9, 0)
         assert devs[1].engine.unexpected_count() == 0

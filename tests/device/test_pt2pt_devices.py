@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.buffer import Buffer
+from repro.testing import wait_until
 from repro.xdev.constants import ANY_SOURCE, ANY_TAG
 
 
@@ -198,14 +199,12 @@ class TestProbe:
         devs, pids = job2
         devs[0].send(send_buffer(np.arange(4, dtype=np.float64)), pids[1], 55, 0)
         # Wait for arrival (probe is non-blocking).
-        import time
-
-        deadline = time.time() + 10
-        status = None
-        while status is None and time.time() < deadline:
-            status = devs[1].iprobe(pids[0], 55, 0)
-            time.sleep(0.005)
-        assert status is not None
+        wait_until(
+            lambda: devs[1].iprobe(pids[0], 55, 0) is not None,
+            timeout=10,
+            message="message arrival visible to iprobe",
+        )
+        status = devs[1].iprobe(pids[0], 55, 0)
         assert status.tag == 55
         assert status.size == 5 + 32  # section header + 4 doubles
 

@@ -10,7 +10,6 @@ the execution of other threads in the same process."
 """
 
 import threading
-import time
 
 import numpy as np
 import pytest
@@ -112,18 +111,22 @@ class TestProgression:
         devs, pids = job2
         blocked_done = threading.Event()
 
+        # Post the never-matching receive synchronously, then block a
+        # thread on it — deterministic, no sleep needed to "let the
+        # thread get going".
+        blocked_buf = Buffer()
+        blocked_req = devs[1].irecv(blocked_buf, pids[0], 999, 0)
+
         def blocked_thread():
-            # Blocks forever-ish: no one sends tag 999.
-            rbuf = Buffer()
+            # Blocks forever-ish: no one sends tag 999 yet.
             try:
-                devs[1].irecv(rbuf, pids[0], 999, 0).wait(timeout=30)
+                blocked_req.wait(timeout=30)
                 blocked_done.set()
             except TimeoutError:
                 pass
 
         t = threading.Thread(target=blocked_thread, daemon=True)
         t.start()
-        time.sleep(0.05)
 
         # While that thread is blocked, other threads of the same
         # process must still make progress.
@@ -144,13 +147,19 @@ class TestProgression:
         devs, pids = job2
         unblocked = threading.Event()
 
+        # issend posts the synchronous send before the thread starts
+        # (ssend is issend + wait), so the send is guaranteed in
+        # flight without sleeping.
+        stuck_req = devs[0].issend(
+            send_buffer(np.array([1], dtype=np.int8)), pids[1], 888, 0
+        )
+
         def stuck_sender():
-            devs[0].ssend(send_buffer(np.array([1], dtype=np.int8)), pids[1], 888, 0)
+            stuck_req.wait(timeout=30)
             unblocked.set()
 
         t = threading.Thread(target=stuck_sender, daemon=True)
         t.start()
-        time.sleep(0.05)
         for i in range(3):
             devs[0].send(send_buffer(np.array([i], dtype=np.int64)), pids[1], 5, 0)
             rbuf = Buffer()

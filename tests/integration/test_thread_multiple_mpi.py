@@ -7,13 +7,13 @@ blocked thread cannot halt its siblings.
 """
 
 import threading
-import time
 
 import numpy as np
 import pytest
 
 from repro import mpi
 from repro.runtime.launcher import run_spmd
+from repro.testing import wait_until
 
 
 class TestThreadEnvironment:
@@ -200,7 +200,13 @@ class TestProgressionMPI:
 
             t = threading.Thread(target=blocked)
             t.start()
-            time.sleep(0.05)
+            # The blocked recv is observably posted on the engine —
+            # wait for that instead of sleeping an arbitrary interval.
+            wait_until(
+                lambda: env.device.engine.pending_recv_count() >= 1,
+                timeout=10,
+                message="blocked recv posted",
+            )
             for i in range(5):
                 comm.send(i, dest=0, tag=10)
                 assert comm.recv(source=0, tag=11) == i

@@ -10,8 +10,12 @@ from hypothesis import strategies as st
 
 from repro.buffer import Buffer, SectionType, dtype_for
 
+#: Every primitive of the wire format — mpjbuf's full static-section
+#: type inventory except OBJECT (covered by the dynamic-section tests).
 _PRIMS = [
     SectionType.BYTE,
+    SectionType.BOOLEAN,
+    SectionType.CHAR,
     SectionType.SHORT,
     SectionType.INT,
     SectionType.LONG,
@@ -24,6 +28,8 @@ def _array_strategy(stype: SectionType):
     dtype = dtype_for(stype)
     if dtype.kind == "f":
         elems = st.floats(allow_nan=False, allow_infinity=True, width=dtype.itemsize * 8)
+    elif dtype.kind == "b":
+        elems = st.booleans()
     else:
         info = np.iinfo(dtype)
         elems = st.integers(min_value=int(info.min), max_value=int(info.max))
@@ -88,6 +94,20 @@ def test_mixed_sections_and_objects_independent(payload, objs):
         assert clone.read_object() == obj
     for stype, arr in payload:
         np.testing.assert_array_equal(clone.read_section(), arr)
+
+
+@given(sections)
+@settings(max_examples=60, deadline=None)
+def test_dtype_inference_agrees_with_explicit_type(payload):
+    """Writing without a section type infers the same wire type the
+    caller would have passed, for every primitive."""
+    stype, arr = payload
+    buf = Buffer()
+    buf.write(arr)
+    clone = Buffer.from_wire(buf.commit().to_wire())
+    hdr = clone.read_section_header()
+    assert hdr.type == stype
+    np.testing.assert_array_equal(clone.read(hdr.count, dtype_for(stype)), arr)
 
 
 @given(st.lists(sections, max_size=6))

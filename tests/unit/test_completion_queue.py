@@ -1,7 +1,6 @@
 """Unit tests for the shared CompletedQueue (backs mxdev/ibisdev peek)."""
 
 import threading
-import time
 
 import pytest
 
@@ -30,17 +29,20 @@ class TestCompletedQueue:
     def test_peek_blocks_until_push(self):
         q = CompletedQueue()
         req = q.track(Request(Request.RECV))
+        out = {}
 
-        def completer():
-            time.sleep(0.05)
-            req.complete(Status())
+        def peeker():
+            out["req"] = q.peek(timeout=5)
 
-        t = threading.Thread(target=completer, daemon=True)
+        t = threading.Thread(target=peeker, daemon=True)
         t.start()
-        start = time.monotonic()
-        assert q.peek(timeout=5) is req
-        assert time.monotonic() - start >= 0.03
+        # peek cannot return before the request completes (it would
+        # need the 5 s timeout to fire), so the thread is still inside
+        # the blocking wait here — no sleep-based handshake required.
+        assert "req" not in out
+        req.complete(Status())
         t.join(5)
+        assert out["req"] is req
 
     def test_timeout(self):
         q = CompletedQueue()

@@ -93,6 +93,52 @@ def test_indexed_matching_equals_linear_scan(sequence):
     assert real.unexpected_count() == len(ref.msgs)
 
 
+probes = st.lists(st.tuples(contexts, tags, srcs), max_size=10)
+
+
+@given(ops, probes)
+@settings(max_examples=100, deadline=None)
+def test_find_message_agrees_with_reference(sequence, probe_list):
+    """``find_message`` (the probe path) must agree with a linear scan
+    on whether an unexpected message matches, never consume anything,
+    and only ever return a compatible envelope."""
+    real = MessageQueues()
+    ref = ReferenceQueues()
+    for is_recv, context, tag, src in sequence:
+        if is_recv:
+            real.post_recv(PostedRecv(Request(Request.RECV), context, tag, src))
+            ref.post_recv(PostedRecv(Request(Request.RECV), context, tag, src))
+        else:
+            tag_c = 0 if tag == ANY_TAG else tag
+            src_c = 0 if src == ANY_SOURCE else src
+            real.arrive(
+                ArrivedMessage(context, tag_c, src_c, 1, b"", src_pid=ProcessID(uid=src_c))
+            )
+            ref.arrive(
+                ArrivedMessage(context, tag_c, src_c, 1, b"", src_pid=ProcessID(uid=src_c))
+            )
+    for context, tag, src in probe_list:
+        before = (real.pending_recv_count(), real.unexpected_count())
+        found = real.find_message(context, tag, src)
+        expected = next(
+            (
+                m
+                for m in ref.msgs
+                if m.context == context
+                and (tag == ANY_TAG or m.tag == tag)
+                and (src == ANY_SOURCE or m.src_uid == src)
+            ),
+            None,
+        )
+        assert (found is None) == (expected is None)
+        if found is not None:
+            assert found.context == context
+            assert tag in (ANY_TAG, found.tag)
+            assert src in (ANY_SOURCE, found.src_uid)
+        # Probing is non-destructive.
+        assert (real.pending_recv_count(), real.unexpected_count()) == before
+
+
 @given(ops)
 @settings(max_examples=100, deadline=None)
 def test_no_entry_ever_double_matched(sequence):

@@ -1,7 +1,6 @@
 """Unit tests for mpjdev Request/Status completion semantics."""
 
 import threading
-import time
 
 import pytest
 
@@ -33,13 +32,19 @@ class TestCompletion:
 
     def test_wait_blocks_until_complete(self):
         req = Request(Request.RECV)
+        out = {}
 
-        def completer():
-            time.sleep(0.05)
-            req.complete(Status(tag=1))
+        def waiter():
+            out["status"] = req.wait(timeout=5)
 
-        threading.Thread(target=completer).start()
-        assert req.wait(timeout=5).tag == 1
+        t = threading.Thread(target=waiter)
+        t.start()
+        # wait() cannot have returned: the request is incomplete and
+        # the only other exit is its 5 s timeout.
+        assert "status" not in out
+        req.complete(Status(tag=1))
+        t.join(5)
+        assert out["status"].tag == 1
 
     def test_wait_timeout(self):
         req = Request(Request.RECV)
