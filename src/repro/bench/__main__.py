@@ -5,6 +5,8 @@ Options::
     python -m repro.bench                 # all six figures + summaries
     python -m repro.bench FIG13           # one figure
     python -m repro.bench --summaries     # latency/throughput tables only
+    python -m repro.bench --json          # LIVE ping-pong over smdev/niodev
+                                          # (latency, throughput, copy stats)
 """
 
 from __future__ import annotations
@@ -36,7 +38,53 @@ def main(argv: list[str] | None = None) -> int:
         "--plot", action="store_true",
         help="draw ASCII charts instead of tables",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="run the LIVE ping-pong bench (real devices, not netsim) "
+             "and print JSON: latency, throughput, copy counters",
+    )
+    parser.add_argument(
+        "--out", metavar="FILE",
+        help="with --json: also write the JSON to FILE",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="with --json: fewer iterations (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="FILE",
+        help="with --json: embed FILE as the pre-change comparison",
+    )
+    parser.add_argument(
+        "--devices", metavar="NAMES",
+        help="with --json: comma-separated device list (default smdev,niodev)",
+    )
     ns = parser.parse_args(argv)
+
+    if ns.json:
+        import json
+        from pathlib import Path
+
+        from repro.bench.live import run_live_bench
+
+        baseline = None
+        if ns.baseline:
+            baseline = json.loads(Path(ns.baseline).read_text(encoding="utf-8"))
+            # Accept either a bare {device: {size: cell}} map or a full
+            # prior --json result.
+            if "devices" in baseline:
+                baseline = baseline["devices"]
+        result = run_live_bench(
+            devices=ns.devices.split(",") if ns.devices else None,
+            quick=ns.quick,
+            baseline=baseline,
+            progress=lambda msg: print(f"# {msg}", file=sys.stderr),
+        )
+        text = json.dumps(result, indent=1)
+        print(text)
+        if ns.out:
+            Path(ns.out).write_text(text + "\n", encoding="utf-8")
+        return 0
 
     if ns.plot:
         from repro.bench.plot import ascii_plot

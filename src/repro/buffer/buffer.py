@@ -43,6 +43,11 @@ _HEADER = struct.Struct("<Bi")  # type code, element count
 _OBJ_HEADER = struct.Struct("<i")  # pickled length
 _WIRE_HEADER = struct.Struct("<qq")  # static size, dynamic size
 
+#: Bytes of wire header fronting every buffer on the wire (the two
+#: section sizes).  Devices use this to translate payload byte counts
+#: into message sizes without decoding.
+WIRE_HEADER_SIZE = _WIRE_HEADER.size
+
 
 class BufferFormatError(Exception):
     """Raised when a buffer's wire content cannot be decoded."""
@@ -311,6 +316,113 @@ class Buffer:
     def to_wire(self) -> bytes:
         """Flatten the buffer to one bytes object (for stream transports)."""
         return b"".join(bytes(s) for s in self.segments())
+
+    # ------------------------------------------------------------------
+    # in-place landing (zero-copy receive path)
+
+    def begin_landing(self, nbytes: int) -> memoryview:
+        """Expose *nbytes* of this buffer's own storage for a wire landing.
+
+        The rendezvous receive path: the transport fills the returned
+        view with the complete wire image (header + both sections)
+        directly — ``recv_into`` on niodev, a gather copy on smdev —
+        so the posted buffer's memory is the payload's first and only
+        user-space destination.  Call :meth:`finish_landing` once the
+        view is full.
+        """
+        if nbytes < _WIRE_HEADER.size:
+            raise BufferFormatError(
+                f"landing of {nbytes} bytes is shorter than the wire header"
+            )
+        self._dynamic.clear()
+        self._committed = False
+        return self._static.landing_view(nbytes)
+
+    def finish_landing(self, nbytes: int) -> "Buffer":
+        """Adopt a landed wire image in place (no payload copy).
+
+        Parses the wire header out of the storage filled via
+        :meth:`begin_landing` and re-aims the static and dynamic
+        sections as *views* into that same storage.
+        """
+        store = self._static._data
+        if nbytes < _WIRE_HEADER.size or nbytes > len(store):
+            raise BufferFormatError(
+                f"landed wire data of {nbytes} bytes is shorter than the header"
+            )
+        static_size, dynamic_size = _WIRE_HEADER.unpack_from(store, 0)
+        if static_size < 0 or dynamic_size < 0:
+            raise BufferFormatError("negative section size on the wire")
+        expected = _WIRE_HEADER.size + static_size + dynamic_size
+        if nbytes != expected:
+            raise BufferFormatError(
+                f"landed wire data is {nbytes} bytes, header promises {expected}"
+            )
+        start = _WIRE_HEADER.size
+        self._static = RawBuffer.view_on(store, start, static_size)
+        self._dynamic = RawBuffer.view_on(store, start + static_size, dynamic_size)
+        self._committed = True
+        return self
+
+    def load_wire_segments(
+        self, segments: Sequence[bytes | bytearray | memoryview]
+    ) -> "Buffer":
+        """Fill this buffer from a wire image given as a segment list.
+
+        Each section is copied directly from the source segments into
+        this buffer's storage — one move per byte, no intermediate
+        join.  Single-segment lists take the :meth:`load_wire` path
+        unchanged.
+        """
+        if len(segments) == 1:
+            return self.load_wire(segments[0])
+        views = [memoryview(s).cast("B") for s in segments]
+        total = sum(len(v) for v in views)
+        if total < _WIRE_HEADER.size:
+            raise BufferFormatError(
+                f"wire data of {total} bytes is shorter than the header"
+            )
+        # The wire header may straddle segments; assemble just those
+        # 16 bytes (bounded, not a payload copy).
+        head = bytearray()
+        for v in views:
+            head.extend(v[: _WIRE_HEADER.size - len(head)])
+            if len(head) == _WIRE_HEADER.size:
+                break
+        static_size, dynamic_size = _WIRE_HEADER.unpack(bytes(head))
+        if static_size < 0 or dynamic_size < 0:
+            raise BufferFormatError("negative section size on the wire")
+        expected = _WIRE_HEADER.size + static_size + dynamic_size
+        if total != expected:
+            raise BufferFormatError(
+                f"wire data is {total} bytes, header promises {expected}"
+            )
+        self._static.clear()
+        self._dynamic.clear()
+        dest_static = self._static.landing_view(static_size)
+        dest_dynamic = self._dynamic.landing_view(dynamic_size)
+        # Walk the logical byte stream, scattering each region into
+        # its section's storage.
+        regions = [
+            (_WIRE_HEADER.size, None),
+            (static_size, dest_static),
+            (dynamic_size, dest_dynamic),
+        ]
+        seg_idx, seg_off = 0, 0
+        for length, dest in regions:
+            filled = 0
+            while filled < length:
+                v = views[seg_idx]
+                take = min(length - filled, len(v) - seg_off)
+                if dest is not None:
+                    dest[filled : filled + take] = v[seg_off : seg_off + take]
+                filled += take
+                seg_off += take
+                if seg_off == len(v):
+                    seg_idx += 1
+                    seg_off = 0
+        self._committed = True
+        return self
 
     def load_wire(self, data: bytes | bytearray | memoryview) -> "Buffer":
         """Fill *this* buffer from wire bytes, in place.

@@ -29,6 +29,23 @@ class RawBuffer:
         self._write_pos = 0
         self._read_pos = 0
 
+    @classmethod
+    def view_on(cls, data, start: int, length: int) -> "RawBuffer":
+        """A RawBuffer that *aliases* ``data[start:start+length]``.
+
+        Zero-copy adoption of an already-landed wire region: the new
+        buffer reads the shared memory directly (the in-place
+        rendezvous receive path).  The view keeps the backing object
+        alive.  A later write that outgrows the region migrates to a
+        private bytearray via :meth:`ensure`.
+        """
+        rb = cls.__new__(cls)
+        rb._data = memoryview(data)[start : start + length]
+        rb._capacity = length
+        rb._write_pos = length
+        rb._read_pos = 0
+        return rb
+
     # ------------------------------------------------------------------
     # introspection
 
@@ -103,6 +120,20 @@ class RawBuffer:
         offset = self._write_pos
         self._write_pos += nbytes
         return memoryview(self._data)[offset : offset + nbytes]
+
+    def landing_view(self, nbytes: int) -> memoryview:
+        """Reset the buffer and expose its first *nbytes* for filling.
+
+        The in-place receive path: the transport lands wire bytes
+        directly in this storage (``recv_into`` or a gather copy), so
+        the posted buffer's own memory is the message's first and only
+        destination.  Growth here moves no payload (the buffer is
+        empty when it grows).
+        """
+        self.clear()
+        self.ensure(nbytes)
+        self._write_pos = nbytes
+        return memoryview(self._data)[:nbytes]
 
     # ------------------------------------------------------------------
     # reading

@@ -190,10 +190,18 @@ class MPJEnvironment:
         return self._finalized
 
     def finalize(self) -> None:
-        """Tear down the device; the environment becomes unusable."""
+        """Tear down the device; the environment becomes unusable.
+
+        Audits the rank's buffer pool on the way out: every packed
+        message should have completed its round trip back to the free
+        list by Finalize, so leftovers indicate a leak (warned, not
+        raised — mirroring how MPI implementations report unfreed
+        resources at MPI_Finalize).
+        """
         if not self._finalized:
             self._finalized = True
             self.device.finish()
+            self.pool.check_leaks("MPI.Finalize")
 
     Finalize = finalize
 

@@ -122,6 +122,24 @@ class Request:
         for listener in listeners:
             listener(self)
 
+    def try_complete(self, status: Status) -> bool:
+        """Complete if still pending; False when already done.
+
+        The delivery-fence path uses this: a fence must fire exactly
+        once, but an idempotent completion keeps a misbehaving
+        (fault-injecting) transport from crashing the input handler.
+        """
+        with self._cond:
+            if self._done:
+                return False
+            self._status = status
+            self._done = True
+            listeners = list(self._listeners)
+            self._cond.notify_all()
+        for listener in listeners:
+            listener(self)
+        return True
+
     def fail(self, exc: BaseException) -> None:
         """Mark this request failed with *exc* (called at most once).
 

@@ -45,7 +45,7 @@ from repro.buffer import Buffer
 from repro.mpjdev.request import Request, Status
 from repro.xdev.device import Device, DeviceConfig, new_instance, register_device
 from repro.xdev.exceptions import XDevException
-from repro.xdev.frames import FrameHeader, FrameType, HEADER_SIZE
+from repro.xdev.frames import FrameHeader, FrameType
 from repro.xdev.processid import ProcessID
 from repro.xdev.protocol import Transport
 
@@ -124,13 +124,16 @@ class ChaosEvent:
 
 
 class _HeldFrame:
-    __slots__ = ("dest", "segments", "match_key", "generation")
+    __slots__ = ("dest", "segments", "match_key", "generation", "on_delivered")
 
-    def __init__(self, dest, segments, match_key, generation):
+    def __init__(self, dest, segments, match_key, generation, on_delivered=None):
         self.dest = dest
         self.segments = segments
         self.match_key = match_key
         self.generation = generation
+        # The engine's delivery fence rides along with a held frame:
+        # the sender's memory stays referenced until the hold ends.
+        self.on_delivered = on_delivered
 
 
 #: Frame types whose delivery order is matching-relevant: they enter
@@ -147,6 +150,10 @@ _TRUNCATABLE = frozenset({FrameType.EAGER, FrameType.RNDZ_DATA})
 
 class ChaosTransport(Transport):
     """Transport decorator injecting the :class:`ChaosConfig` plan."""
+
+    #: Held-back and duplicated frames outlive write(), so chaos always
+    #: retains segments regardless of what the inner transport does.
+    retains_segments = True
 
     def __init__(self, inner: Transport, config: ChaosConfig) -> None:
         self.inner = inner
@@ -234,14 +241,19 @@ class ChaosTransport(Transport):
                 self._write_locks[dest.uid] = lock
             return lock
 
-    def _inner_write(self, dest: ProcessID, segments) -> None:
+    def _inner_write(self, dest: ProcessID, segments, on_delivered=None) -> None:
         with self._write_lock(dest):
+            if on_delivered is not None and self.inner.retains_segments:
+                self.inner.write(dest, segments, on_delivered)
+                return
             self.inner.write(dest, segments)
+        if on_delivered is not None:
+            on_delivered()
 
-    def write(self, dest: ProcessID, segments) -> None:
+    def write(self, dest: ProcessID, segments, on_delivered=None) -> None:
         if self._closed:
             raise XDevException("chaos transport closed")
-        header = FrameHeader.decode(bytes(segments[0])[:HEADER_SIZE])
+        header = FrameHeader.decode(segments[0])
         occ = self._next_occurrence(header)
         rng = self._frame_rng(header, occ)
         cfg = self.config
@@ -292,7 +304,9 @@ class ChaosTransport(Transport):
                 )
             elif hold and not self._closed:
                 self._generation += 1
-                held_entry = _HeldFrame(dest, segments, match_key, self._generation)
+                held_entry = _HeldFrame(
+                    dest, segments, match_key, self._generation, on_delivered
+                )
                 self._held[dest.uid] = held_entry
 
         if held_entry is not None:
@@ -303,7 +317,8 @@ class ChaosTransport(Transport):
             timer.daemon = True
             timer.start()
             # The duplicate decision still applies to a held RTS:
-            # send the copy now, the original later.
+            # send the copy now, the original later.  (Duplicable
+            # control frames never carry a delivery fence.)
             if duplicate:
                 self._record("duplicate", header, occ)
                 self._inner_write(dest, segments)
@@ -311,13 +326,13 @@ class ChaosTransport(Transport):
 
         if released is not None and swap:
             self._record("swap", header, occ)
-            self._inner_write(dest, segments)
-            self._inner_write(released.dest, released.segments)
+            self._inner_write(dest, segments, on_delivered)
+            self._inner_write(released.dest, released.segments, released.on_delivered)
         elif released is not None:
-            self._inner_write(released.dest, released.segments)
-            self._inner_write(dest, segments)
+            self._inner_write(released.dest, released.segments, released.on_delivered)
+            self._inner_write(dest, segments, on_delivered)
         else:
-            self._inner_write(dest, segments)
+            self._inner_write(dest, segments, on_delivered)
         if duplicate:
             self._record("duplicate", header, occ)
             self._inner_write(dest, segments)
@@ -330,7 +345,7 @@ class ChaosTransport(Transport):
             if current is None or current.generation != entry.generation:
                 return  # already released by a later write
             del self._held[dest.uid]
-        self._inner_write(entry.dest, entry.segments)
+        self._inner_write(entry.dest, entry.segments, entry.on_delivered)
 
     def flush(self) -> None:
         """Deliver every held frame now (tests call this at barriers)."""
@@ -338,7 +353,7 @@ class ChaosTransport(Transport):
             held = list(self._held.values())
             self._held.clear()
         for entry in held:
-            self._inner_write(entry.dest, entry.segments)
+            self._inner_write(entry.dest, entry.segments, entry.on_delivered)
 
     def close(self) -> None:
         self._closed = True

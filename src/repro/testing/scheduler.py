@@ -22,7 +22,7 @@ import threading
 import time
 from typing import Any, Optional
 
-from repro.xdev.frames import FrameHeader, FrameType, HEADER_SIZE
+from repro.xdev.frames import FrameHeader, FrameType
 from repro.xdev.smdev import SMFabric
 
 
@@ -74,8 +74,8 @@ class ScheduledInbox:
 
     @staticmethod
     def _stream_key(item: Any) -> Optional[tuple]:
-        src_pid, data = item
-        header = FrameHeader.decode(bytes(data[:HEADER_SIZE]))
+        src_pid, segments, _fence = item
+        header = FrameHeader.decode(segments[0])
         if header.type in (FrameType.EAGER, FrameType.RTS):
             return (src_pid.uid, header.context, header.tag)
         return None
@@ -84,7 +84,7 @@ class ScheduledInbox:
 
     def put(self, item: Any) -> None:
         with self._cond:
-            if isinstance(item, tuple) and len(item) == 2:
+            if isinstance(item, tuple) and len(item) == 3:
                 self._frames.append((item, self._stream_key(item)))
             else:
                 self._controls.append(item)

@@ -120,12 +120,16 @@ class TracingDevice(Device):
             by_op[e.op] = by_op.get(e.op, 0) + 1
             if e.size and e.op in ("isend", "send", "issend", "ssend"):
                 total_bytes += e.size
-        return {
+        out: dict[str, Any] = {
             "events": len(events),
             "by_op": by_op,
             "bytes_sent": total_bytes,
             "pending": len([e for e in events if e.pending]),
         }
+        stats = self.copy_stats
+        if stats is not None:
+            out["copy_stats"] = stats.snapshot()
+        return out
 
     def dump_json(self) -> str:
         return json.dumps([asdict(e) for e in self.events()], indent=2)
@@ -200,6 +204,14 @@ class TracingDevice(Device):
     @property
     def engine(self):
         return self.inner.engine  # type: ignore[attr-defined]
+
+    @property
+    def copy_stats(self):
+        """The inner device's CopyStats, or None for non-engine devices."""
+        try:
+            return self.engine.copy_stats
+        except Exception:
+            return None
 
 
 def detect_stalled(

@@ -63,6 +63,11 @@ class ProtocolDevice(Device):
             raise DeviceFinishedError("device not initialized")
         return self._engine
 
+    @property
+    def copy_stats(self):
+        """The engine's datapath copy/move accounting (CopyStats)."""
+        return self.engine.copy_stats
+
     def id(self) -> ProcessID:
         if self._my_pid is None:
             raise DeviceFinishedError("device not initialized")

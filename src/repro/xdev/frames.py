@@ -71,10 +71,14 @@ class FrameHeader:
         )
 
     @classmethod
-    def decode(cls, data: bytes | memoryview) -> "FrameHeader":
-        t, context, tag, send_id, recv_id, payload_len = HEADER.unpack(
-            bytes(data[:HEADER_SIZE])
-        )
+    def decode(cls, data: bytes | bytearray | memoryview) -> "FrameHeader":
+        """Decode a header from *data* without copying.
+
+        ``unpack_from`` reads ``bytes``, ``bytearray`` and
+        ``memoryview`` callers alike straight from their backing
+        storage — no ``bytes()`` cast, no slice materialization.
+        """
+        t, context, tag, send_id, recv_id, payload_len = HEADER.unpack_from(data)
         return cls(FrameType(t), context, tag, send_id, recv_id, payload_len)
 
 
@@ -84,16 +88,22 @@ def encode_frame(
     tag: int = 0,
     send_id: int = 0,
     recv_id: int = 0,
-    payload: bytes | memoryview | None = None,
+    payload: bytes | memoryview | list | None = None,
 ) -> list[bytes | memoryview]:
-    """Build a frame as a segment list: [header, payload?].
+    """Build a frame as a segment list: [header, *payload segments].
 
-    Returned as segments rather than one joined blob so transports can
-    gather-write without copying the payload (the mpjbuf zero-copy
-    argument carried through to the wire).
+    *payload* may be one ``bytes``/``memoryview`` or a whole segment
+    list (e.g. ``Buffer.segments()``).  Returned as segments rather
+    than one joined blob so transports can gather-write without
+    copying the payload (the mpjbuf zero-copy argument carried through
+    to the wire).
     """
-    plen = len(payload) if payload is not None else 0
-    header = FrameHeader(ftype, context, tag, send_id, recv_id, plen).encode()
     if payload is None:
-        return [header]
-    return [header, payload]
+        segments: list[bytes | memoryview] = []
+    elif isinstance(payload, list):
+        segments = payload
+    else:
+        segments = [payload]
+    plen = sum(len(s) for s in segments)
+    header = FrameHeader(ftype, context, tag, send_id, recv_id, plen).encode()
+    return [header, *segments]

@@ -67,7 +67,11 @@ class ArrivedMessage:
     tag: int
     src_uid: int  # always concrete
     size: int
-    payload: Any = None  # Buffer for eager, None for RTS
+    payload: Any = None  # wire bytes / segment list for eager, None for RTS
+    #: Pooled scratch (``RawPool`` bytearray) backing ``payload`` when
+    #: the message was stored unexpected; the engine releases it after
+    #: delivery (or at device finish).
+    storage: Any = None
     send_id: int = 0  # sender-side request id (rendezvous)
     src_pid: Any = None
     is_rts: bool = False

@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 from repro.xdev.base import ProtocolDevice
 from repro.xdev.device import DeviceConfig, register_device
 from repro.xdev.exceptions import ConnectionSetupError, XDevException
-from repro.xdev.frames import HEADER_SIZE, FrameHeader
+from repro.xdev.frames import HEADER_SIZE, FrameHeader, FrameType
 from repro.xdev.processid import ProcessID
 from repro.xdev.protocol import ProtocolEngine, Transport
 
@@ -72,15 +72,33 @@ def allocate_local_endpoints(nprocs: int, host: str = "127.0.0.1"):
 
 @dataclass
 class _ReadState:
-    """Per-connection resumable read state (the SelectionKey attachment)."""
+    """Per-connection resumable read state (the SelectionKey attachment).
+
+    Bytes are ``recv_into``'d directly at their destination: a small
+    reusable scratch for handshakes and headers, the posted receive
+    buffer's own storage for rendezvous payloads (the in-place
+    landing), or pooled device scratch for eager payloads — never an
+    accumulate-then-copy ``bytearray``.
+    """
 
     sock: socket.socket
     src_pid: ProcessID | None = None
     # Phase: "handshake" -> "header" -> "payload"
     phase: str = "handshake"
     needed: int = _HANDSHAKE.size
-    data: bytearray = field(default_factory=bytearray)
+    filled: int = 0
+    #: Reused for every handshake/header read on this connection.
+    scratch: bytearray = field(default_factory=lambda: bytearray(HEADER_SIZE))
+    #: Destination of the current unit's bytes (len == needed).
+    view: memoryview | None = None
+    #: Pooled scratch backing ``view`` (ownership passes to the engine).
+    owned: bytearray | None = None
+    #: True when ``view`` is the posted buffer's own storage.
+    in_place: bool = False
     header: FrameHeader | None = None
+
+    def __post_init__(self) -> None:
+        self.view = memoryview(self.scratch)[: self.needed]
 
 
 class NIOTransport(Transport):
@@ -183,6 +201,12 @@ class NIOTransport(Transport):
         if sock is None:
             raise XDevException(f"no write channel to {dest}")
         views = [memoryview(s).cast("B") for s in segments]
+        # The user's payload goes straight from its own memory into the
+        # kernel socket buffer — its final destination on this host.
+        if self._engine is not None:
+            payload_len = sum(len(v) for v in views) - HEADER_SIZE
+            if payload_len > 0:
+                self._engine.copy_stats.moved(payload_len)
         # Gather-write without joining (the mpjbuf zero-copy argument):
         # sendmsg may accept only part; advance through the segment list.
         while views:
@@ -223,7 +247,7 @@ class NIOTransport(Transport):
                         # frame) costs its own channel, never the
                         # progress engine.
                         self.errors.append(exc)
-                        self._drop(key.data.sock)
+                        self._drop(key.data)
 
     def _accept(self) -> None:
         try:
@@ -239,66 +263,105 @@ class NIOTransport(Transport):
         state: _ReadState = key.data
         sock = state.sock
         while True:
-            want = state.needed - len(state.data)
             try:
-                chunk = sock.recv(min(want, 1 << 20))
+                n = sock.recv_into(state.view[state.filled : state.needed])
             except BlockingIOError:
                 return  # no more bytes now; selector will call us again
             except (ConnectionResetError, OSError):
-                self._drop(sock)
+                self._drop(state)
                 return
-            if not chunk:
-                self._drop(sock)
+            if n == 0:
+                self._drop(state)
                 return
-            state.data.extend(chunk)
-            if len(state.data) < state.needed:
+            state.filled += n
+            if state.filled < state.needed:
                 # Partial message: state stays attached to the key and
                 # reading resumes on the next readiness event (paper
                 # Fig. 8's selection-key attachment).
                 return
             self._advance(state)
 
+    def _begin_unit(self, state: _ReadState, phase: str, needed: int) -> None:
+        state.phase = phase
+        state.needed = needed
+        state.filled = 0
+        state.view = memoryview(state.scratch)[:needed]
+        state.owned = None
+        state.in_place = False
+
     def _advance(self, state: _ReadState) -> None:
         """One complete unit (handshake/header/payload) has arrived."""
         assert self._engine is not None
+        engine = self._engine
         if state.phase == "handshake":
-            (peer_rank,) = _HANDSHAKE.unpack(bytes(state.data))
+            (peer_rank,) = _HANDSHAKE.unpack_from(state.scratch)
             if not (0 <= peer_rank < self._nprocs):
                 raise XDevException(f"handshake from unknown rank {peer_rank}")
             state.src_pid = self._pids[peer_rank]
-            state.phase = "header"
-            state.needed = HEADER_SIZE
-            state.data.clear()
+            self._begin_unit(state, "header", HEADER_SIZE)
             with self._inbound_cond:
                 self._inbound += 1
                 self._inbound_cond.notify_all()
         elif state.phase == "header":
-            state.header = FrameHeader.decode(memoryview(state.data))
-            state.data.clear()
-            if state.header.payload_len == 0:
-                self._dispatch(state, b"")
+            header = FrameHeader.decode(state.scratch)
+            plen = header.payload_len
+            if plen == 0:
+                state.header = None
+                self._begin_unit(state, "header", HEADER_SIZE)
+                engine.handle_frame(state.src_pid, header, b"")
+                return
+            state.header = header
+            state.phase = "payload"
+            state.needed = plen
+            state.filled = 0
+            landing = (
+                engine.rendezvous_landing(header.recv_id, plen)
+                if header.type == FrameType.RNDZ_DATA
+                else None
+            )
+            if landing is not None:
+                # In-place rendezvous receive: the wire bytes land in
+                # the posted buffer's own storage, their one and only
+                # destination in this process.
+                state.view = landing
+                state.owned = None
+                state.in_place = True
             else:
-                state.phase = "payload"
-                state.needed = state.header.payload_len
+                # Eager payloads (and rendezvous fallbacks) land in
+                # size-classed pooled scratch; ownership passes to the
+                # engine at dispatch.
+                state.owned = engine.raw_pool.acquire(plen)
+                state.view = memoryview(state.owned)[:plen]
+                state.in_place = False
         else:  # payload complete
-            payload = bytes(state.data)
-            state.data.clear()
-            self._dispatch(state, payload)
+            self._dispatch(state)
 
-    def _dispatch(self, state: _ReadState, payload: bytes) -> None:
+    def _dispatch(self, state: _ReadState) -> None:
         assert self._engine is not None and state.header is not None
+        engine = self._engine
         header = state.header
+        view, owned, in_place = state.view, state.owned, state.in_place
         state.header = None
-        state.phase = "header"
-        state.needed = HEADER_SIZE
-        self._engine.handle_frame(state.src_pid, header, payload)
+        self._begin_unit(state, "header", HEADER_SIZE)
+        if in_place:
+            engine.copy_stats.moved(header.payload_len)
+            engine.handle_frame(state.src_pid, header, in_place=True)
+        else:
+            # Landing in device scratch is the eager path's one staging
+            # copy; the engine adopts (or releases) the scratch.
+            engine.copy_stats.copied(header.payload_len)
+            engine.handle_frame(state.src_pid, header, view, owned=owned)
 
-    def _drop(self, sock: socket.socket) -> None:
+    def _drop(self, state: _ReadState) -> None:
         try:
-            self._selector.unregister(sock)
+            self._selector.unregister(state.sock)
         except (KeyError, ValueError):  # pragma: no cover
             pass
-        sock.close()
+        state.sock.close()
+        if state.owned is not None and self._engine is not None:
+            # A connection cut mid-payload must not leak its scratch.
+            self._engine.raw_pool.release(state.owned)
+            state.owned = None
 
     # ------------------------------------------------------------------
     # shutdown

@@ -38,10 +38,11 @@ import abc
 import itertools
 import threading
 from collections import deque
-from typing import Any, Optional
+from typing import Any, Callable, Optional, Sequence
 
 from repro.buffer import Buffer
-from repro.buffer.pool import BufferPool, DEFAULT_POOL
+from repro.buffer.buffer import WIRE_HEADER_SIZE
+from repro.buffer.pool import BufferPool, CopyStats, DEFAULT_POOL, RawPool
 from repro.mpjdev.request import Request, Status
 from repro.xdev.constants import ANY_SOURCE
 from repro.xdev.exceptions import (
@@ -58,6 +59,11 @@ from repro.xdev.processid import ProcessID
 #: dip at 128 KB comes from this constant.
 DEFAULT_EAGER_THRESHOLD = 128 * 1024
 
+#: Eager staging on retaining transports: below this wire size the
+#: segments are joined into one immutable ``bytes`` (cheaper than a
+#: pool round trip plus a delivery fence for small messages).
+_STAGE_JOIN_MAX = 8 * 1024
+
 MODE_STANDARD = "standard"
 MODE_SYNC = "sync"
 MODE_READY = "ready"
@@ -73,7 +79,21 @@ class Transport(abc.ABC):
     guarantees it never calls ``write`` concurrently for one
     destination (the channel lock), but does call it concurrently for
     *different* destinations.
+
+    Segment lifetime (the zero-copy contract): a transport whose
+    ``write`` may keep referencing the caller's segment memory after
+    returning — queue transports that enqueue by reference, decorators
+    that hold frames back — must set :attr:`retains_segments` and
+    accept the engine's ``on_delivered`` fence, invoking it exactly
+    once when the segments are no longer needed.  A transport that
+    consumes the segments before ``write`` returns (TCP ``sendmsg``
+    copies into the kernel) leaves the default ``False`` and never
+    sees the fence: the engine fires it itself after ``write``.
     """
+
+    #: True when write() may reference segments after returning; such
+    #: transports must implement ``write(dest, segments, on_delivered)``.
+    retains_segments: bool = False
 
     @abc.abstractmethod
     def start(self, engine: "ProtocolEngine") -> None:
@@ -89,13 +109,27 @@ class Transport(abc.ABC):
 
 
 class _PendingSend:
-    """A rendezvous send parked in the pending-send-request-set."""
+    """A rendezvous send parked in the pending-send-request-set.
 
-    __slots__ = ("request", "wire", "dest")
+    Carries the committed buffer's *segment list* — live views of the
+    user's message memory, not a flattened copy.  The MPI contract
+    (don't touch the buffer until the request completes) is what makes
+    holding views here safe; completion fires only once the transport
+    no longer references them.
+    """
 
-    def __init__(self, request: Request, wire: bytes, dest: ProcessID) -> None:
+    __slots__ = ("request", "segments", "size", "dest")
+
+    def __init__(
+        self,
+        request: Request,
+        segments: list[bytes | memoryview],
+        size: int,
+        dest: ProcessID,
+    ) -> None:
         self.request = request
-        self.wire = wire
+        self.segments = segments
+        self.size = size
         self.dest = dest
 
 
@@ -114,6 +148,11 @@ class ProtocolEngine:
         self.transport = transport
         self.eager_threshold = eager_threshold
         self.pool = pool if pool is not None else DEFAULT_POOL
+        #: Per-device copy/move accounting (see docs/performance.md).
+        self.copy_stats = CopyStats()
+        #: Device-level scratch storage: eager staging on retaining
+        #: transports, receive scratch and unexpected-message storage.
+        self.raw_pool = RawPool(stats=self.copy_stats)
         #: Paper Fig. 8 forks a "rendez-write-thread" per RTR so the
         #: input handler never blocks on a large write.  Disabling this
         #: (ablation) performs the write on the input-handler thread —
@@ -187,11 +226,27 @@ class ProtocolEngine:
             self._completed.append(request)
             self._completed_cond.notify_all()
 
-    def _write(self, dest: ProcessID, segments: list[bytes | memoryview]) -> None:
-        """Write under the destination's channel lock."""
+    def _write(
+        self,
+        dest: ProcessID,
+        segments: list[bytes | memoryview],
+        on_delivered: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Write under the destination's channel lock.
+
+        *on_delivered* fires exactly once when the transport no longer
+        references the segment memory: immediately after ``write``
+        returns for consuming transports, or from the transport's own
+        delivery path for retaining ones (queue transports, chaosdev).
+        """
         lock = self.channel_lock(dest)
         with lock:
+            if on_delivered is not None and self.transport.retains_segments:
+                self.transport.write(dest, segments, on_delivered)
+                return
             self.transport.write(dest, segments)
+        if on_delivered is not None:
+            on_delivered()
 
     # ------------------------------------------------------------------
     # sends
@@ -209,7 +264,8 @@ class ProtocolEngine:
         if mode not in _VALID_MODES:
             raise XDevException(f"unknown send mode {mode!r}")
         buf.commit()
-        wire = buf.to_wire()
+        segments = buf.segments()
+        wire_len = WIRE_HEADER_SIZE + buf.size
 
         request = self._track(Request(Request.SEND, buffer=buf))
         request.context, request.tag, request.peer = context, tag, dest
@@ -219,15 +275,21 @@ class ProtocolEngine:
         elif mode in (MODE_READY, MODE_BUFFERED):
             use_eager = True
         else:
-            use_eager = len(wire) <= self.eager_threshold
+            use_eager = wire_len <= self.eager_threshold
 
         if use_eager:
             # Fig. 3: lock dest channel / send the data / unlock /
-            # return a non-pending send request object.
+            # return a non-pending send request object.  A consuming
+            # transport (sendmsg) gathers the live segments — zero
+            # staging; a retaining transport (in-process queues) gets
+            # a stable staged copy so the request can still complete
+            # non-pending while the frame sits in the peer's inbox.
             self.stats["eager_sends"] += 1
+            payload, release = self._stable_segments(segments, wire_len)
             self._write(
                 dest,
-                encode_frame(FrameType.EAGER, context, tag, payload=wire),
+                encode_frame(FrameType.EAGER, context, tag, payload=payload),
+                on_delivered=release,
             )
             request.complete(Status(source=self.my_pid, tag=tag, size=buf.size))
             return request
@@ -239,7 +301,9 @@ class ProtocolEngine:
         self.stats["rendezvous_sends"] += 1
         send_id = next(self._ids)
         with self._send_lock:
-            self._pending_sends[send_id] = _PendingSend(request, wire, dest)
+            self._pending_sends[send_id] = _PendingSend(
+                request, segments, buf.size, dest
+            )
         # The RTS advertises the message payload size in the (otherwise
         # unused) recv_id header field so probes can report an accurate
         # count before the data transfer happens.
@@ -250,6 +314,34 @@ class ProtocolEngine:
             ),
         )
         return request
+
+    def _stable_segments(
+        self, segments: list[bytes | memoryview], wire_len: int
+    ) -> tuple[list[bytes | memoryview], Optional[Callable[[], None]]]:
+        """Segments safe to hand to the transport for an eager send.
+
+        On a consuming transport the live views are already safe.  On
+        a retaining transport the payload is staged into pooled
+        scratch (the one eager-path copy, accounted) and released back
+        to the pool by the delivery fence.
+        """
+        if not self.transport.retains_segments:
+            return segments, None
+        if wire_len <= _STAGE_JOIN_MAX:
+            # Small messages: one immutable bytes is stable by nature,
+            # so no pool round trip and no delivery fence are needed.
+            flat = b"".join(segments)
+            self.copy_stats.copied(len(flat))
+            return [flat], None
+        staging = self.raw_pool.acquire(wire_len)
+        offset = 0
+        for seg in segments:
+            view = memoryview(seg).cast("B")
+            staging[offset : offset + len(view)] = view
+            offset += len(view)
+        self.copy_stats.copied(offset)
+        release = lambda: self.raw_pool.release(staging)  # noqa: E731
+        return [memoryview(staging)[:offset]], release
 
     def send(self, buf: Buffer, dest: ProcessID, tag: int, context: int) -> None:
         self.isend(buf, dest, tag, context).wait()
@@ -318,20 +410,39 @@ class ProtocolEngine:
     def _deliver(self, request: Request, buf: Buffer, msg: ArrivedMessage) -> None:
         """Unpack an arrived eager message into the posted buffer.
 
-        A payload that cannot be unpacked (truncated/corrupt wire
-        data) fails the request — waiters must wake with the error,
-        not block forever — and is then re-raised so the transport
-        records the frame-level fault.
+        ``msg.payload`` may be a single bytes-like or a segment list;
+        either way the bytes land directly in the posted buffer's own
+        storage (accounted as ``bytes_moved``).  Pooled storage backing
+        an unexpected message is returned to the scratch pool once the
+        payload has been consumed.  A payload that cannot be unpacked
+        (truncated/corrupt wire data) fails the request — waiters must
+        wake with the error, not block forever — and is then re-raised
+        so the transport records the frame-level fault.
         """
         try:
-            buf.load_wire(msg.payload)
+            payload = msg.payload
+            if isinstance(payload, list):
+                buf.load_wire_segments(payload)
+            else:
+                buf.load_wire(payload)
+            self.copy_stats.moved(buf.size)
         except Exception as exc:
             self.stats["failed_deliveries"] += 1
             request.fail(exc)
             raise
+        finally:
+            self._release_message_storage(msg)
         request.complete(
             Status(source=msg.src_pid, tag=msg.tag, size=buf.size, buffer=buf)
         )
+
+    def _release_message_storage(self, msg: ArrivedMessage) -> None:
+        """Return an unexpected message's pooled scratch, if it has any."""
+        storage = msg.storage
+        if storage is not None:
+            msg.storage = None
+            msg.payload = None
+            self.raw_pool.release(storage)
 
     # ------------------------------------------------------------------
     # probing
@@ -383,51 +494,107 @@ class ProtocolEngine:
     # ------------------------------------------------------------------
     # input handler — called by the transport's progress thread
 
-    def handle_frame(self, src_pid: ProcessID, header: FrameHeader, payload: memoryview | bytes) -> None:
+    def handle_frame(
+        self,
+        src_pid: ProcessID,
+        header: FrameHeader,
+        payload: memoryview | bytes | list | None = None,
+        *,
+        in_place: bool = False,
+        owned: Optional[bytearray] = None,
+    ) -> None:
         """Process one inbound frame (paper Figs 5 and 8).
 
         Runs on the transport's input-handler thread.  Must never
         block indefinitely: the only potentially long operation — the
         rendezvous data write — is forked to a separate thread.
+
+        *payload* may be a single bytes-like or a segment list; the
+        engine consumes it before returning unless it takes ownership
+        (see *owned*).  ``in_place=True`` means the transport already
+        landed a rendezvous payload in the posted buffer's storage via
+        :meth:`rendezvous_landing` — the frame carries no bytes of its
+        own.  *owned*, if given, is pooled scratch from ``raw_pool``
+        backing the payload; ownership transfers to the engine, which
+        either keeps it alive as unexpected-message storage or
+        releases it (including on error paths).
         """
         ftype = header.type
-        if ftype == FrameType.EAGER:
-            self._handle_eager(src_pid, header, payload)
-        elif ftype == FrameType.RTS:
-            self._handle_rts(src_pid, header)
-        elif ftype == FrameType.RTR:
-            self._handle_rtr(src_pid, header)
-        elif ftype == FrameType.RNDZ_DATA:
-            self._handle_rndz_data(src_pid, header, payload)
-        elif ftype == FrameType.BYE:
-            pass  # orderly peer shutdown; nothing to match
-        else:  # pragma: no cover - decode guards against this
-            raise XDevException(f"unknown frame type {ftype}")
+        try:
+            if ftype == FrameType.EAGER:
+                owned = self._handle_eager(src_pid, header, payload, owned)
+            elif ftype == FrameType.RTS:
+                self._handle_rts(src_pid, header)
+            elif ftype == FrameType.RTR:
+                self._handle_rtr(src_pid, header)
+            elif ftype == FrameType.RNDZ_DATA:
+                self._handle_rndz_data(src_pid, header, payload, in_place=in_place)
+            elif ftype == FrameType.BYE:
+                pass  # orderly peer shutdown; nothing to match
+            else:  # pragma: no cover - decode guards against this
+                raise XDevException(f"unknown frame type {ftype}")
+        finally:
+            if owned is not None:
+                self.raw_pool.release(owned)
 
     def _handle_eager(
-        self, src_pid: ProcessID, header: FrameHeader, payload: memoryview | bytes
-    ) -> None:
+        self,
+        src_pid: ProcessID,
+        header: FrameHeader,
+        payload: memoryview | bytes | list,
+        owned: Optional[bytearray] = None,
+    ) -> Optional[bytearray]:
         # Fig. 5: lock receive sets; if matched, receive into the user
         # buffer; else store into an input buffer and record the
-        # unexpected message.
+        # unexpected message.  Returns *owned* back to the caller
+        # unless the message keeps it as storage.
+        segments = payload if isinstance(payload, list) else [payload]
+        total = sum(len(s) for s in segments)
         matched: Optional[PostedRecv] = None
         with self._recv_cond:
             msg = ArrivedMessage(
                 context=header.context,
                 tag=header.tag,
                 src_uid=src_pid.uid,
-                # Payload size excluding the 16-byte buffer wire header,
-                # so probe counts match what recv reports.
-                size=max(0, len(payload) - 16),
-                payload=bytes(payload),
+                # Payload size excluding the buffer wire header, so
+                # probe counts match what recv reports.
+                size=max(0, total - WIRE_HEADER_SIZE),
+                payload=None,
                 src_pid=src_pid,
             )
             matched = self._queues.arrive(msg)
-            if matched is None:
+            if matched is not None:
+                # Delivered below, outside the lock, straight from the
+                # transport's segments — no intermediate copy.
+                msg.payload = segments
+            else:
                 self.stats["unexpected_messages"] += 1
+                if owned is not None:
+                    # Adopt the transport's scratch as the unexpected
+                    # message's storage — no second copy.
+                    msg.payload = segments
+                    msg.storage = owned
+                    owned = None
+                else:
+                    # The frame's memory belongs to the transport (it
+                    # is reclaimed once this handler returns): stage
+                    # the unexpected payload into stable pooled
+                    # scratch.  This is the eager protocol's "device
+                    # level memory" (Section IV-A.1), and the one copy
+                    # an unmatched eager message costs.
+                    stored = self.raw_pool.acquire(total)
+                    offset = 0
+                    for seg in segments:
+                        view = memoryview(seg).cast("B")
+                        stored[offset : offset + len(view)] = view
+                        offset += len(view)
+                    self.copy_stats.copied(total)
+                    msg.payload = [memoryview(stored)[:total]]
+                    msg.storage = stored
                 self._recv_cond.notify_all()
         if matched is not None:
             self._deliver(matched.request, matched.request.buffer, msg)
+        return owned
 
     def _handle_rts(self, src_pid: ProcessID, header: FrameHeader) -> None:
         # Fig. 8, ready-to-send branch.
@@ -494,8 +661,16 @@ class ProtocolEngine:
                 " (duplicate or corrupt ready-to-recv)"
             )
 
+        status = Status(source=self.my_pid, tag=header.tag, size=pending.size)
+
+        def on_delivered() -> None:
+            # The transport no longer references the user's buffer
+            # memory; the MPI contract now lets the sender reuse it.
+            pending.request.try_complete(status)
+
         def rendez_write() -> None:
-            # lock dest channel / send the data / unlock, then complete.
+            # lock dest channel / send the data / unlock, then complete
+            # once the live segment views have been consumed.
             self._write(
                 pending.dest,
                 encode_frame(
@@ -503,11 +678,9 @@ class ProtocolEngine:
                     header.context,
                     header.tag,
                     recv_id=header.recv_id,
-                    payload=pending.wire,
+                    payload=pending.segments,
                 ),
-            )
-            pending.request.complete(
-                Status(source=self.my_pid, tag=header.tag, size=len(pending.wire))
+                on_delivered=on_delivered,
             )
 
         if self.fork_rendezvous_writer:
@@ -518,8 +691,33 @@ class ProtocolEngine:
         else:
             rendez_write()
 
+    def rendezvous_landing(self, recv_id: int, nbytes: int) -> Optional[memoryview]:
+        """The posted buffer's own storage, exposed for an in-place landing.
+
+        Transports call this when a RNDZ_DATA frame of *nbytes* is
+        about to arrive for *recv_id*: the returned view is the posted
+        receive buffer's memory (``Buffer.begin_landing``), so the wire
+        bytes' first destination is their last — the zero-copy
+        rendezvous receive.  Returns None when the id is unknown or
+        the size is not a plausible wire image; the transport then
+        falls back to handing the payload to :meth:`handle_frame`,
+        which reports the fault through the normal paths.
+        """
+        with self._recv_lock:
+            entry = self._rendezvous_recvs.get(recv_id)
+        if entry is None:
+            return None
+        try:
+            return entry[0].buffer.begin_landing(nbytes)
+        except Exception:
+            return None
+
     def _handle_rndz_data(
-        self, src_pid: ProcessID, header: FrameHeader, payload: memoryview | bytes
+        self,
+        src_pid: ProcessID,
+        header: FrameHeader,
+        payload: memoryview | bytes | list | None,
+        in_place: bool = False,
     ) -> None:
         with self._recv_lock:
             entry = self._rendezvous_recvs.pop(header.recv_id, None)
@@ -532,7 +730,16 @@ class ProtocolEngine:
             )
         request, peer, tag, context, _send_id = entry
         try:
-            request.buffer.load_wire(payload)
+            if in_place:
+                # The transport landed the wire image in the posted
+                # buffer's storage already; adopt it without copying.
+                request.buffer.finish_landing(header.payload_len)
+            elif isinstance(payload, list):
+                request.buffer.load_wire_segments(payload)
+                self.copy_stats.moved(request.buffer.size)
+            else:
+                request.buffer.load_wire(payload)
+                self.copy_stats.moved(request.buffer.size)
         except Exception as exc:
             self.stats["failed_deliveries"] += 1
             request.fail(exc)
@@ -547,6 +754,13 @@ class ProtocolEngine:
     def finish(self) -> None:
         self._finished = True
         self.transport.close()
+        # Unexpected messages die with the device; return their pooled
+        # scratch before auditing the pool for real leaks.
+        with self._recv_lock:
+            unexpected = list(self._queues.iter_unexpected())
+        for msg in unexpected:
+            self._release_message_storage(msg)
+        self.raw_pool.check_leaks("device finish")
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -22,7 +22,7 @@ import threading
 from repro.xdev.device import DeviceConfig, register_device
 from repro.xdev.base import ProtocolDevice
 from repro.xdev.exceptions import ConnectionSetupError, XDevException
-from repro.xdev.frames import HEADER_SIZE, FrameHeader
+from repro.xdev.frames import HEADER_SIZE, FrameHeader, FrameType
 from repro.xdev.processid import ProcessID
 from repro.xdev.protocol import ProtocolEngine, Transport
 
@@ -40,7 +40,11 @@ class SMFabric:
         self.nprocs = nprocs
         self.pids = [ProcessID(address=("sm", rank)) for rank in range(nprocs)]
         self._uid_to_rank = {pid.uid: rank for rank, pid in enumerate(self.pids)}
-        # One unbounded inbound frame queue per rank: (src_pid, frame bytes).
+        # One unbounded inbound frame queue per rank, carrying
+        # ``(src_pid, segment list, delivery fence)`` items.  Segments
+        # are enqueued *by reference* — the zero-copy handoff — and the
+        # fence releases the sender's hold on that memory once the
+        # receiving input handler is done with the frame.
         self.inboxes: list[queue.Queue] = [queue.Queue() for _ in range(nprocs)]
 
     def rank_of(self, pid: ProcessID) -> int:
@@ -51,7 +55,16 @@ class SMFabric:
 
 
 class SMTransport(Transport):
-    """Queue-backed transport: write = enqueue, input handler = dequeue."""
+    """Queue-backed transport: write = enqueue, input handler = dequeue.
+
+    Writes enqueue the caller's segment list by reference — no join,
+    no flattening — so this transport *retains* the segments until the
+    receiving rank's input handler has consumed the frame, at which
+    point the delivery fence fires and the sender may reuse the
+    memory.
+    """
+
+    retains_segments = True
 
     _SHUTDOWN = object()
 
@@ -74,11 +87,19 @@ class SMTransport(Transport):
         )
         self._thread.start()
 
-    def write(self, dest: ProcessID, segments) -> None:
+    def write(self, dest: ProcessID, segments, on_delivered=None) -> None:
         if self._closed:
             raise XDevException("transport closed")
-        data = b"".join(bytes(s) for s in segments)
-        self._fabric.inboxes[self._fabric.rank_of(dest)].put((self._my_pid, data))
+        # Enqueue by reference: every payload byte "moves" into the
+        # peer's inbox without being touched.
+        engine = self._engine
+        if engine is not None:
+            payload_len = sum(len(s) for s in segments) - HEADER_SIZE
+            if payload_len > 0:
+                engine.copy_stats.moved(payload_len)
+        self._fabric.inboxes[self._fabric.rank_of(dest)].put(
+            (self._my_pid, segments, on_delivered)
+        )
 
     def _input_handler(self) -> None:
         """The progress engine: pop frames, hand them to the protocol."""
@@ -87,18 +108,42 @@ class SMTransport(Transport):
             item = inbox.get()
             if item is SMTransport._SHUTDOWN:
                 return
-            src_pid, data = item
+            src_pid, segments, fence = item
             try:
-                header = FrameHeader.decode(memoryview(data)[:HEADER_SIZE])
-                payload = memoryview(data)[
-                    HEADER_SIZE : HEADER_SIZE + header.payload_len
-                ]
-                assert self._engine is not None
-                self._engine.handle_frame(src_pid, header, payload)
+                self._handle_segments(src_pid, segments)
             except Exception as exc:  # noqa: BLE001
                 # A corrupt frame costs that frame, not the progress
                 # engine; errors are kept for diagnostics.
                 self.errors.append(exc)
+            finally:
+                # The frame's memory is no longer referenced by this
+                # rank: let the sender reuse (or recycle) it.
+                if fence is not None:
+                    fence()
+
+    def _handle_segments(self, src_pid: ProcessID, segments) -> None:
+        assert self._engine is not None
+        engine = self._engine
+        header = FrameHeader.decode(segments[0])
+        payload = segments[1:]
+        # Actual bytes present, which a fault-injecting wrapper may
+        # have truncated below header.payload_len — such frames must
+        # take the validating fallback path and fail the request.
+        total = sum(len(s) for s in payload)
+        if header.type == FrameType.RNDZ_DATA and total == header.payload_len:
+            landing = engine.rendezvous_landing(header.recv_id, total)
+            if landing is not None:
+                # In-place rendezvous receive: gather the sender's live
+                # segments straight into the posted buffer's storage.
+                offset = 0
+                for seg in payload:
+                    view = memoryview(seg).cast("B")
+                    landing[offset : offset + len(view)] = view
+                    offset += len(view)
+                engine.copy_stats.moved(offset)
+                engine.handle_frame(src_pid, header, in_place=True)
+                return
+        engine.handle_frame(src_pid, header, payload)
 
     def close(self) -> None:
         if self._closed:
