@@ -49,7 +49,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--quick", action="store_true",
-        help="with --json: fewer iterations (CI smoke mode)",
+        help="run the live bench with fewer iterations (CI smoke "
+             "mode); implies --json",
     )
     parser.add_argument(
         "--baseline", metavar="FILE",
@@ -61,7 +62,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     ns = parser.parse_args(argv)
 
-    if ns.json:
+    if ns.json or ns.quick:
         import json
         from pathlib import Path
 

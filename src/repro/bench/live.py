@@ -136,7 +136,7 @@ def measure_pingpong(
                 stats = [d.engine.copy_stats.snapshot() for d in devices]
                 combined = {k: stats[0][k] + stats[1][k] for k in stats[0]}
         latency_s = elapsed / (2 * iters)
-        return {
+        cell: dict[str, Any] = {
             "latency_us": round(latency_s * 1e6, 2),
             "throughput_MBps": round(nbytes / latency_s / 1e6, 2)
             if nbytes
@@ -144,6 +144,14 @@ def measure_pingpong(
             "iterations": iters,
             "copy_stats": combined,
         }
+        # Both ranks' metric registries, merged (repro.obs).  Unlike
+        # copy_stats these cover the whole cell, warmup included.
+        from repro.obs.metrics import merge_snapshots
+
+        snaps = [d.engine.metrics.snapshot() for d in devices]
+        if all(s.get("enabled") for s in snaps):
+            cell["metrics"] = merge_snapshots(snaps)
+        return cell
     finally:
         for d in devices:
             d.finish()

@@ -63,6 +63,9 @@ class MPJEnvironment:
         self._rank = rank
         self._pids = list(pids)
         self._finalized = False
+        #: Metrics snapshot captured at Finalize (repro.obs); None until
+        #: then, or when the device carries no metrics registry.
+        self.final_metrics: Optional[dict] = None
         self._thread_level = THREAD_MULTIPLE
         self._main_thread = threading.current_thread()
         my_uid = self._pids[rank].uid
@@ -200,6 +203,14 @@ class MPJEnvironment:
         """
         if not self._finalized:
             self._finalized = True
+            # Snapshot metrics while the engine is still alive — the
+            # registry itself survives finish(), the live gauges do not.
+            try:
+                metrics = self.device.metrics
+                if metrics is not None:
+                    self.final_metrics = metrics.snapshot()
+            except Exception:  # noqa: BLE001 - device without metrics
+                self.final_metrics = None
             self.device.finish()
             self.pool.check_leaks("MPI.Finalize")
 

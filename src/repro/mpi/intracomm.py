@@ -254,12 +254,23 @@ class Intracomm(Comm):
             return datatype_for(buf)
         raise MPIException("datatype may be omitted only for numpy arrays")
 
+    def _coll_observe(self, name, buf=None, count=0, datatype=None) -> None:
+        """One metrics tick per collective call (repro.obs)."""
+        nbytes = 0
+        if count:
+            try:
+                nbytes = self._resolve_type(buf, datatype).packed_size(count)
+            except Exception:  # noqa: BLE001 - observed later as a real error
+                nbytes = 0
+        self._observe_collective(name, nbytes)
+
     # ==================================================================
     # Barrier
 
     def Barrier(self) -> None:
         """Dissemination barrier: ⌈log2 p⌉ sendrecv rounds."""
         self._check_live()
+        self._coll_observe("barrier")
         size, rank = self.size(), self.rank()
         if size == 1:
             return
@@ -291,6 +302,7 @@ class Intracomm(Comm):
         """Broadcast from *root* (binomial tree unless overridden)."""
         self._check_live()
         self._check_rank(root)
+        self._coll_observe("bcast", buf, count, datatype)
         override = self._algorithm("bcast")
         if override is not None:
             datatype = self._resolve_type(buf, datatype)
@@ -377,6 +389,7 @@ class Intracomm(Comm):
         """Reduce *count* elements to *root* with *op*."""
         self._check_live()
         self._check_rank(root)
+        self._coll_observe("reduce", sendbuf, count, datatype)
         override = self._algorithm("reduce")
         if override is not None:
             datatype = self._resolve_type(sendbuf, datatype)
@@ -436,6 +449,7 @@ class Intracomm(Comm):
     ) -> None:
         """Reduce to rank 0 then broadcast (unless overridden)."""
         datatype = self._resolve_type(sendbuf, datatype)
+        self._coll_observe("allreduce", sendbuf, count, datatype)
         override = self._algorithm("allreduce")
         if override is not None:
             override(self, sendbuf, sendoffset, recvbuf, recvoffset, count, datatype, op)
@@ -534,6 +548,7 @@ class Intracomm(Comm):
         """Linear gather to *root* (rank i lands at block i)."""
         self._check_live()
         self._check_rank(root)
+        self._coll_observe("gather", sendbuf, sendcount, sendtype)
         size, rank = self.size(), self.rank()
         sendtype = self._resolve_type(sendbuf, sendtype)
         if rank != root:
@@ -592,6 +607,7 @@ class Intracomm(Comm):
         """Linear scatter from *root* (block i goes to rank i)."""
         self._check_live()
         self._check_rank(root)
+        self._coll_observe("scatter", recvbuf, recvcount, recvtype)
         size, rank = self.size(), self.rank()
         recvtype = self._resolve_type(recvbuf, recvtype)
         if rank != root:
@@ -649,6 +665,7 @@ class Intracomm(Comm):
     ) -> None:
         """Ring allgather: p-1 steps, each forwarding one block."""
         self._check_live()
+        self._coll_observe("allgather", sendbuf, sendcount, sendtype)
         size, rank = self.size(), self.rank()
         sendtype = self._resolve_type(sendbuf, sendtype)
         recvtype = self._resolve_type(recvbuf, recvtype)
@@ -697,6 +714,7 @@ class Intracomm(Comm):
     ) -> None:
         """Pairwise exchange: every rank sends block j to rank j."""
         self._check_live()
+        self._coll_observe("alltoall", sendbuf, sendcount, sendtype)
         size, rank = self.size(), self.rank()
         sendtype = self._resolve_type(sendbuf, sendtype)
         recvtype = self._resolve_type(recvbuf, recvtype)

@@ -82,6 +82,8 @@ class Request:
         "tag",
         "peer",
         "seqno",
+        "t_post",
+        "trace_id",
     )
 
     _seq_lock = threading.Lock()
@@ -103,6 +105,11 @@ class Request:
         self.context: int = 0
         self.tag: int = 0
         self.peer: Any = None
+        # Observability (repro.obs): post timestamp for the engine's
+        # latency histograms, and the engine-unique id its trace
+        # events pair under.  Zero when instrumentation is off.
+        self.t_post: float = 0.0
+        self.trace_id: int = 0
         with Request._seq_lock:
             Request._seq += 1
             self.seqno = Request._seq

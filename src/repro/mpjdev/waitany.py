@@ -77,6 +77,14 @@ class WaitAnyQueue:
         self._device = device
         self._lock = threading.Lock()
         self._queue: deque[WaitAny] = deque()
+        try:
+            metrics = getattr(device, "metrics", None)
+        except Exception:  # noqa: BLE001 - device not initialized
+            metrics = None
+        self._c_calls = metrics.counter("waitany.calls") if metrics else None
+        self._c_immediate = (
+            metrics.counter("waitany.immediate") if metrics else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -89,6 +97,8 @@ class WaitAnyQueue:
             raise ValueError("waitany of an empty request list")
 
         wa = WaitAny(requests)
+        if self._c_calls is not None:
+            self._c_calls.inc()
 
         # Publish back-references BEFORE testing, so a completion that
         # lands in the peek queue from now on is attributed to us.
@@ -102,6 +112,8 @@ class WaitAnyQueue:
             status = r.test()
             if status is not None:
                 self._clear_refs(wa)
+                if self._c_immediate is not None:
+                    self._c_immediate.inc()
                 return i, status
 
         with self._lock:

@@ -1,0 +1,62 @@
+"""The observability CLI: ``python -m repro.obs``.
+
+Subcommands::
+
+    python -m repro.obs merge DIR [--out FILE] [--quiet]
+        Merge DIR's per-rank JSONL traces into a clock-aligned Chrome
+        trace_event JSON (default DIR/timeline.json; open it in
+        chrome://tracing or https://ui.perfetto.dev) and print the
+        text report.
+
+    python -m repro.obs report DIR
+        Print only the text report (per-peer byte matrix, protocol
+        stage spans, top latencies, unmatched receives).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs.merge import merge_directory
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_merge = sub.add_parser("merge", help="merge traces, write Chrome JSON, print report")
+    p_merge.add_argument("dir", help="directory of per-rank *.jsonl trace files")
+    p_merge.add_argument(
+        "--out", metavar="FILE",
+        help="Chrome trace_event JSON output path (default DIR/timeline.json)",
+    )
+    p_merge.add_argument(
+        "--quiet", action="store_true", help="suppress the text report"
+    )
+
+    p_report = sub.add_parser("report", help="print the text report only")
+    p_report.add_argument("dir", help="directory of per-rank *.jsonl trace files")
+
+    ns = parser.parse_args(argv)
+    directory = Path(ns.dir)
+    if not directory.is_dir():
+        print(f"not a directory: {directory}", file=sys.stderr)
+        return 2
+
+    if ns.command == "merge":
+        out = Path(ns.out) if ns.out else directory / "timeline.json"
+        chrome, report = merge_directory(directory, out=out)
+        if not ns.quiet:
+            print(report)
+        print(f"wrote {out} ({len(chrome['traceEvents'])} trace events)")
+        return 0
+
+    _, report = merge_directory(directory, out=None)
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Stall snapshots: pending operations with ages, on demand or on signal.
+
+This is the promoted form of the PR-1 watchdog's triage dump: one
+function that gathers, from any mix of devices and tracers, everything
+a hang post-mortem needs — live queue depths (``device.introspect()``),
+engine protocol counters, and every pending traced operation with its
+age.  :class:`~repro.testing.watchdog.ProgressWatchdog` calls it on a
+stall (and writes it into the ``REPRO_TRACE`` directory when tracing
+is on); :func:`install_stall_handler` wires it to SIGUSR1 so a hung
+run can be interrogated from outside without killing it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Optional, Sequence
+
+from repro.obs.tracing import trace_dir
+
+
+def stall_snapshot(
+    devices: Sequence[Any] = (),
+    tracers: Sequence[Any] = (),
+    min_age_s: float = 0.0,
+) -> dict[str, Any]:
+    """Snapshot pending work across *devices* and *tracers*.
+
+    ``devices`` are anything with ``introspect()`` (queue depths) —
+    engine stats ride along inside that dict.  ``tracers`` are
+    :class:`~repro.trace.TracingDevice` instances; their pending
+    operations older than *min_age_s* are listed with ages.
+    """
+    snap: dict[str, Any] = {
+        "taken_at": time.time(),
+        "devices": [],
+        "pending_operations": [],
+    }
+    for dev in devices:
+        introspect = getattr(dev, "introspect", None)
+        if introspect is None:
+            continue
+        try:
+            snap["devices"].append(introspect())
+        except Exception as exc:  # noqa: BLE001 - a dead device still snapshots
+            snap["devices"].append({"error": repr(exc)})
+    for i, tracer in enumerate(tracers):
+        now = tracer.clock()
+        for event in tracer.detect_stalled(min_age_s=min_age_s):
+            snap["pending_operations"].append(
+                {
+                    "tracer": i,
+                    "op": event.op,
+                    "peer": event.peer,
+                    "tag": event.tag,
+                    "context": event.context,
+                    "posted_at": event.time,
+                    "age_s": round(now - event.time, 6),
+                }
+            )
+    return snap
+
+
+def write_stall_file(snapshot: dict[str, Any]) -> Optional[Path]:
+    """Persist *snapshot* into the ``REPRO_TRACE`` directory, if set."""
+    directory = trace_dir()
+    if directory is None:
+        return None
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"stall-p{os.getpid()}-{time.time_ns()}.json"
+    path.write_text(
+        json.dumps(snapshot, indent=1, default=repr) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def install_stall_handler(
+    devices: Sequence[Any] = (),
+    tracers: Sequence[Any] = (),
+    signum: int = getattr(signal, "SIGUSR1", signal.SIGTERM),
+    on_snapshot: Optional[Callable[[dict[str, Any]], None]] = None,
+) -> Any:
+    """Dump a stall snapshot whenever *signum* (default SIGUSR1) arrives.
+
+    The snapshot goes to the ``REPRO_TRACE`` directory when tracing is
+    on, else to stderr; *on_snapshot* additionally receives the dict.
+    Must be called from the main thread (CPython signal rule).  Returns
+    the previous handler so callers can restore it.
+    """
+
+    def _handler(_sig, _frame) -> None:
+        snap = stall_snapshot(devices=devices, tracers=tracers)
+        path = write_stall_file(snap)
+        if path is None:
+            print(json.dumps(snap, indent=1, default=repr), file=sys.stderr)
+        if on_snapshot is not None:
+            on_snapshot(snap)
+
+    return signal.signal(signum, _handler)

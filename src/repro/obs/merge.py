@@ -1,0 +1,376 @@
+"""Merge per-rank JSONL traces into one clock-aligned timeline.
+
+Backs ``python -m repro.obs merge <dir>``: reads every ``*.jsonl`` the
+:class:`~repro.obs.tracing.TraceWriter` wrote, aligns ranks on their
+``wall_t0`` anchors, and produces
+
+* Chrome ``trace_event`` JSON (open in ``chrome://tracing`` or
+  https://ui.perfetto.dev): one process per rank file, one track per
+  thread, ``X`` duration events for each ``<base>.post``/
+  ``<base>.complete`` pair and ``i`` instants for the rendezvous stage
+  marks (RTS/RTR/data), and
+* a text report: per-peer byte matrix, protocol-stage latency table,
+  top span latencies, unmatched receives.
+
+Clock model: every event's absolute time is
+``(meta.wall_t0 - min(wall_t0)) + event.t`` — within one machine the
+wall-clock skew between ranks is far below the microsecond span
+resolution this needs, and all current transports are single-host.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Optional
+
+
+@dataclass
+class RankTrace:
+    """One parsed per-rank JSONL file."""
+
+    path: Path
+    meta: dict[str, Any]
+    events: list[dict[str, Any]]
+    fin: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def rank(self) -> int:
+        return int(self.meta.get("rank", -1))
+
+    @property
+    def label(self) -> str:
+        return str(self.meta.get("label", "dev"))
+
+    @property
+    def wall_t0(self) -> float:
+        return float(self.meta.get("wall_t0", 0.0))
+
+
+@dataclass
+class Span:
+    """A paired <base>.post/<base>.complete operation."""
+
+    base: str
+    file_idx: int
+    rank: int
+    label: str
+    tid: int
+    start_us: float
+    dur_us: float
+    id: Optional[int] = None
+    peer: Optional[int] = None
+    tag: Optional[int] = None
+    size: Optional[int] = None
+    proto: Optional[str] = None
+    #: Absolute µs of each stage instant sharing this span's id.
+    stages: dict[str, float] = field(default_factory=dict)
+
+
+#: Stage instants folded into the owning span (keyed by the same id).
+_SEND_STAGES = ("rts.out", "rtr.in", "rndz.out")
+_RECV_STAGES = ("rts.in", "rtr.out", "rndz.in", "eager.in")
+_STAGE_EVENTS = frozenset(_SEND_STAGES) | frozenset(_RECV_STAGES)
+
+
+def load_trace_dir(directory: Path | str) -> list[RankTrace]:
+    """Parse every ``*.jsonl`` rank file under *directory*."""
+    directory = Path(directory)
+    traces: list[RankTrace] = []
+    for path in sorted(directory.glob("*.jsonl")):
+        meta: dict[str, Any] = {}
+        fin: dict[str, Any] = {}
+        events: list[dict[str, Any]] = []
+        with path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # a torn line loses itself, not the file
+                if "meta" in record:
+                    meta = record["meta"]
+                elif "fin" in record:
+                    fin = record["fin"]
+                else:
+                    events.append(record)
+        if meta or events:
+            traces.append(RankTrace(path=path, meta=meta, events=events, fin=fin))
+    return traces
+
+
+def build_spans(traces: list[RankTrace]) -> tuple[list[Span], list[dict[str, Any]]]:
+    """Pair post/complete events into spans; collect the leftovers.
+
+    Returns ``(spans, unmatched)`` where *unmatched* lists ``.post``
+    events that never completed (the deadlock list) annotated with
+    their file/rank.
+    """
+    zero = min((t.wall_t0 for t in traces), default=0.0)
+    spans: list[Span] = []
+    unmatched: list[dict[str, Any]] = []
+    for file_idx, trace in enumerate(traces):
+        offset_us = (trace.wall_t0 - zero) * 1e6
+        open_posts: dict[tuple[str, Any], dict[str, Any]] = {}
+        stage_marks: dict[Any, dict[str, float]] = defaultdict(dict)
+        for ev in trace.events:
+            name = ev.get("ev", "")
+            abs_us = offset_us + float(ev.get("t", 0.0)) * 1e6
+            if name in _STAGE_EVENTS:
+                if ev.get("id") is not None:
+                    stage_marks[ev["id"]][name] = abs_us
+                continue
+            if name.endswith(".post"):
+                base = name[: -len(".post")]
+                open_posts[(base, ev.get("id"))] = dict(ev, _abs_us=abs_us)
+            elif name.endswith(".complete"):
+                base = name[: -len(".complete")]
+                post = open_posts.pop((base, ev.get("id")), None)
+                if post is None:
+                    continue  # post fell out of the ring buffer
+                spans.append(
+                    Span(
+                        base=base,
+                        file_idx=file_idx,
+                        rank=trace.rank,
+                        label=trace.label,
+                        tid=int(post.get("tid", 0)),
+                        start_us=post["_abs_us"],
+                        dur_us=max(abs_us - post["_abs_us"], 0.0),
+                        id=post.get("id"),
+                        peer=post.get("peer", ev.get("peer")),
+                        tag=post.get("tag"),
+                        size=post.get("size", ev.get("size")),
+                        proto=post.get("proto", ev.get("proto")),
+                    )
+                )
+        for (base, _id), post in open_posts.items():
+            unmatched.append(
+                {
+                    "base": base,
+                    "rank": trace.rank,
+                    "label": trace.label,
+                    "file": trace.path.name,
+                    "peer": post.get("peer"),
+                    "tag": post.get("tag"),
+                    "ctx": post.get("ctx"),
+                    "posted_at_us": round(post["_abs_us"], 3),
+                }
+            )
+        for span in spans:
+            if span.file_idx == file_idx and span.id in stage_marks:
+                span.stages.update(stage_marks[span.id])
+    return spans, unmatched
+
+
+def chrome_trace(traces: list[RankTrace], spans: list[Span]) -> dict[str, Any]:
+    """The merged timeline as Chrome ``trace_event`` JSON (dict form)."""
+    zero = min((t.wall_t0 for t in traces), default=0.0)
+    events: list[dict[str, Any]] = []
+    for file_idx, trace in enumerate(traces):
+        pid = file_idx
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": f"rank {trace.rank} [{trace.label}]"
+                    f" (os pid {trace.meta.get('pid', '?')})"
+                },
+            }
+        )
+        for tid, tname in (trace.fin.get("threads") or {}).items():
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": int(tid),
+                    "args": {"name": tname},
+                }
+            )
+        offset_us = (trace.wall_t0 - zero) * 1e6
+        for ev in trace.events:
+            name = ev.get("ev", "")
+            # Stage marks and any other point event (probe, failure,
+            # lifecycle) become instants; .post/.complete pairs are
+            # already covered by the X spans.
+            if name in _STAGE_EVENTS or not (
+                name.endswith(".post") or name.endswith(".complete")
+            ):
+                events.append(
+                    {
+                        "ph": "i",
+                        "name": name,
+                        "pid": pid,
+                        "tid": int(ev.get("tid", 0)),
+                        "ts": round(offset_us + float(ev.get("t", 0.0)) * 1e6, 3),
+                        "s": "t",
+                        "args": {
+                            k: v
+                            for k, v in ev.items()
+                            if k not in ("t", "tid", "ev")
+                        },
+                    }
+                )
+    for span in spans:
+        name = span.base
+        if span.proto:
+            name = f"{span.base} [{span.proto}]"
+        events.append(
+            {
+                "ph": "X",
+                "name": name,
+                "cat": span.label,
+                "pid": span.file_idx,
+                "tid": span.tid,
+                "ts": round(span.start_us, 3),
+                "dur": round(span.dur_us, 3),
+                "args": {
+                    "id": span.id,
+                    "peer": span.peer,
+                    "tag": span.tag,
+                    "size": span.size,
+                    "rank": span.rank,
+                },
+            }
+        )
+    events.sort(key=lambda e: e.get("ts", -1.0))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# text report
+
+
+def _byte_matrix(spans: Iterable[Span]) -> dict[int, dict[int, int]]:
+    """sender rank -> receiver rank/uid -> payload bytes (send spans)."""
+    matrix: dict[int, dict[int, int]] = defaultdict(lambda: defaultdict(int))
+    for span in spans:
+        if span.base == "send" and span.size and span.peer is not None:
+            matrix[span.rank][span.peer] += span.size
+    return matrix
+
+
+def _stage_table(spans: Iterable[Span]) -> dict[str, dict[str, Any]]:
+    """Per (label, proto) aggregate of protocol-stage durations (µs)."""
+    agg: dict[str, dict[str, list[float]]] = defaultdict(lambda: defaultdict(list))
+    for span in spans:
+        if span.base != "send":
+            continue
+        key = f"{span.label}/{span.proto or 'eager'}"
+        end = span.start_us + span.dur_us
+        if span.proto == "rndz":
+            marks = [("post", span.start_us)]
+            for stage in _SEND_STAGES:
+                if stage in span.stages:
+                    marks.append((stage, span.stages[stage]))
+            marks.append(("complete", end))
+            for (a, ta), (b, tb) in zip(marks, marks[1:]):
+                agg[key][f"{a}→{b}"].append(max(tb - ta, 0.0))
+        else:
+            agg[key]["post→complete"].append(span.dur_us)
+    out: dict[str, dict[str, Any]] = {}
+    for key, stages in agg.items():
+        out[key] = {
+            stage: {
+                "count": len(vals),
+                "mean_us": round(sum(vals) / len(vals), 2),
+                "max_us": round(max(vals), 2),
+            }
+            for stage, vals in stages.items()
+        }
+    return out
+
+
+def text_report(
+    traces: list[RankTrace],
+    spans: list[Span],
+    unmatched: list[dict[str, Any]],
+    top_n: int = 10,
+) -> str:
+    lines: list[str] = []
+    total_events = sum(len(t.events) for t in traces)
+    total_dropped = sum(int(t.fin.get("dropped", 0)) for t in traces)
+    lines.append(
+        f"merged timeline: {len(traces)} rank file(s), {total_events} events, "
+        f"{len(spans)} spans, {total_dropped} dropped by ring buffers"
+    )
+    labels = sorted({t.label for t in traces})
+    lines.append(f"devices: {', '.join(labels) if labels else '(none)'}")
+
+    matrix = _byte_matrix(spans)
+    lines.append("")
+    lines.append("per-peer payload bytes (sender rank -> receiver uid):")
+    if not matrix:
+        lines.append("  (no completed sends)")
+    else:
+        receivers = sorted({p for row in matrix.values() for p in row})
+        header = "  sender " + "".join(f"{f'->{p}':>14}" for p in receivers)
+        lines.append(header)
+        for sender in sorted(matrix):
+            row = matrix[sender]
+            lines.append(
+                f"  {sender:>6} "
+                + "".join(f"{row.get(p, 0):>14}" for p in receivers)
+            )
+
+    lines.append("")
+    lines.append("protocol stage spans (µs):")
+    stage_table = _stage_table(spans)
+    if not stage_table:
+        lines.append("  (no send spans)")
+    for key in sorted(stage_table):
+        lines.append(f"  {key}:")
+        for stage, cell in stage_table[key].items():
+            lines.append(
+                f"    {stage:<22} n={cell['count']:<6} "
+                f"mean={cell['mean_us']:>10.2f} max={cell['max_us']:>10.2f}"
+            )
+
+    lines.append("")
+    lines.append(f"top {top_n} span latencies:")
+    slowest = sorted(spans, key=lambda s: s.dur_us, reverse=True)[:top_n]
+    if not slowest:
+        lines.append("  (none)")
+    for span in slowest:
+        lines.append(
+            f"  {span.dur_us:>12.2f}µs  {span.base:<6} rank={span.rank} "
+            f"peer={span.peer} tag={span.tag} size={span.size} "
+            f"proto={span.proto or 'eager'} [{span.label}]"
+        )
+
+    recv_unmatched = [u for u in unmatched if u["base"].endswith("recv")]
+    lines.append("")
+    lines.append(f"unmatched receives: {len(recv_unmatched)}")
+    for u in recv_unmatched[:top_n]:
+        lines.append(
+            f"  rank={u['rank']} peer={u['peer']} tag={u['tag']} "
+            f"ctx={u['ctx']} posted_at={u['posted_at_us']}µs [{u['label']}]"
+        )
+    other_unmatched = len(unmatched) - len(recv_unmatched)
+    if other_unmatched:
+        lines.append(f"other unmatched operations: {other_unmatched}")
+    return "\n".join(lines) + "\n"
+
+
+def merge_directory(
+    directory: Path | str, out: Optional[Path | str] = None
+) -> tuple[dict[str, Any], str]:
+    """Load, merge, and render *directory*; optionally write Chrome JSON.
+
+    Returns ``(chrome_trace_dict, text_report_str)``.
+    """
+    traces = load_trace_dir(directory)
+    spans, unmatched = build_spans(traces)
+    chrome = chrome_trace(traces, spans)
+    report = text_report(traces, spans, unmatched)
+    if out is not None:
+        Path(out).write_text(json.dumps(chrome) + "\n", encoding="utf-8")
+    return chrome, report

@@ -1,0 +1,161 @@
+"""Structured per-rank trace export: bounded ring buffer → JSONL.
+
+Setting ``REPRO_TRACE=<dir>`` turns on tracing for every rank: the
+protocol engine creates a :class:`TraceWriter` at init (so the
+launcher, the process daemons and raw device jobs all inherit it from
+the environment) and flushes it at device finish.  One file per
+writer, named ``<label>-rank<uid>-p<ospid>-<n>.jsonl``, so many jobs
+in one process (the bench!) never collide.
+
+File schema (one JSON object per line):
+
+* line 1 — ``{"meta": {"rank", "pid", "label", "wall_t0", "mono_t0",
+  "version"}}``.  ``wall_t0`` (``time.time()``) is the clock-alignment
+  anchor the merge CLI uses to place ranks on one timeline;
+  ``mono_t0`` anchors the events' monotonic offsets.
+* event lines — ``{"t": <seconds since mono_t0>, "tid": <thread id>,
+  "ev": <name>, ...}`` plus optional ``id``/``peer``/``tag``/``ctx``/
+  ``size``/``proto``.  Protocol-stage event names pair ``<base>.post``
+  with ``<base>.complete`` (same ``id``) into spans; the rendezvous
+  stages ``rts.out``/``rts.in``/``rtr.out``/``rtr.in``/``rndz.out``/
+  ``rndz.in`` are instants sharing the send/recv span's id.
+* last line — ``{"fin": {"events", "dropped", "threads"}}``; ``dropped``
+  counts events evicted by the bounded ring buffer
+  (``REPRO_TRACE_BUFFER``, default 65536 events per writer).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Optional
+
+TRACE_ENV = "REPRO_TRACE"
+TRACE_BUFFER_ENV = "REPRO_TRACE_BUFFER"
+
+DEFAULT_BUFFER_EVENTS = 65536
+
+SCHEMA_VERSION = 1
+
+#: Per-process sequence so several writers for the same (label, rank)
+#: — the bench stands jobs up back to back — get distinct file names.
+_FILE_SEQ = itertools.count(1)
+
+
+def trace_dir() -> Optional[Path]:
+    """The trace output directory, or None when tracing is off."""
+    value = os.environ.get(TRACE_ENV, "").strip()
+    return Path(value) if value else None
+
+
+class TraceWriter:
+    """Thread-safe bounded event ring, flushed to one JSONL file."""
+
+    def __init__(
+        self,
+        directory: Path | str,
+        rank: int,
+        label: str = "dev",
+        buffer_events: Optional[int] = None,
+    ) -> None:
+        if buffer_events is None:
+            try:
+                buffer_events = int(
+                    os.environ.get(TRACE_BUFFER_ENV, DEFAULT_BUFFER_EVENTS)
+                )
+            except ValueError:
+                buffer_events = DEFAULT_BUFFER_EVENTS
+        self.directory = Path(directory)
+        self.rank = rank
+        self.label = label
+        self.path = self.directory / (
+            f"{label}-rank{rank}-p{os.getpid()}-{next(_FILE_SEQ)}.jsonl"
+        )
+        self.wall_t0 = time.time()
+        self.mono_t0 = time.monotonic()
+        self._lock = threading.Lock()
+        self._ring: deque[dict[str, Any]] = deque(maxlen=max(buffer_events, 1))
+        self._dropped = 0
+        self._thread_names: dict[int, str] = {}
+        self._closed = False
+
+    def emit(self, ev: str, **fields: Any) -> None:
+        """Record one event; drops the oldest when the ring is full."""
+        t = time.monotonic() - self.mono_t0
+        tid = threading.get_ident()
+        record = {"t": round(t, 9), "tid": tid, "ev": ev}
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        with self._lock:
+            if self._closed:
+                return
+            if tid not in self._thread_names:
+                self._thread_names[tid] = threading.current_thread().name
+            if len(self._ring) == self._ring.maxlen:
+                self._dropped += 1
+            self._ring.append(record)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        with self._lock:
+            return self._dropped
+
+    def close(self) -> Optional[Path]:
+        """Flush the ring to :attr:`path`; idempotent."""
+        with self._lock:
+            if self._closed:
+                return None
+            self._closed = True
+            events = list(self._ring)
+            self._ring.clear()
+            dropped = self._dropped
+            threads = {str(k): v for k, v in self._thread_names.items()}
+        self.directory.mkdir(parents=True, exist_ok=True)
+        meta = {
+            "meta": {
+                "rank": self.rank,
+                "pid": os.getpid(),
+                "label": self.label,
+                "wall_t0": self.wall_t0,
+                "mono_t0": self.mono_t0,
+                "version": SCHEMA_VERSION,
+            }
+        }
+        fin = {"fin": {"events": len(events), "dropped": dropped, "threads": threads}}
+        with self.path.open("w", encoding="utf-8") as fh:
+            fh.write(json.dumps(meta) + "\n")
+            for record in events:
+                fh.write(json.dumps(record) + "\n")
+            fh.write(json.dumps(fin) + "\n")
+        return self.path
+
+
+def writer_for(rank: int, label: str = "dev") -> Optional[TraceWriter]:
+    """A TraceWriter if ``REPRO_TRACE`` names a directory, else None."""
+    directory = trace_dir()
+    if directory is None:
+        return None
+    return TraceWriter(directory, rank, label=label)
+
+
+def dump_metrics(snapshot: dict[str, Any], rank: int, label: str = "dev") -> Optional[Path]:
+    """Write a metrics snapshot JSON next to the rank's trace files."""
+    directory = trace_dir()
+    if directory is None:
+        return None
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / (
+        f"metrics-{label}-rank{rank}-p{os.getpid()}-{next(_FILE_SEQ)}.json"
+    )
+    path.write_text(json.dumps(snapshot, indent=1, default=repr) + "\n", encoding="utf-8")
+    return path

@@ -269,10 +269,8 @@ class ProgressWatchdog:
             )
         stalled_ops = []
         if self.tracers:
-            from repro.trace import detect_stalled
-
             for i, tracer in enumerate(self.tracers):
-                for event in detect_stalled(tracer, min_age_s=0.0):
+                for event in tracer.detect_stalled(min_age_s=0.0):
                     stalled_ops.append(
                         {
                             "rank": i,
@@ -292,6 +290,16 @@ class ProgressWatchdog:
 
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _write_stall_file(stall: dict) -> None:
+        """Persist the stall report next to the traces (if tracing is on)."""
+        try:
+            from repro.obs.introspect import write_stall_file
+
+            write_stall_file(stall)
+        except Exception:  # noqa: BLE001 - diagnostics must not kill the dog
+            pass
+
     def _run(self) -> None:
         last = self._completions()
         last_change = time.monotonic()
@@ -308,6 +316,7 @@ class ProgressWatchdog:
                 stall = self.report()
                 stall["stuck_for_s"] = round(now - last_change, 3)
                 self.stalls.append(stall)
+                self._write_stall_file(stall)
                 if self.on_stall is not None:
                     self.on_stall(stall)
                 else:  # pragma: no cover - interactive aid

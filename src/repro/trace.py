@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Any, Optional
 
@@ -47,6 +48,9 @@ class TraceEvent:
     context: Optional[int] = None
     size: Optional[int] = None
     completed_at: Optional[float] = None
+    #: Probe/peek outcome: True when a matching message (or completed
+    #: request) was found, False when not, None for other operations.
+    matched: Optional[bool] = None
 
     #: Operations that complete later (non-blocking) or whose event
     #: stays open while the caller is blocked inside them.
@@ -62,12 +66,29 @@ class TraceEvent:
 class TracingDevice(Device):
     """A Device decorator recording every operation."""
 
-    def __init__(self, inner: Device) -> None:
+    def __init__(self, inner: Device, sink: Any = None) -> None:
         self.inner = inner
         self._events: list[TraceEvent] = []
         self._lock = threading.Lock()
         self._seq = 0
         self._t0 = time.monotonic()
+        #: Optional JSONL export (:class:`repro.obs.tracing.TraceWriter`).
+        #: Auto-created from ``REPRO_TRACE`` when the inner device's
+        #: rank is known (now, or at :meth:`init`).
+        self._sink = sink if sink is not None else self._make_sink()
+
+    def _make_sink(self) -> Any:
+        from repro.obs.tracing import writer_for
+
+        try:
+            rank = self.inner.id().uid
+        except Exception:  # noqa: BLE001 - not initialized yet
+            return None
+        return writer_for(rank, label="mpi")
+
+    def clock(self) -> float:
+        """Seconds since this tracer started (the events' time base)."""
+        return time.monotonic() - self._t0
 
     # ------------------------------------------------------------------
     # recording
@@ -92,11 +113,37 @@ class TracingDevice(Device):
                 size=size,
             )
             self._events.append(event)
-            return event
+        sink = self._sink
+        if sink is not None:
+            name = f"mpi.{op}.post" if op in TraceEvent._COMPLETABLE else f"mpi.{op}"
+            sink.emit(
+                name,
+                id=event.seq,
+                peer=event.peer,
+                tag=tag,
+                ctx=context,
+                size=size,
+            )
+        return event
+
+    def _sink_complete(self, event: TraceEvent) -> None:
+        sink = self._sink
+        if sink is not None:
+            sink.emit(f"mpi.{event.op}.complete", id=event.seq, size=event.size)
 
     def _track_completion(self, request: Request, event: TraceEvent) -> Request:
         def on_done(_req: Request) -> None:
             event.completed_at = time.monotonic() - self._t0
+            if event.size is None:
+                # Receives learn their size only at match time; capture
+                # it so summary()'s bytes_received is not undercounted.
+                try:
+                    status = _req.test()
+                except Exception:  # noqa: BLE001 - failed request
+                    status = None
+                if status is not None:
+                    event.size = status.size
+            self._sink_complete(event)
 
         request.add_completion_listener(on_done)
         return request
@@ -115,15 +162,28 @@ class TracingDevice(Device):
     def summary(self) -> dict[str, Any]:
         events = self.events()
         by_op: dict[str, int] = {}
-        total_bytes = 0
+        bytes_sent = 0
+        bytes_received = 0
+        probe_hits = 0
+        probe_misses = 0
         for e in events:
             by_op[e.op] = by_op.get(e.op, 0) + 1
             if e.size and e.op in ("isend", "send", "issend", "ssend"):
-                total_bytes += e.size
+                bytes_sent += e.size
+            elif e.size and e.op in ("irecv", "recv"):
+                bytes_received += e.size
+            if e.op in ("iprobe", "probe", "peek"):
+                if e.matched:
+                    probe_hits += 1
+                elif e.matched is False:
+                    probe_misses += 1
         out: dict[str, Any] = {
             "events": len(events),
             "by_op": by_op,
-            "bytes_sent": total_bytes,
+            "bytes_sent": bytes_sent,
+            "bytes_received": bytes_received,
+            "probe_hits": probe_hits,
+            "probe_misses": probe_misses,
             "pending": len([e for e in events if e.pending]),
         }
         stats = self.copy_stats
@@ -145,7 +205,10 @@ class TracingDevice(Device):
 
     def init(self, args: DeviceConfig) -> list[ProcessID]:
         self._record("init")
-        return self.inner.init(args)
+        pids = self.inner.init(args)
+        if self._sink is None:
+            self._sink = self._make_sink()
+        return pids
 
     def id(self) -> ProcessID:
         return self.inner.id()
@@ -153,6 +216,9 @@ class TracingDevice(Device):
     def finish(self) -> None:
         self._record("finish")
         self.inner.finish()
+        sink = self._sink
+        if sink is not None:
+            sink.close()
 
     def get_send_overhead(self) -> int:
         return self.inner.get_send_overhead()
@@ -187,18 +253,36 @@ class TracingDevice(Device):
         status = self.inner.recv(buf, src, tag, context)
         event.completed_at = time.monotonic() - self._t0
         event.size = status.size
+        self._sink_complete(event)
         return status
 
     def iprobe(self, src: ProcessID | int, tag: int, context: int) -> Status | None:
-        self._record("iprobe", src, tag, context)
-        return self.inner.iprobe(src, tag, context)
+        event = self._record("iprobe", src, tag, context)
+        status = self.inner.iprobe(src, tag, context)
+        event.matched = status is not None
+        if status is not None:
+            event.size = status.size
+        return status
 
     def probe(self, src: ProcessID | int, tag: int, context: int) -> Status:
-        self._record("probe", src, tag, context)
-        return self.inner.probe(src, tag, context)
+        event = self._record("probe", src, tag, context)
+        status = self.inner.probe(src, tag, context)
+        event.completed_at = time.monotonic() - self._t0
+        event.matched = True
+        event.size = status.size
+        return status
 
     def peek(self, timeout: float | None = None) -> Request:
-        return self.inner.peek(timeout=timeout)
+        event = self._record("peek")
+        try:
+            request = self.inner.peek(timeout=timeout)
+        except Exception:
+            event.completed_at = time.monotonic() - self._t0
+            event.matched = False
+            raise
+        event.completed_at = time.monotonic() - self._t0
+        event.matched = True
+        return request
 
     #: Expose the inner engine for white-box users.
     @property
@@ -213,18 +297,45 @@ class TracingDevice(Device):
         except Exception:
             return None
 
+    @property
+    def metrics(self):
+        """The inner device's MetricsRegistry, or None if it has none."""
+        try:
+            return self.engine.metrics
+        except Exception:
+            return None
+
+    def introspect(self) -> dict[str, Any]:
+        """The inner device's live state, plus this tracer's counts."""
+        out = dict(self.inner.introspect())
+        with self._lock:
+            out["tracer_events"] = len(self._events)
+        out["tracer_pending"] = len(self.pending_events())
+        return out
+
+    # ------------------------------------------------------------------
+    # stall triage
+
+    def detect_stalled(self, min_age_s: float = 1.0) -> list[TraceEvent]:
+        """Pending operations older than *min_age_s* — likely deadlocks.
+
+        The classic triage question after a hang: which receives were
+        posted long ago and never matched?  Returns the stale events,
+        oldest first.
+        """
+        now = self.clock()
+        stale = [e for e in self.pending_events() if now - e.time >= min_age_s]
+        return sorted(stale, key=lambda e: e.time)
+
 
 def detect_stalled(
     traced: "TracingDevice", min_age_s: float = 1.0
 ) -> list[TraceEvent]:
-    """Pending operations older than *min_age_s* — likely deadlocks.
-
-    The classic triage question after a hang: which receives were
-    posted long ago and never matched?  Returns the stale events,
-    oldest first.
-    """
-    import time as _time
-
-    now = _time.monotonic() - traced._t0
-    stale = [e for e in traced.pending_events() if now - e.time >= min_age_s]
-    return sorted(stale, key=lambda e: e.time)
+    """Deprecated alias for :meth:`TracingDevice.detect_stalled`."""
+    warnings.warn(
+        "repro.trace.detect_stalled(traced, ...) is deprecated; call "
+        "traced.detect_stalled(...) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return traced.detect_stalled(min_age_s=min_age_s)

@@ -53,6 +53,8 @@ class ProtocolDevice(Device):
             fork_rendezvous_writer=bool(
                 options.get("fork_rendezvous_writer", True)
             ),
+            metrics=options.get("metrics"),
+            trace_label=self.device_name,
         )
         transport.start(self._engine)
         return list(self._all_pids)
@@ -67,6 +69,24 @@ class ProtocolDevice(Device):
     def copy_stats(self):
         """The engine's datapath copy/move accounting (CopyStats)."""
         return self.engine.copy_stats
+
+    @property
+    def metrics(self):
+        """The engine's MetricsRegistry (repro.obs)."""
+        return self.engine.metrics
+
+    def introspect(self) -> dict:
+        """Live queue depths across engine, transport and WaitAny."""
+        out: dict = {"device": self.device_name}
+        engine = self._engine
+        if engine is None:
+            return out
+        out["rank"] = engine.my_pid.uid
+        out.update(engine.introspect_queues())
+        out["transport"] = engine.transport.introspect()
+        waitany_queue = getattr(self, "_waitany_queue", None)
+        out["waitany_queue"] = len(waitany_queue) if waitany_queue is not None else 0
+        return out
 
     def id(self) -> ProcessID:
         if self._my_pid is None:

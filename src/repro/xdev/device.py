@@ -113,6 +113,20 @@ class Device(abc.ABC):
         """Tear the device down; further operations raise."""
 
     # ------------------------------------------------------------------
+    # observability
+
+    def introspect(self) -> dict[str, Any]:
+        """Live queue depths and device state, as a plain dict.
+
+        The base implementation reports only the device name; devices
+        built on the protocol engine add posted-receive / unexpected /
+        rendezvous / WaitAny / transport depths (see
+        ``docs/observability.md``).  Safe to call from any thread at
+        any time — it must never block on in-flight traffic.
+        """
+        return {"device": self.device_name}
+
+    # ------------------------------------------------------------------
     # overheads — used by upper layers when sizing buffers
 
     def get_send_overhead(self) -> int:

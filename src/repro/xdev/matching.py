@@ -105,6 +105,19 @@ class MessageQueues:
         self._recvs: dict[Key, deque[PostedRecv]] = {}
         self._msgs: dict[Key, deque[ArrivedMessage]] = {}
         self._seq = itertools.count(1)
+        #: Matching outcome counters (engine lock serializes updates).
+        #: The unexpected-queue hit rate is
+        #: ``recvs_matched_unexpected / recvs_posted``; the posted-queue
+        #: hit rate is ``arrivals_matched_posted / arrivals``.
+        self.counters = {
+            "recvs_posted": 0,
+            "recvs_matched_unexpected": 0,
+            "recvs_wildcard": 0,
+            "arrivals": 0,
+            "arrivals_matched_posted": 0,
+            "probe_hits": 0,
+            "probe_misses": 0,
+        }
 
     # ------------------------------------------------------------------
     # receive side
@@ -116,6 +129,10 @@ class MessageQueues:
         removed), or None after enqueuing the receive, mirroring
         Figs 4 and 7: match-or-add under one lock hold.
         """
+        counters = self.counters
+        counters["recvs_posted"] += 1
+        if recv.tag == ANY_TAG or recv.src_uid == ANY_SOURCE:
+            counters["recvs_wildcard"] += 1
         key = recv.key
         q = self._msgs.get(key)
         if q is not None:
@@ -123,6 +140,7 @@ class MessageQueues:
             if q:
                 msg = q.popleft()
                 msg.claimed = True
+                counters["recvs_matched_unexpected"] += 1
                 return msg
         recv.seqno = next(self._seq)
         self._recvs.setdefault(key, deque()).append(recv)
@@ -135,6 +153,7 @@ class MessageQueues:
         receive; otherwise indexes the message under all four keys and
         returns None (Figs 5 and 8: the input handler's match-or-add).
         """
+        self.counters["arrivals"] += 1
         best: Optional[PostedRecv] = None
         best_q: Optional[deque] = None
         for key in msg.keys():
@@ -149,6 +168,7 @@ class MessageQueues:
             assert best_q is not None
             best_q.popleft()
             best.claimed = True
+            self.counters["arrivals_matched_posted"] += 1
             return best
         msg.seqno = next(self._seq)
         for key in msg.keys():
@@ -165,10 +185,14 @@ class MessageQueues:
         — this backs ``iprobe``/``probe``.
         """
         q = self._msgs.get((context, tag, src_uid))
-        if q is None:
-            return None
-        _prune(q)
-        return q[0] if q else None
+        if q is not None:
+            _prune(q)
+        msg = q[0] if q else None
+        if msg is not None:
+            self.counters["probe_hits"] += 1
+        else:
+            self.counters["probe_misses"] += 1
+        return msg
 
     def take_rendezvous_recv(self, recv: PostedRecv) -> None:
         """Mark *recv* claimed (it matched an RTS out-of-band)."""

@@ -363,6 +363,32 @@ class NIOTransport(Transport):
             self._engine.raw_pool.release(state.owned)
             state.owned = None
 
+    def introspect(self) -> dict:
+        """Selector backlog: read channels and partially-read units.
+
+        Best-effort from outside the input-handler thread: the
+        selector map is read without a lock, so a channel registering
+        concurrently may be missed for one call.
+        """
+        read_channels = 0
+        partial_reads = 0
+        try:
+            states = list(self._selector.get_map().values())
+        except (RuntimeError, OSError):  # map mutated / selector closed
+            states = []
+        for key in states:
+            if not isinstance(key.data, _ReadState):
+                continue
+            read_channels += 1
+            if key.data.filled > 0:
+                partial_reads += 1
+        return {
+            "selector_read_channels": read_channels,
+            "selector_partial_reads": partial_reads,
+            "write_channels": len(self._write_socks),
+            "frame_errors": len(self.errors),
+        }
+
     # ------------------------------------------------------------------
     # shutdown
 

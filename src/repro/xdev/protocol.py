@@ -37,12 +37,15 @@ from __future__ import annotations
 import abc
 import itertools
 import threading
+import time
 from collections import deque
 from typing import Any, Callable, Optional, Sequence
 
 from repro.buffer import Buffer
 from repro.buffer.buffer import WIRE_HEADER_SIZE
-from repro.buffer.pool import BufferPool, CopyStats, DEFAULT_POOL, RawPool
+from repro.buffer.pool import BufferPool, DEFAULT_POOL, RawPool
+from repro.obs.metrics import MetricsRegistry, make_registry
+from repro.obs.tracing import dump_metrics, writer_for
 from repro.mpjdev.request import Request, Status
 from repro.xdev.constants import ANY_SOURCE
 from repro.xdev.exceptions import (
@@ -107,6 +110,12 @@ class Transport(abc.ABC):
     def close(self) -> None:
         """Stop the input handler and release transport resources."""
 
+    def introspect(self) -> dict[str, Any]:
+        """Transport-specific live depths (inbox backlog, selector
+        state); folded into ``device.introspect()``.  Best-effort and
+        lock-free — numbers may be momentarily stale."""
+        return {}
+
 
 class _PendingSend:
     """A rendezvous send parked in the pending-send-request-set.
@@ -143,13 +152,23 @@ class ProtocolEngine:
         eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
         pool: BufferPool | None = None,
         fork_rendezvous_writer: bool = True,
+        metrics: MetricsRegistry | None = None,
+        trace_label: str = "dev",
     ) -> None:
         self.my_pid = my_pid
         self.transport = transport
         self.eager_threshold = eager_threshold
         self.pool = pool if pool is not None else DEFAULT_POOL
+        #: Cross-layer metrics registry (repro.obs).  Owns the device's
+        #: CopyStats — the single source of truth for copy accounting.
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else make_registry(f"{trace_label}-rank{my_pid.uid}")
+        )
+        self.trace_label = trace_label
         #: Per-device copy/move accounting (see docs/performance.md).
-        self.copy_stats = CopyStats()
+        self.copy_stats = self.metrics.copy_stats
         #: Device-level scratch storage: eager staging on retaining
         #: transports, receive scratch and unexpected-message storage.
         self.raw_pool = RawPool(stats=self.copy_stats)
@@ -199,6 +218,26 @@ class ProtocolEngine:
             "failed_deliveries": 0,
         }
 
+        # Observability: hot paths go through pre-bound instruments —
+        # with metrics disabled these are shared no-ops, so the cost
+        # of the instrumentation is one method call.
+        m = self.metrics
+        self._metrics_on = m.enabled
+        self._h_eager_bytes = m.histogram("send.eager_bytes")
+        self._h_rndz_bytes = m.histogram("send.rendezvous_bytes")
+        self._h_recv_bytes = m.histogram("recv.bytes")
+        self._h_send_latency = m.histogram("send.latency_us")
+        self._h_recv_latency = m.histogram("recv.latency_us")
+        self._h_lock_wait = m.histogram("channel_lock.wait_us")
+        m.attach("engine", lambda: dict(self.stats))
+        m.attach("matching", self._matching_counters)
+        m.attach("queues", self.introspect_queues)
+        m.attach("raw_pool", lambda: dict(self.raw_pool.stats))
+        #: JSONL trace writer, created when REPRO_TRACE names a
+        #: directory — every rank of every launcher/daemon job traces
+        #: automatically; finish() flushes the file.
+        self.tracer = writer_for(my_pid.uid, label=trace_label)
+
     # ------------------------------------------------------------------
     # plumbing
 
@@ -217,10 +256,18 @@ class ProtocolEngine:
 
     def _track(self, request: Request) -> Request:
         """Register *request* with the completed-queue for peek()."""
+        if self._metrics_on:
+            request.t_post = time.monotonic()
         request.add_completion_listener(self._on_complete)
         return request
 
     def _on_complete(self, request: Request) -> None:
+        if self._metrics_on and request.t_post:
+            latency_us = (time.monotonic() - request.t_post) * 1e6
+            if request.kind == Request.SEND:
+                self._h_send_latency.observe(latency_us)
+            else:
+                self._h_recv_latency.observe(latency_us)
         with self._completed_cond:
             self.stats["completions"] += 1
             self._completed.append(request)
@@ -240,11 +287,19 @@ class ProtocolEngine:
         delivery path for retaining ones (queue transports, chaosdev).
         """
         lock = self.channel_lock(dest)
-        with lock:
+        if self._metrics_on:
+            t0 = time.monotonic()
+            lock.acquire()
+            self._h_lock_wait.observe((time.monotonic() - t0) * 1e6)
+        else:
+            lock.acquire()
+        try:
             if on_delivered is not None and self.transport.retains_segments:
                 self.transport.write(dest, segments, on_delivered)
                 return
             self.transport.write(dest, segments)
+        finally:
+            lock.release()
         if on_delivered is not None:
             on_delivered()
 
@@ -277,6 +332,7 @@ class ProtocolEngine:
         else:
             use_eager = wire_len <= self.eager_threshold
 
+        tracer = self.tracer
         if use_eager:
             # Fig. 3: lock dest channel / send the data / unlock /
             # return a non-pending send request object.  A consuming
@@ -285,6 +341,13 @@ class ProtocolEngine:
             # a stable staged copy so the request can still complete
             # non-pending while the frame sits in the peer's inbox.
             self.stats["eager_sends"] += 1
+            self._h_eager_bytes.observe(buf.size)
+            if tracer is not None:
+                request.trace_id = next(self._ids)
+                tracer.emit(
+                    "send.post", id=request.trace_id, peer=dest.uid,
+                    tag=tag, ctx=context, size=buf.size, proto="eager",
+                )
             payload, release = self._stable_segments(segments, wire_len)
             self._write(
                 dest,
@@ -292,6 +355,8 @@ class ProtocolEngine:
                 on_delivered=release,
             )
             request.complete(Status(source=self.my_pid, tag=tag, size=buf.size))
+            if tracer is not None:
+                tracer.emit("send.complete", id=request.trace_id, size=buf.size)
             return request
 
         # Fig. 6: lock send-communication-sets / add send request /
@@ -299,7 +364,14 @@ class ProtocolEngine:
         # return pending send request.  Note the two locks are taken
         # sequentially, never nested.
         self.stats["rendezvous_sends"] += 1
+        self._h_rndz_bytes.observe(buf.size)
         send_id = next(self._ids)
+        request.trace_id = send_id
+        if tracer is not None:
+            tracer.emit(
+                "send.post", id=send_id, peer=dest.uid,
+                tag=tag, ctx=context, size=buf.size, proto="rndz",
+            )
         with self._send_lock:
             self._pending_sends[send_id] = _PendingSend(
                 request, segments, buf.size, dest
@@ -313,6 +385,8 @@ class ProtocolEngine:
                 FrameType.RTS, context, tag, send_id=send_id, recv_id=buf.size
             ),
         )
+        if tracer is not None:
+            tracer.emit("rts.out", id=send_id, peer=dest.uid)
         return request
 
     def _stable_segments(
@@ -369,6 +443,13 @@ class ProtocolEngine:
         eager_msg: Optional[ArrivedMessage] = None
         recv_id = 0
 
+        tracer = self.tracer
+        if tracer is not None:
+            request.trace_id = next(self._ids)
+            tracer.emit(
+                "recv.post", id=request.trace_id, peer=src_uid, tag=tag, ctx=context
+            )
+
         # Figs 4 and 7: lock receive-communication-sets; match-or-add.
         with self._recv_lock:
             msg = self._queues.post_recv(posted)
@@ -402,6 +483,11 @@ class ProtocolEngine:
                     recv_id=recv_id,
                 ),
             )
+            if tracer is not None:
+                tracer.emit(
+                    "rtr.out", id=request.trace_id,
+                    peer=rts_to_answer.src_uid,
+                )
         return request
 
     def recv(self, buf: Buffer, src: ProcessID | int, tag: int, context: int) -> Status:
@@ -428,13 +514,21 @@ class ProtocolEngine:
             self.copy_stats.moved(buf.size)
         except Exception as exc:
             self.stats["failed_deliveries"] += 1
+            if self.tracer is not None:
+                self.tracer.emit("recv.fail", id=request.trace_id)
             request.fail(exc)
             raise
         finally:
             self._release_message_storage(msg)
+        self._h_recv_bytes.observe(buf.size)
         request.complete(
             Status(source=msg.src_pid, tag=msg.tag, size=buf.size, buffer=buf)
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "recv.complete", id=request.trace_id,
+                peer=msg.src_uid, size=buf.size, proto="eager",
+            )
 
     def _release_message_storage(self, msg: ArrivedMessage) -> None:
         """Return an unexpected message's pooled scratch, if it has any."""
@@ -550,6 +644,11 @@ class ProtocolEngine:
         # unless the message keeps it as storage.
         segments = payload if isinstance(payload, list) else [payload]
         total = sum(len(s) for s in segments)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "eager.in", peer=src_pid.uid, tag=header.tag,
+                ctx=header.context, size=max(0, total - WIRE_HEADER_SIZE),
+            )
         matched: Optional[PostedRecv] = None
         with self._recv_cond:
             msg = ArrivedMessage(
@@ -633,6 +732,12 @@ class ProtocolEngine:
             else:
                 self.stats["unexpected_messages"] += 1
                 self._recv_cond.notify_all()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "rts.in",
+                id=matched.request.trace_id if matched is not None else None,
+                peer=src_pid.uid, tag=header.tag, size=header.recv_id,
+            )
         if matched is not None:
             # "unlock receive-communication-sets / lock src channel /
             # send ready-to-recv message to sender / unlock".
@@ -646,6 +751,10 @@ class ProtocolEngine:
                     recv_id=recv_id,
                 ),
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "rtr.out", id=matched.request.trace_id, peer=src_pid.uid
+                )
 
     def _handle_rtr(self, src_pid: ProcessID, header: FrameHeader) -> None:
         # Fig. 8, ready-to-receive branch: fork a rendez-write-thread.
@@ -662,15 +771,23 @@ class ProtocolEngine:
             )
 
         status = Status(source=self.my_pid, tag=header.tag, size=pending.size)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("rtr.in", id=header.send_id, peer=src_pid.uid)
 
         def on_delivered() -> None:
             # The transport no longer references the user's buffer
             # memory; the MPI contract now lets the sender reuse it.
-            pending.request.try_complete(status)
+            if pending.request.try_complete(status) and tracer is not None:
+                tracer.emit(
+                    "send.complete", id=header.send_id, size=pending.size
+                )
 
         def rendez_write() -> None:
             # lock dest channel / send the data / unlock, then complete
             # once the live segment views have been consumed.
+            if tracer is not None:
+                tracer.emit("rndz.out", id=header.send_id, size=pending.size)
             self._write(
                 pending.dest,
                 encode_frame(
@@ -729,6 +846,11 @@ class ProtocolEngine:
                 " (duplicate or corrupt)"
             )
         request, peer, tag, context, _send_id = entry
+        if self.tracer is not None:
+            self.tracer.emit(
+                "rndz.in", id=request.trace_id,
+                peer=src_pid.uid, size=header.payload_len,
+            )
         try:
             if in_place:
                 # The transport landed the wire image in the posted
@@ -742,16 +864,25 @@ class ProtocolEngine:
                 self.copy_stats.moved(request.buffer.size)
         except Exception as exc:
             self.stats["failed_deliveries"] += 1
+            if self.tracer is not None:
+                self.tracer.emit("recv.fail", id=request.trace_id)
             request.fail(exc)
             raise
+        self._h_recv_bytes.observe(request.buffer.size)
         request.complete(
             Status(source=peer, tag=tag, size=request.buffer.size, buffer=request.buffer)
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "recv.complete", id=request.trace_id,
+                peer=src_pid.uid, size=request.buffer.size, proto="rndz",
+            )
 
     # ------------------------------------------------------------------
     # shutdown
 
     def finish(self) -> None:
+        already_finished = self._finished
         self._finished = True
         self.transport.close()
         # Unexpected messages die with the device; return their pooled
@@ -761,6 +892,19 @@ class ProtocolEngine:
         for msg in unexpected:
             self._release_message_storage(msg)
         self.raw_pool.check_leaks("device finish")
+        if not already_finished:
+            # Flush observability output: the rank's JSONL trace and,
+            # alongside it, the final metrics snapshot (this is the
+            # dump MPI.Finalize relies on — device.finish() is on its
+            # path for every runtime).
+            if self.tracer is not None:
+                self.tracer.close()
+                if self.metrics.enabled:
+                    dump_metrics(
+                        self.metrics.snapshot(),
+                        self.my_pid.uid,
+                        label=self.trace_label,
+                    )
 
     # ------------------------------------------------------------------
     # diagnostics
@@ -782,3 +926,25 @@ class ProtocolEngine:
         """Rendezvous receives awaiting their data frame."""
         with self._recv_lock:
             return len(self._rendezvous_recvs)
+
+    def _matching_counters(self) -> dict[str, int]:
+        with self._recv_lock:
+            return dict(self._queues.counters)
+
+    def introspect_queues(self) -> dict[str, int]:
+        """Live queue depths (the paper's communication sets), lock-consistent."""
+        with self._recv_lock:
+            posted = self._queues.pending_recv_count()
+            unexpected = self._queues.unexpected_count()
+            rndz_recvs = len(self._rendezvous_recvs)
+        with self._send_lock:
+            pending_sends = len(self._pending_sends)
+        with self._completed_lock:
+            completed_backlog = len(self._completed)
+        return {
+            "posted_recvs": posted,
+            "unexpected_messages": unexpected,
+            "pending_rendezvous_sends": pending_sends,
+            "pending_rendezvous_recvs": rndz_recvs,
+            "completed_backlog": completed_backlog,
+        }

@@ -145,6 +145,13 @@ class SMTransport(Transport):
                 return
         engine.handle_frame(src_pid, header, payload)
 
+    def introspect(self) -> dict:
+        """Inbox backlog: frames enqueued but not yet handled."""
+        return {
+            "inbox_depth": self._fabric.inboxes[self._rank].qsize(),
+            "frame_errors": len(self.errors),
+        }
+
     def close(self) -> None:
         if self._closed:
             return

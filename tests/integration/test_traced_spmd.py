@@ -5,7 +5,6 @@ import pytest
 
 from repro import mpi
 from repro.runtime.launcher import SpmdError, run_spmd
-from repro.trace import detect_stalled
 
 
 class TestTracedJobs:
@@ -52,7 +51,7 @@ class TestTracedJobs:
             run_spmd(main, 2, trace=True, timeout=2)
         traces = err.value.traces
         assert traces is not None
-        stalled = detect_stalled(traces[1], min_age_s=0.5)
+        stalled = traces[1].detect_stalled(min_age_s=0.5)
         assert stalled, "the hung receive should be reported"
         assert stalled[0].tag == 12345
         assert stalled[0].op in ("recv", "irecv")

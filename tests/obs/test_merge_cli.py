@@ -1,0 +1,121 @@
+"""End-to-end: traced job → JSONL files → merge CLI → Chrome JSON + report."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.buffer import Buffer
+from repro.obs.__main__ import main as obs_main
+from repro.obs.merge import build_spans, load_trace_dir, merge_directory
+from tests.conftest import make_job
+
+RNDZ_BYTES = 256 * 1024  # past the 128 KB eager threshold
+
+
+def _send_buffer(arr):
+    buf = Buffer(capacity=arr.nbytes + 64)
+    buf.write(arr)
+    return buf
+
+
+def _run_traffic(device_name):
+    """An eager exchange and a rendezvous exchange between two ranks."""
+    devices, pids = make_job(device_name, 2)
+    try:
+        small = np.arange(16, dtype=np.int64)
+        big = np.zeros(RNDZ_BYTES, dtype=np.uint8)
+        for payload in (small, big):
+            t = threading.Thread(
+                target=lambda p=payload: devices[0].send(
+                    _send_buffer(p), pids[1], 7, 0
+                )
+            )
+            t.start()
+            devices[1].recv(Buffer(), pids[0], 7, 0)
+            t.join(30)
+    finally:
+        for d in devices:
+            d.finish()  # flushes the JSONL files
+
+
+@pytest.fixture(params=["smdev", "niodev"])
+def traced_run(request, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE", str(tmp_path))
+    _run_traffic(request.param)
+    return request.param, tmp_path
+
+
+class TestMergedTimeline:
+    def test_cli_produces_valid_chrome_trace(self, traced_run, capsys):
+        device, directory = traced_run
+        out = directory / "timeline.json"
+        rc = obs_main(["merge", str(directory), "--out", str(out)])
+        assert rc == 0
+        report = capsys.readouterr().out
+
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert events, "merged timeline is empty"
+        # Chronologically ordered (metadata rows sort first at ts=-1).
+        ts = [e["ts"] for e in events if e["ph"] != "M"]
+        assert ts == sorted(ts)
+        phases = {e["ph"] for e in events}
+        assert "X" in phases and "M" in phases
+
+        # Both protocols visible as spans.
+        span_names = {e["name"] for e in events if e["ph"] == "X"}
+        assert any("[eager]" in n for n in span_names)
+        assert any("[rndz]" in n for n in span_names)
+
+        # Rendezvous stage marks present as instants.
+        instant_names = {e["name"] for e in events if e["ph"] == "i"}
+        assert {"rts.out", "rts.in", "rtr.out", "rtr.in"} <= instant_names
+
+        # The text report names the device, the byte matrix and stages.
+        assert device in report
+        assert "per-peer payload bytes" in report
+        assert "protocol stage spans" in report
+        assert "rts.out" in report
+
+    def test_spans_pair_posts_with_completes(self, traced_run):
+        _device, directory = traced_run
+        traces = load_trace_dir(directory)
+        assert len(traces) == 2
+        spans, unmatched = build_spans(traces)
+        sends = [s for s in spans if s.base == "send"]
+        recvs = [s for s in spans if s.base == "recv"]
+        assert len(sends) == 2  # one eager, one rendezvous
+        assert len(recvs) == 2
+        assert unmatched == []
+        rndz = next(s for s in sends if s.proto == "rndz")
+        assert rndz.size >= RNDZ_BYTES
+        assert "rts.out" in rndz.stages
+        assert "rtr.in" in rndz.stages
+        # Stage marks are ordered within the span.
+        assert (
+            rndz.start_us
+            <= rndz.stages["rts.out"]
+            <= rndz.stages["rtr.in"]
+            <= rndz.start_us + rndz.dur_us
+        )
+
+    def test_report_subcommand(self, traced_run, capsys):
+        _device, directory = traced_run
+        rc = obs_main(["report", str(directory)])
+        assert rc == 0
+        assert "merged timeline" in capsys.readouterr().out
+
+    def test_merge_directory_api(self, traced_run):
+        _device, directory = traced_run
+        chrome, report = merge_directory(directory)
+        assert chrome["traceEvents"]
+        assert "unmatched receives: 0" in report
+
+
+class TestEmptyDirectory:
+    def test_merge_empty_dir(self, tmp_path, capsys):
+        rc = obs_main(["merge", str(tmp_path)])
+        assert rc == 0
+        assert "0 rank file(s)" in capsys.readouterr().out

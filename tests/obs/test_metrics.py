@@ -1,0 +1,175 @@
+"""Tests for the metrics registry primitives (repro.obs.metrics)."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    make_registry,
+    merge_snapshots,
+    metrics_enabled,
+)
+
+
+class TestHistogramBuckets:
+    def test_zero_goes_to_bucket_zero(self):
+        h = Histogram("h")
+        h.observe(0)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"0": 1}
+        assert snap["min"] == 0 and snap["max"] == 0
+
+    def test_log2_bucket_edges(self):
+        h = Histogram("h")
+        # 1 is the sole member of <2; 2 and 3 share <4; 4 starts <8.
+        for v in (1, 2, 3, 4):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["buckets"] == {"<2": 1, "<4": 2, "<8": 1}
+
+    def test_negative_clamped_to_zero(self):
+        h = Histogram("h")
+        h.observe(-5)
+        assert h.snapshot()["buckets"] == {"0": 1}
+
+    def test_huge_value_capped_at_last_bucket(self):
+        h = Histogram("h")
+        h.observe(1 << 200)
+        (label,) = h.snapshot()["buckets"]
+        assert label == Histogram.bucket_label(63)
+
+    def test_count_sum_min_max(self):
+        h = Histogram("h")
+        for v in (10, 20, 30):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 60
+        assert snap["min"] == 10
+        assert snap["max"] == 30
+
+
+class TestThreadSafety:
+    def test_counter_exact_under_contention(self):
+        c = Counter("c")
+        n_threads, n_incs = 8, 2000
+
+        def worker():
+            for _ in range(n_incs):
+                c.inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n_threads * n_incs
+
+    def test_histogram_exact_under_contention(self):
+        h = Histogram("h")
+        n_threads, n_obs = 8, 1000
+
+        def worker():
+            for i in range(n_obs):
+                h.observe(i)
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = h.snapshot()
+        assert snap["count"] == n_threads * n_obs
+        assert snap["sum"] == n_threads * sum(range(n_obs))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        m = MetricsRegistry("t")
+        assert m.counter("a") is m.counter("a")
+        assert m.histogram("b") is m.histogram("b")
+
+    def test_snapshot_shape(self):
+        m = MetricsRegistry("t")
+        m.counter("c").inc(3)
+        m.gauge("g").set(7)
+        m.histogram("h").observe(5)
+        m.attach("extra", lambda: {"x": 1})
+        snap = m.snapshot()
+        assert snap["label"] == "t"
+        assert snap["enabled"] is True
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["extra"] == {"x": 1}
+        assert "copy" in snap
+
+    def test_attached_section_error_is_contained(self):
+        m = MetricsRegistry("t")
+        m.attach("boom", lambda: 1 // 0)
+        snap = m.snapshot()
+        assert "error" in snap["boom"]
+
+    def test_callable_gauge(self):
+        m = MetricsRegistry("t")
+        m.gauge("depth", fn=lambda: 42)
+        assert m.snapshot()["gauges"]["depth"] == 42
+
+    def test_registry_owns_copy_stats(self):
+        m = MetricsRegistry("t")
+        m.copy_stats.copied(10)
+        assert m.snapshot()["copy"]["bytes_copied"] == 10
+
+
+class TestNullMetrics:
+    def test_disabled_and_noop(self):
+        m = NullMetrics("t")
+        assert m.enabled is False
+        m.counter("c").inc()
+        m.histogram("h").observe(5)
+        m.gauge("g").set(1)
+        snap = m.snapshot()
+        assert snap["enabled"] is False
+        assert "counters" not in snap
+
+    def test_null_still_owns_real_copy_stats(self):
+        m = NullMetrics("t")
+        m.copy_stats.moved(5)
+        assert m.snapshot()["copy"]["bytes_moved"] == 5
+
+
+class TestEnvSwitch:
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_METRICS", raising=False)
+        assert metrics_enabled()
+        assert make_registry("t").enabled
+
+    @pytest.mark.parametrize("value", ["0", "off", "false", "no", "OFF"])
+    def test_falsey_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_METRICS", value)
+        assert not metrics_enabled()
+        assert isinstance(make_registry("t"), NullMetrics)
+
+
+class TestMergeSnapshots:
+    def test_numbers_sum_and_min_max(self):
+        a = {"counters": {"c": 1}, "h": {"min": 2, "max": 9, "count": 1}}
+        b = {"counters": {"c": 4}, "h": {"min": 1, "max": 11, "count": 2}}
+        merged = merge_snapshots([a, b])
+        assert merged["counters"]["c"] == 5
+        assert merged["h"] == {"min": 1, "max": 11, "count": 3}
+
+    def test_first_scalar_wins_and_bools_or(self):
+        a = {"label": "x", "enabled": False}
+        b = {"label": "y", "enabled": True}
+        merged = merge_snapshots([a, b])
+        assert merged["label"] == "x"
+        assert merged["enabled"] is True
+
+    def test_empty(self):
+        assert merge_snapshots([]) == {}

@@ -1,0 +1,121 @@
+"""Same seed, same counters: metrics under the seeded scheduler.
+
+The registry's counters must be exact — not approximately right — under
+concurrency, or the torture harness's replay guarantee ("same seed,
+same observations") silently erodes.  The workload is phased through
+``introspect()`` waits so the *matching* outcome (posted vs unexpected)
+is itself deterministic, leaving the scheduler free to permute frame
+deliveries within each phase.
+"""
+
+import time
+
+import numpy as np
+
+from repro.buffer import Buffer
+
+N_EAGER = 8
+RNDZ_BYTES = 256 * 1024
+
+
+def _send_buffer(arr):
+    buf = Buffer(capacity=arr.nbytes + 64)
+    buf.write(arr)
+    return buf
+
+
+def _wait_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+def _run_workload(devices, pids):
+    """Posted-receive phase, eager burst, then one rendezvous exchange."""
+    # Phase 1: all receives posted before any traffic, confirmed via
+    # the live queue depth, so every arrival matches a posted receive.
+    reqs = [
+        devices[1].irecv(Buffer(), pids[0], tag, 0) for tag in range(N_EAGER)
+    ]
+    assert _wait_until(
+        lambda: devices[1].introspect()["posted_recvs"] == N_EAGER
+    )
+    # Phase 2: the eager burst.
+    for tag in range(N_EAGER):
+        devices[0].send(
+            _send_buffer(np.full(4, tag, dtype=np.int64)), pids[1], tag, 0
+        )
+    for r in reqs:
+        r.wait(timeout=30)
+    # Phase 3: one rendezvous exchange.
+    big = np.zeros(RNDZ_BYTES, dtype=np.uint8)
+    rreq = devices[1].irecv(Buffer(), pids[0], 99, 0)
+    devices[0].send(_send_buffer(big), pids[1], 99, 0)
+    rreq.wait(timeout=30)
+
+
+def _deterministic_view(devices):
+    """The snapshot fields that must be identical run to run."""
+    view = []
+    for d in devices:
+        snap = d.metrics.snapshot()
+        histograms = {
+            name: h
+            for name, h in snap["histograms"].items()
+            if name.endswith("_bytes") or name == "recv.bytes"
+        }
+        view.append(
+            {
+                "counters": snap["counters"],
+                "matching": snap["matching"],
+                "engine": {
+                    k: snap["engine"][k]
+                    for k in (
+                        "eager_sends",
+                        "rendezvous_sends",
+                        "completions",
+                        "unexpected_messages",
+                    )
+                },
+                "histograms": histograms,
+                "copy_bytes": {
+                    "bytes_copied": snap["copy"]["bytes_copied"],
+                    "bytes_moved": snap["copy"]["bytes_moved"],
+                },
+            }
+        )
+    return view
+
+
+class TestSeededDeterminism:
+    def test_same_seed_same_counters(self, seeded_schedule):
+        views = []
+        for _ in range(2):
+            devices, pids = seeded_schedule.job(2, fresh=True)
+            _run_workload(devices, pids)
+            views.append(_deterministic_view(devices))
+            for d in devices:
+                d.finish()
+            seeded_schedule._jobs.clear()
+        assert views[0] == views[1]
+
+    def test_counts_match_workload(self, seeded_schedule):
+        devices, pids = seeded_schedule.job(2, fresh=True)
+        _run_workload(devices, pids)
+        sender = devices[0].metrics.snapshot()
+        receiver = devices[1].metrics.snapshot()
+
+        assert sender["engine"]["eager_sends"] == N_EAGER
+        assert sender["engine"]["rendezvous_sends"] == 1
+        assert sender["histograms"]["send.eager_bytes"]["count"] == N_EAGER
+        assert sender["histograms"]["send.rendezvous_bytes"]["count"] == 1
+
+        m = receiver["matching"]
+        assert m["recvs_posted"] == N_EAGER + 1
+        # Every eager arrival found its posted receive (phase 1 ran
+        # to completion before any send).
+        assert m["recvs_matched_unexpected"] == 0
+        assert receiver["histograms"]["recv.bytes"]["count"] == N_EAGER + 1

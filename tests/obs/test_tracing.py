@@ -1,0 +1,113 @@
+"""Tests for the JSONL trace writer (repro.obs.tracing)."""
+
+import json
+import threading
+
+from repro.obs.merge import load_trace_dir
+from repro.obs.tracing import (
+    TRACE_ENV,
+    TraceWriter,
+    dump_metrics,
+    trace_dir,
+    writer_for,
+)
+
+
+class TestRingBuffer:
+    def test_bounded_memory_and_drop_count(self, tmp_path):
+        w = TraceWriter(tmp_path, rank=0, buffer_events=10)
+        for i in range(25):
+            w.emit("x", id=i)
+        assert len(w) == 10
+        assert w.dropped == 15
+        w.close()
+        (trace,) = load_trace_dir(tmp_path)
+        # The survivors are the newest 10 events.
+        assert [e["id"] for e in trace.events] == list(range(15, 25))
+        assert trace.fin["dropped"] == 15
+
+    def test_buffer_size_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_BUFFER", "3")
+        w = TraceWriter(tmp_path, rank=0)
+        for i in range(5):
+            w.emit("x", id=i)
+        assert len(w) == 3
+
+
+class TestRoundTrip:
+    def test_jsonl_round_trip(self, tmp_path):
+        w = TraceWriter(tmp_path, rank=2, label="testdev")
+        w.emit("send.post", id=1, peer=3, tag=7, ctx=0, size=64, proto="eager")
+        w.emit("send.complete", id=1, size=64)
+        path = w.close()
+        assert path is not None and path.exists()
+
+        (trace,) = load_trace_dir(tmp_path)
+        assert trace.rank == 2
+        assert trace.label == "testdev"
+        assert trace.meta["version"] == 1
+        assert len(trace.events) == 2
+        post = trace.events[0]
+        assert post["ev"] == "send.post"
+        assert post["peer"] == 3 and post["size"] == 64
+        assert "t" in post and "tid" in post
+        assert trace.fin["events"] == 2
+
+    def test_none_fields_omitted(self, tmp_path):
+        w = TraceWriter(tmp_path, rank=0)
+        w.emit("recv.post", id=1, peer=None, tag=None)
+        w.close()
+        (trace,) = load_trace_dir(tmp_path)
+        assert "peer" not in trace.events[0]
+        assert "tag" not in trace.events[0]
+
+    def test_close_idempotent(self, tmp_path):
+        w = TraceWriter(tmp_path, rank=0)
+        w.emit("x")
+        assert w.close() is not None
+        assert w.close() is None  # second close is a no-op
+        # Emissions after close are silently dropped, not errors.
+        w.emit("y")
+
+    def test_thread_names_recorded(self, tmp_path):
+        w = TraceWriter(tmp_path, rank=0)
+
+        def worker():
+            w.emit("from-thread")
+
+        t = threading.Thread(target=worker, name="my-worker")
+        t.start()
+        t.join()
+        w.close()
+        (trace,) = load_trace_dir(tmp_path)
+        assert "my-worker" in trace.fin["threads"].values()
+
+    def test_distinct_paths_for_same_rank(self, tmp_path):
+        a = TraceWriter(tmp_path, rank=0, label="dev")
+        b = TraceWriter(tmp_path, rank=0, label="dev")
+        assert a.path != b.path
+
+
+class TestEnvGate:
+    def test_writer_for_none_when_unset(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        assert trace_dir() is None
+        assert writer_for(0) is None
+
+    def test_writer_for_uses_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV, str(tmp_path))
+        w = writer_for(1, label="envdev")
+        assert w is not None
+        w.emit("x")
+        path = w.close()
+        assert path is not None and path.parent == tmp_path
+
+    def test_dump_metrics(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_ENV, str(tmp_path))
+        path = dump_metrics({"counters": {"c": 1}}, rank=4, label="m")
+        assert path is not None
+        assert json.loads(path.read_text())["counters"] == {"c": 1}
+
+    def test_dump_metrics_off(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV, raising=False)
+        assert dump_metrics({}, rank=0) is None

@@ -95,6 +95,86 @@ class TestRecording:
         seqs = [e.seq for e in traced[0].events()]
         assert seqs == sorted(seqs)
 
+    def test_summary_counts_bytes_received(self, traced_pair):
+        traced, pids = traced_pair
+        data = np.arange(4, dtype=np.int64)
+        t = threading.Thread(
+            target=lambda: traced[0].send(send_buffer(data), pids[1], 5, 0)
+        )
+        t.start()
+        # Blocking recv learns its size at completion...
+        traced[1].recv(Buffer(), pids[0], 5, 0)
+        t.join(10)
+        # ...and so does irecv, via its completion listener.
+        req = traced[1].irecv(Buffer(), pids[0], 6, 0)
+        traced[0].send(send_buffer(data), pids[1], 6, 0)
+        req.wait(timeout=10)
+        summary = traced[1].summary()
+        assert summary["bytes_received"] == 2 * 37  # 5B header + 32 payload
+        assert traced[0].summary()["bytes_received"] == 0
+
+    def test_iprobe_matched_outcome_recorded(self, traced_pair):
+        traced, pids = traced_pair
+        traced[1].iprobe(pids[0], 4, 0)  # nothing there yet
+        traced[0].send(send_buffer(np.array([1], dtype=np.int8)), pids[1], 4, 0)
+        import time
+
+        status = None
+        for _ in range(1000):
+            status = traced[1].iprobe(pids[0], 4, 0)
+            if status is not None:
+                break
+            time.sleep(0.002)
+        assert status is not None
+        probes = [e for e in traced[1].events() if e.op == "iprobe"]
+        assert probes[0].matched is False
+        assert probes[-1].matched is True
+        assert probes[-1].size == status.size
+        summary = traced[1].summary()
+        assert summary["probe_hits"] == 1
+        assert summary["probe_misses"] >= 1
+        traced[1].recv(Buffer(), pids[0], 4, 0)
+
+    def test_peek_recorded(self, traced_pair):
+        traced, pids = traced_pair
+        traced[0].send(send_buffer(np.array([1], dtype=np.int8)), pids[1], 1, 0)
+        traced[1].recv(Buffer(), pids[0], 1, 0)
+        assert traced[1].peek(timeout=5) is not None
+        peeks = [e for e in traced[1].events() if e.op == "peek"]
+        assert len(peeks) == 1
+        assert peeks[0].matched is True
+        assert peeks[0].completed_at is not None
+
+
+class TestStallDetection:
+    def test_detect_stalled_method(self, traced_pair):
+        traced, pids = traced_pair
+        traced[1].irecv(Buffer(), pids[0], 9, 0)
+        import time
+
+        time.sleep(0.02)
+        stale = traced[1].detect_stalled(min_age_s=0.01)
+        assert [e.op for e in stale] == ["irecv"]
+        assert traced[1].detect_stalled(min_age_s=60.0) == []
+        # Unstall so teardown is clean.
+        traced[0].send(send_buffer(np.array([1], dtype=np.int8)), pids[1], 9, 0)
+
+    def test_module_function_is_deprecated_alias(self, traced_pair):
+        traced, pids = traced_pair
+        from repro.trace import detect_stalled
+
+        traced[1].irecv(Buffer(), pids[0], 8, 0)
+        with pytest.warns(DeprecationWarning):
+            stale = detect_stalled(traced[1], min_age_s=0.0)
+        assert [e.op for e in stale] == ["irecv"]
+        traced[0].send(send_buffer(np.array([1], dtype=np.int8)), pids[1], 8, 0)
+
+    def test_clock_advances(self, traced_pair):
+        traced, _pids = traced_pair
+        a = traced[0].clock()
+        b = traced[0].clock()
+        assert 0 <= a <= b
+
 
 class TestDelegation:
     def test_traced_device_fully_functional(self, traced_pair):
@@ -121,3 +201,17 @@ class TestDelegation:
     def test_id_delegated(self, traced_pair):
         traced, pids = traced_pair
         assert traced[0].id().uid == pids[0].uid
+
+    def test_introspect_delegated_with_tracer_counts(self, traced_pair):
+        traced, pids = traced_pair
+        traced[1].irecv(Buffer(), pids[0], 2, 0)
+        snap = traced[1].introspect()
+        assert snap["device"] == "smdev"  # the inner device's view
+        assert snap["posted_recvs"] == 1
+        assert snap["tracer_events"] >= 1
+        assert snap["tracer_pending"] == 1
+        traced[0].send(send_buffer(np.array([1], dtype=np.int8)), pids[1], 2, 0)
+
+    def test_metrics_delegated(self, traced_pair):
+        traced, _pids = traced_pair
+        assert traced[0].metrics is traced[0].engine.metrics
