@@ -7,6 +7,12 @@ Options::
     python -m repro.bench --summaries     # latency/throughput tables only
     python -m repro.bench --json          # LIVE ping-pong over smdev/niodev
                                           # (latency, throughput, copy stats)
+    python -m repro.bench --json --collectives
+                                          # LIVE collective cells: auto vs
+                                          # seed-default vs every algorithm
+    python -m repro.bench tune-coll --out tuned.json
+                                          # sweep algorithms, emit a
+                                          # REPRO_COLL_TUNING decision table
 """
 
 from __future__ import annotations
@@ -18,6 +24,31 @@ from repro.bench.figures import FIGURES
 from repro.bench.report import format_figure, format_latency_table
 
 _SUMMARY_SIZES = [1, 1024, 64 * 1024, 1 << 20, 16 << 20]
+
+
+def _tune_coll(ns) -> int:
+    """``python -m repro.bench tune-coll``: measure, emit a decision table."""
+    import json
+
+    from repro.bench.collectives import tune_collectives
+
+    table, measurements = tune_collectives(
+        nprocs=ns.nprocs or 8,
+        device=(ns.devices.split(",")[0] if ns.devices else "smdev"),
+        quick=ns.quick,
+        progress=lambda msg: print(f"# {msg}", file=sys.stderr),
+    )
+    if ns.out:
+        table.save(ns.out)
+        print(f"wrote {ns.out}  (use: REPRO_COLL_TUNING={ns.out})")
+    else:
+        print(json.dumps(table.to_dict(), indent=2))
+    print("# measured cells (us/op):", file=sys.stderr)
+    for cell, times in measurements.items():
+        ranked = sorted(times.items(), key=lambda kv: kv[1])
+        pretty = ", ".join(f"{a}={t:.1f}" for a, t in ranked)
+        print(f"#   {cell}: {pretty}", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -60,13 +91,41 @@ def main(argv: list[str] | None = None) -> int:
         "--devices", metavar="NAMES",
         help="with --json: comma-separated device list (default smdev,niodev)",
     )
+    parser.add_argument(
+        "--collectives", action="store_true",
+        help="with --json: run the collective cells (auto vs seed-default "
+             "vs every manual algorithm) instead of ping-pong",
+    )
+    parser.add_argument(
+        "--nprocs", type=int, default=None,
+        help="communicator size for collective cells / tune-coll (default 8)",
+    )
     ns = parser.parse_args(argv)
+
+    if ns.figures and ns.figures[0] == "tune-coll":
+        return _tune_coll(ns)
 
     if ns.json or ns.quick:
         import json
         from pathlib import Path
 
         from repro.bench.live import run_live_bench
+
+        progress = lambda msg: print(f"# {msg}", file=sys.stderr)  # noqa: E731
+        if ns.collectives:
+            from repro.bench.collectives import run_collectives_bench
+
+            result = run_collectives_bench(
+                nprocs=ns.nprocs or 8,
+                device=(ns.devices.split(",")[0] if ns.devices else "smdev"),
+                quick=ns.quick,
+                progress=progress,
+            )
+            text = json.dumps(result, indent=1)
+            print(text)
+            if ns.out:
+                Path(ns.out).write_text(text + "\n", encoding="utf-8")
+            return 0
 
         baseline = None
         if ns.baseline:
@@ -79,7 +138,7 @@ def main(argv: list[str] | None = None) -> int:
             devices=ns.devices.split(",") if ns.devices else None,
             quick=ns.quick,
             baseline=baseline,
-            progress=lambda msg: print(f"# {msg}", file=sys.stderr),
+            progress=progress,
         )
         text = json.dumps(result, indent=1)
         print(text)

@@ -1,0 +1,256 @@
+"""Zero-copy array windows: Buffers that alias user array memory.
+
+The MPI layer normally moves collective payloads through a *packed*
+:class:`~repro.buffer.Buffer`: gather into a pooled buffer on the send
+side, scatter out of one on the receive side.  For large contiguous
+primitive transfers both copies are pure overhead — the wire image is
+the user array's bytes, fronted by 21 bytes of headers.  The two
+classes here eliminate them by presenting a window of the user's own
+array *as* a Buffer:
+
+:class:`ArraySendWindow`
+    ``segments()`` returns ``[21-byte header, memoryview(user window)]``
+    — the protocol engine's segment datapath (PR 2) carries the views
+    to the transport untouched, so a rendezvous send never copies the
+    payload.
+
+:class:`ArrayRecvWindow`
+    Overrides the wire-loading entry points (``load_wire`` /
+    ``load_wire_segments``) to validate the headers and scatter the
+    payload bytes straight into the user array.  ``begin_landing``
+    refuses, because a landing needs contiguous storage for *headers
+    and* payload — the fallback path then hands this buffer the live
+    segment list, which is exactly what it wants.
+
+Both speak the standard buffer wire format byte for byte (one static
+section, empty dynamic section), so a window on one rank interoperates
+with a packed buffer on the other — the choice is a per-rank
+optimization, not a protocol change.
+
+This module is layered below :mod:`repro.mpi`: callers hand it raw
+byte views and an mpjbuf section type; datatype gating (contiguity,
+dtype compatibility, size thresholds) lives in the MPI layer.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.buffer.buffer import (
+    Buffer,
+    BufferFormatError,
+    WIRE_HEADER_SIZE,
+)
+from repro.buffer.types import SectionType, dtype_for
+
+_HEADER = struct.Struct("<Bi")  # section type code, element count
+_WIRE_HEADER = struct.Struct("<qq")  # static size, dynamic size
+
+#: Header bytes fronting a single-section wire image: the buffer wire
+#: header plus one static-section header.
+SECTION_OVERHEAD = WIRE_HEADER_SIZE + _HEADER.size
+
+
+class ArraySendWindow(Buffer):
+    """A committed, read-only Buffer aliasing a window of user memory.
+
+    *view* must be a C-contiguous ``memoryview`` cast to bytes
+    (``.cast("B")``) whose length is exactly the payload; *count* is
+    the element count of *section_type* it contains.
+    """
+
+    __slots__ = ("_view", "_section_type", "_count", "_header")
+
+    def __init__(self, view: memoryview, section_type: SectionType, count: int) -> None:
+        super().__init__(capacity=16)
+        if count * dtype_for(section_type).itemsize != len(view):
+            raise BufferFormatError(
+                f"window of {len(view)} bytes does not hold {count} "
+                f"{section_type.name} elements"
+            )
+        self._view = view
+        self._section_type = section_type
+        self._count = count
+        self._header = _WIRE_HEADER.pack(
+            _HEADER.size + len(view), 0
+        ) + _HEADER.pack(int(section_type), count)
+        self._committed = True
+
+    # -- sizes ----------------------------------------------------------
+
+    @property
+    def static_size(self) -> int:
+        return _HEADER.size + len(self._view)
+
+    @property
+    def dynamic_size(self) -> int:
+        return 0
+
+    # -- wire conversion ------------------------------------------------
+
+    def segments(self) -> list[memoryview]:
+        """The zero-copy segment list: [combined headers, user window]."""
+        return [memoryview(self._header), self._view]
+
+    def clear(self) -> None:  # pragma: no cover - misuse guard
+        raise BufferFormatError("send windows alias user memory; cannot clear")
+
+    def begin_landing(self, nbytes: int) -> memoryview:  # pragma: no cover
+        raise BufferFormatError("send windows cannot receive")
+
+
+class ArrayRecvWindow(Buffer):
+    """A Buffer that lands an arriving single-section wire image
+    directly in user memory.
+
+    *dest* is a writable C-contiguous byte ``memoryview`` of the
+    posted window; the message may fill any prefix of it that is a
+    whole number of *block_count*-element groups.  After a successful
+    load, :attr:`landed_count` holds the number of base elements
+    received and :attr:`Buffer.size` the landed static-section size,
+    so the engine's ``Status(size=...)`` matches the packed path.
+    """
+
+    __slots__ = ("_dest", "_section_type", "_max_count", "_block", "landed_count", "_landed_static")
+
+    def __init__(
+        self,
+        dest: memoryview,
+        section_type: SectionType,
+        max_count: int,
+        block_count: int = 1,
+    ) -> None:
+        super().__init__(capacity=16)
+        self._dest = dest
+        self._section_type = section_type
+        self._max_count = max_count
+        self._block = max(1, block_count)
+        #: Base elements landed by the last successful load.
+        self.landed_count = 0
+        self._landed_static = 0
+
+    # -- sizes ----------------------------------------------------------
+
+    @property
+    def static_size(self) -> int:
+        return self._landed_static
+
+    @property
+    def dynamic_size(self) -> int:
+        return 0
+
+    # -- landing refusal -------------------------------------------------
+
+    def begin_landing(self, nbytes: int) -> memoryview:
+        """Refuse in-place landings: the window has no room for headers.
+
+        The engine's transports treat this as "no landing available"
+        and fall back to handing the frame's segment list to
+        :meth:`load_wire_segments` — the path this buffer implements.
+        """
+        raise BufferFormatError("array windows land via the segment path")
+
+    # -- wire loading -----------------------------------------------------
+
+    def _check_headers(self, head: bytes) -> int:
+        """Validate the 21 header bytes; return the payload byte count."""
+        static_size, dynamic_size = _WIRE_HEADER.unpack_from(head, 0)
+        if dynamic_size != 0:
+            raise BufferFormatError(
+                "array window posted for a primitive message, but the "
+                f"wire image carries {dynamic_size} dynamic bytes"
+            )
+        if static_size < _HEADER.size:
+            raise BufferFormatError(
+                f"static section of {static_size} bytes is shorter than "
+                "its header"
+            )
+        code, count = _HEADER.unpack_from(head, WIRE_HEADER_SIZE)
+        if code != int(self._section_type):
+            got = SectionType(code).name if code in SectionType._value2member_map_ else code
+            raise BufferFormatError(
+                f"message section is {got}, window posted "
+                f"{self._section_type.name}"
+            )
+        if count < 0:
+            raise BufferFormatError(f"negative section count {count}")
+        if count % self._block != 0:
+            raise BufferFormatError(
+                f"message of {count} base elements is not a whole number "
+                f"of derived elements ({self._block} each)"
+            )
+        if count > self._max_count:
+            raise BufferFormatError(
+                f"message has {count} elements, window posted {self._max_count}"
+            )
+        nbytes = count * dtype_for(self._section_type).itemsize
+        if static_size != _HEADER.size + nbytes:
+            raise BufferFormatError(
+                f"section header promises {count} elements ({nbytes} bytes) "
+                f"but the static section holds {static_size - _HEADER.size}"
+            )
+        self.landed_count = count
+        self._landed_static = static_size
+        return nbytes
+
+    def load_wire(self, data) -> "ArrayRecvWindow":
+        view = memoryview(data).cast("B")
+        if len(view) < SECTION_OVERHEAD:
+            raise BufferFormatError(
+                f"wire data of {len(view)} bytes is shorter than the headers"
+            )
+        nbytes = self._check_headers(bytes(view[:SECTION_OVERHEAD]))
+        if len(view) != SECTION_OVERHEAD + nbytes:
+            self.landed_count = 0
+            self._landed_static = 0
+            raise BufferFormatError(
+                f"wire data is {len(view)} bytes, headers promise "
+                f"{SECTION_OVERHEAD + nbytes}"
+            )
+        self._dest[:nbytes] = view[SECTION_OVERHEAD:]
+        self._committed = True
+        return self
+
+    def load_wire_segments(self, segments) -> "ArrayRecvWindow":
+        if len(segments) == 1:
+            return self.load_wire(segments[0])
+        views = [memoryview(s).cast("B") for s in segments]
+        total = sum(len(v) for v in views)
+        if total < SECTION_OVERHEAD:
+            raise BufferFormatError(
+                f"wire data of {total} bytes is shorter than the headers"
+            )
+        # The 21 header bytes may straddle segments; assemble just them.
+        head = bytearray()
+        for v in views:
+            head.extend(v[: SECTION_OVERHEAD - len(head)])
+            if len(head) == SECTION_OVERHEAD:
+                break
+        nbytes = self._check_headers(bytes(head))
+        if total != SECTION_OVERHEAD + nbytes:
+            self.landed_count = 0
+            self._landed_static = 0
+            raise BufferFormatError(
+                f"wire data is {total} bytes, headers promise "
+                f"{SECTION_OVERHEAD + nbytes}"
+            )
+        # Scatter: skip the headers, then fill the window left to right.
+        skipped = 0
+        filled = 0
+        for v in views:
+            off = 0
+            if skipped < SECTION_OVERHEAD:
+                off = min(len(v), SECTION_OVERHEAD - skipped)
+                skipped += off
+            take = len(v) - off
+            if take:
+                self._dest[filled : filled + take] = v[off : off + take]
+                filled += take
+        self._committed = True
+        return self
+
+    def finish_landing(self, nbytes: int) -> "ArrayRecvWindow":  # pragma: no cover
+        raise BufferFormatError("array windows land via the segment path")
+
+    def clear(self) -> None:  # pragma: no cover - misuse guard
+        raise BufferFormatError("recv windows alias user memory; cannot clear")

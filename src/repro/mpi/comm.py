@@ -18,13 +18,25 @@ return to it when requests finish.
 
 from __future__ import annotations
 
+import os
 from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from repro.buffer import Buffer
 from repro.buffer.pool import BufferPool, DEFAULT_POOL
-from repro.mpi.datatype import Datatype, OBJECT, datatype_for
+from repro.buffer.window import (
+    ArrayRecvWindow,
+    ArraySendWindow,
+    SECTION_OVERHEAD,
+)
+from repro.mpi.datatype import (
+    BasicType,
+    Datatype,
+    OBJECT,
+    _IndexPatternType,
+    datatype_for,
+)
 from repro.mpi.exceptions import (
     CommunicatorError,
     InvalidRankError,
@@ -76,6 +88,12 @@ class Comm(AttributeMixin):
         self._pool = pool if pool is not None else DEFAULT_POOL
         self._env = env
         self._freed = False
+        # Kill-switch for the zero-copy collective window path; the
+        # benchmark's seed baseline uses it to measure the packed
+        # (pre-window) datapath, and it doubles as an escape hatch.
+        self._coll_windows = os.environ.get(
+            "REPRO_COLL_WINDOWS", ""
+        ).strip().lower() not in ("0", "off", "false")
 
     # ------------------------------------------------------------------
     # identity
@@ -133,8 +151,15 @@ class Comm(AttributeMixin):
     # ------------------------------------------------------------------
     # observability (repro.obs)
 
-    def _observe_collective(self, name: str, nbytes: int = 0) -> None:
-        """Count a collective entry in the device's metrics registry."""
+    def _observe_collective(
+        self, name: str, nbytes: int = 0, algorithm: Optional[str] = None
+    ) -> None:
+        """Count a collective entry in the device's metrics registry.
+
+        When the chosen *algorithm* is known, a second counter labelled
+        with it is bumped (``coll.bcast{algorithm=binomial}``) so traces
+        and bench cells show which path actually ran.
+        """
         try:
             metrics = self._devcomm.device.metrics
         except Exception:  # noqa: BLE001 - device without metrics
@@ -142,6 +167,8 @@ class Comm(AttributeMixin):
         if metrics is None or not metrics.enabled:
             return
         metrics.counter(f"coll.{name}").inc()
+        if algorithm is not None:
+            metrics.counter(f"coll.{name}", labels={"algorithm": algorithm}).inc()
         if nbytes:
             metrics.histogram("coll.bytes").observe(nbytes)
 
@@ -183,6 +210,125 @@ class Comm(AttributeMixin):
 
     def _request(self, inner: RankRequest, finisher) -> MPIRequest:
         return MPIRequest(inner, finisher, device=self._devcomm.device)
+
+    # ------------------------------------------------------------------
+    # zero-copy array windows (collective datapath)
+
+    def _window_route(
+        self,
+        buf: Any,
+        offset: int,
+        count: int,
+        datatype: Optional[Datatype],
+        *,
+        writable: bool,
+    ):
+        """Gate for the zero-copy collective datapath.
+
+        Returns ``(byte view, section type, base count, block count)``
+        when the transfer can alias user memory directly, or None to
+        use the packed path.  Windows are worth it only above the eager
+        threshold (eager sends on retaining transports stage a copy
+        anyway), and the gate must be *rank-consistent per message leg*:
+        both ends see the same count/datatype/threshold, so sender and
+        receiver agree on eligibility except for per-rank buffer quirks
+        (non-contiguous array, dtype mismatch) — and a window on one
+        side interoperates with a packed buffer on the other, so even
+        then nothing breaks, one side just copies.
+        """
+        if not self._coll_windows:
+            return None
+        if count <= 0 or not isinstance(buf, np.ndarray):
+            return None
+        engine = getattr(self._devcomm.device, "engine", None)
+        if engine is None:
+            return None
+        if datatype is None:
+            datatype = datatype_for(buf)
+        if datatype.base_dtype is None or datatype.extent != datatype.block_count:
+            return None
+        if isinstance(datatype, BasicType):
+            basic = datatype
+        elif isinstance(datatype, _IndexPatternType):
+            # extent == block_count does not imply contiguity: an
+            # Indexed pattern may permute elements within the extent.
+            if not np.array_equal(
+                datatype.pattern, np.arange(datatype.block_count, dtype=np.intp)
+            ):
+                return None
+            basic = datatype.basic
+        else:
+            return None
+        base_np = np.dtype(datatype.base_dtype)
+        base_count = count * datatype.block_count
+        if SECTION_OVERHEAD + base_count * base_np.itemsize <= engine.eager_threshold:
+            return None
+        if writable and not engine.transport.retains_segments:
+            # A non-retaining transport would stage the landing through
+            # scratch storage anyway; keep the packed path's pooling.
+            return None
+        if not buf.flags.c_contiguous:
+            return None
+        if writable and not buf.flags.writeable:
+            return None
+        flat = buf.reshape(-1)
+        if flat.dtype != base_np and not (
+            flat.dtype.kind in "iu"
+            and base_np.kind in "iu"
+            and flat.dtype.itemsize == base_np.itemsize
+        ):
+            return None
+        if offset < 0 or offset + base_count > flat.size:
+            return None  # let the packed path raise the precise error
+        try:
+            view = memoryview(flat[offset : offset + base_count]).cast("B")
+        except (TypeError, ValueError, BufferError):
+            return None
+        return view, basic.section_type, base_count, datatype.block_count
+
+    def _window_isend(
+        self,
+        buf: Any,
+        offset: int,
+        count: int,
+        datatype: Optional[Datatype],
+        dest: int,
+        tag: int,
+        *,
+        context: int,
+    ) -> Optional[MPIRequest]:
+        """Zero-copy send of a large contiguous window, or None."""
+        route = self._window_route(buf, offset, count, datatype, writable=False)
+        if route is None:
+            return None
+        view, stype, base_count, _block = route
+        window = ArraySendWindow(view, stype, base_count)
+        inner = self._devcomm.isend(window, dest, tag, context)
+        return self._request(inner, lambda dev_status: MPIStatus(dev_status))
+
+    def _window_irecv(
+        self,
+        buf: Any,
+        offset: int,
+        count: int,
+        datatype: Optional[Datatype],
+        source: int,
+        tag: int,
+        *,
+        context: int,
+    ) -> Optional[MPIRequest]:
+        """Zero-copy receive into a large contiguous window, or None."""
+        route = self._window_route(buf, offset, count, datatype, writable=True)
+        if route is None:
+            return None
+        view, stype, base_count, block = route
+        window = ArrayRecvWindow(view, stype, base_count, block)
+        inner = self._devcomm.irecv(window, source, tag, context)
+
+        def finish(dev_status: DevStatus) -> MPIStatus:
+            return MPIStatus(dev_status, count=window.landed_count // block)
+
+        return self._request(inner, finish)
 
     # ------------------------------------------------------------------
     # uppercase point-to-point (array data, mpijava signatures)

@@ -7,7 +7,8 @@ collectives over mpjdev.  All internal traffic runs on the
 communicator's *collective context*, so user point-to-point can never
 be matched by collective plumbing.
 
-Algorithms (chosen to match common MPI practice at 2006-era scale):
+Built-in algorithms (chosen to match common MPI practice at 2006-era
+scale):
 
 ===============  =================================================
 Barrier          dissemination (⌈log2 p⌉ rounds)
@@ -16,10 +17,20 @@ Reduce           binomial tree (commutative ops), linear fold else
 Allreduce        Reduce to rank 0 + Bcast
 Gather/Scatter   linear to/from root
 Allgather        ring (p-1 steps)
+Allgatherv       Gatherv to rank 0 + Bcast
 Alltoall         pairwise non-blocking exchange
 Reduce_scatter   Reduce + Scatterv
 Scan/Exscan      linear chain
 ===============  =================================================
+
+Unless a manual override is set with :meth:`set_collective_algorithm`,
+each tunable collective consults the decision table in
+:mod:`repro.mpi.tuning` on every call — keyed on (collective, message
+bytes, communicator size) — and may swap in one of the alternatives
+from :mod:`repro.mpi.algorithms` (Rabenseifner allreduce, pipelined
+trees, binomial gather/scatter, pairwise reduce-scatter, ring
+allgatherv...).  Large contiguous transfers inside collectives ride
+the zero-copy segment datapath (:mod:`repro.buffer.window`).
 
 Communicator construction (``dup``/``split``/``create``) agrees on new
 context ids with an Allreduce(MAX) over each rank's context counter —
@@ -95,14 +106,23 @@ class Intracomm(Comm):
         algorithms.validate(collective, algorithm)
         self._algorithms[collective] = algorithm
 
-    def _algorithm(self, collective: str):
-        """Resolve the override callable for *collective*, or None."""
+    def _select_algorithm(self, collective: str, nbytes: int):
+        """Pick the algorithm for one collective call.
+
+        Manual override first, then the decision table (built-in or the
+        one loaded from ``REPRO_COLL_TUNING``), then the built-in
+        default.  Returns ``(name, callable-or-None)``; None means the
+        built-in implementation.  The key (collective, nbytes, size) is
+        identical on every rank, so selection is rank-consistent.
+        """
+        from repro.mpi import algorithms, tuning
+
         name = self._algorithms.get(collective)
         if name is None:
-            return None
-        from repro.mpi import algorithms
-
-        return algorithms.REGISTRY[collective][name]
+            name = tuning.select(collective, nbytes, self.size())
+        if name is None or name not in algorithms.REGISTRY[collective]:
+            name = algorithms.DEFAULTS[collective]
+        return name, algorithms.REGISTRY[collective][name]
 
     # ==================================================================
     # communicator construction
@@ -235,15 +255,25 @@ class Intracomm(Comm):
     # collective plumbing
 
     def _coll_send(self, buf, offset, count, datatype, dest, tag) -> None:
-        self.Isend(buf, offset, count, datatype, dest, tag, context=self._context_coll).wait()
+        self._coll_isend(buf, offset, count, datatype, dest, tag).wait()
 
     def _coll_isend(self, buf, offset, count, datatype, dest, tag):
+        req = self._window_isend(
+            buf, offset, count, datatype, dest, tag, context=self._context_coll
+        )
+        if req is not None:
+            return req
         return self.Isend(buf, offset, count, datatype, dest, tag, context=self._context_coll)
 
     def _coll_recv(self, buf, offset, count, datatype, src, tag) -> MPIStatus:
-        return self.Recv(buf, offset, count, datatype, src, tag, context=self._context_coll)
+        return self._coll_irecv(buf, offset, count, datatype, src, tag).wait()
 
     def _coll_irecv(self, buf, offset, count, datatype, src, tag):
+        req = self._window_irecv(
+            buf, offset, count, datatype, src, tag, context=self._context_coll
+        )
+        if req is not None:
+            return req
         return self.Irecv(buf, offset, count, datatype, src, tag, context=self._context_coll)
 
     @staticmethod
@@ -254,15 +284,34 @@ class Intracomm(Comm):
             return datatype_for(buf)
         raise MPIException("datatype may be omitted only for numpy arrays")
 
-    def _coll_observe(self, name, buf=None, count=0, datatype=None) -> None:
+    def _coll_nbytes(self, buf=None, count=0, datatype=None) -> int:
+        """Packed byte size of one collective operand (0 if unknown)."""
+        if not count:
+            return 0
+        try:
+            return self._resolve_type(buf, datatype).packed_size(count)
+        except Exception:  # noqa: BLE001 - observed later as a real error
+            return 0
+
+    def _coll_observe(
+        self, name, buf=None, count=0, datatype=None, algorithm=None
+    ) -> None:
         """One metrics tick per collective call (repro.obs)."""
-        nbytes = 0
-        if count:
-            try:
-                nbytes = self._resolve_type(buf, datatype).packed_size(count)
-            except Exception:  # noqa: BLE001 - observed later as a real error
-                nbytes = 0
-        self._observe_collective(name, nbytes)
+        self._observe_collective(
+            name, self._coll_nbytes(buf, count, datatype), algorithm=algorithm
+        )
+
+    def _check_vector_args(self, counts, displs=None) -> None:
+        """Validate per-rank count/displacement vectors."""
+        size = self.size()
+        if len(counts) != size:
+            raise MPIException(
+                f"counts vector has {len(counts)} entries for {size} ranks"
+            )
+        if displs is not None and len(displs) != size:
+            raise MPIException(
+                f"displs vector has {len(displs)} entries for {size} ranks"
+            )
 
     # ==================================================================
     # Barrier
@@ -299,14 +348,14 @@ class Intracomm(Comm):
         datatype: Optional[Datatype],
         root: int,
     ) -> None:
-        """Broadcast from *root* (binomial tree unless overridden)."""
+        """Broadcast from *root* (algorithm selected per call)."""
         self._check_live()
         self._check_rank(root)
-        self._coll_observe("bcast", buf, count, datatype)
-        override = self._algorithm("bcast")
-        if override is not None:
-            datatype = self._resolve_type(buf, datatype)
-            override(self, buf, offset, count, datatype, root)
+        nbytes = self._coll_nbytes(buf, count, datatype)
+        algo, fn = self._select_algorithm("bcast", nbytes)
+        self._observe_collective("bcast", nbytes, algorithm=algo)
+        if fn is not None:
+            fn(self, buf, offset, count, self._resolve_type(buf, datatype), root)
             return
         self._bcast_binomial(buf, offset, count, datatype, root)
 
@@ -389,14 +438,30 @@ class Intracomm(Comm):
         """Reduce *count* elements to *root* with *op*."""
         self._check_live()
         self._check_rank(root)
-        self._coll_observe("reduce", sendbuf, count, datatype)
-        override = self._algorithm("reduce")
-        if override is not None:
-            datatype = self._resolve_type(sendbuf, datatype)
-            override(self, sendbuf, sendoffset, recvbuf, recvoffset, count, datatype, op, root)
-            return
-        size, rank = self.size(), self.rank()
+        nbytes = self._coll_nbytes(sendbuf, count, datatype)
+        algo, fn = self._select_algorithm("reduce", nbytes)
+        self._observe_collective("reduce", nbytes, algorithm=algo)
         datatype = self._resolve_type(sendbuf, datatype)
+        if fn is not None:
+            fn(self, sendbuf, sendoffset, recvbuf, recvoffset, count, datatype, op, root)
+            return
+        self._reduce_default(
+            sendbuf, sendoffset, recvbuf, recvoffset, count, datatype, op, root
+        )
+
+    def _reduce_default(
+        self,
+        sendbuf: Any,
+        sendoffset: int,
+        recvbuf: Any,
+        recvoffset: int,
+        count: int,
+        datatype: Datatype,
+        op: ops.Op,
+        root: int,
+    ) -> None:
+        """Binomial combine (commutative ops), linear gather-fold else."""
+        size, rank = self.size(), self.rank()
         acc = self._reduce_local(sendbuf, sendoffset, count, datatype)
         n = acc.size
 
@@ -417,19 +482,22 @@ class Intracomm(Comm):
                     acc = op.reduce_arrays(acc, tmp)
                 mask <<= 1
         elif size > 1:
-            # Non-commutative: gather to root, fold in rank order.
+            # Non-commutative: gather to root, fold incrementally in rank
+            # order through one reused staging array.
             if rank == root:
-                parts: list[np.ndarray] = []
+                result: Optional[np.ndarray] = None
+                tmp = np.empty_like(acc)
                 for r in range(size):
                     if r == rank:
-                        parts.append(acc)
+                        part = acc
                     else:
-                        tmp = np.empty_like(acc)
                         self._coll_recv(tmp, 0, n, None, r, TAG_REDUCE)
-                        parts.append(tmp.copy())
-                acc = parts[0]
-                for part in parts[1:]:
-                    acc = op.reduce_arrays(acc, part)
+                        part = tmp
+                    if result is None:
+                        result = part if part is acc else part.copy()
+                    else:
+                        result = op.reduce_arrays(result, part)
+                acc = result
             else:
                 self._coll_send(acc, 0, n, None, root, TAG_REDUCE)
 
@@ -447,12 +515,14 @@ class Intracomm(Comm):
         datatype: Optional[Datatype],
         op: ops.Op,
     ) -> None:
-        """Reduce to rank 0 then broadcast (unless overridden)."""
+        """Allreduce (algorithm selected per call; reduce+bcast default)."""
+        self._check_live()
         datatype = self._resolve_type(sendbuf, datatype)
-        self._coll_observe("allreduce", sendbuf, count, datatype)
-        override = self._algorithm("allreduce")
-        if override is not None:
-            override(self, sendbuf, sendoffset, recvbuf, recvoffset, count, datatype, op)
+        nbytes = self._coll_nbytes(sendbuf, count, datatype)
+        algo, fn = self._select_algorithm("allreduce", nbytes)
+        self._observe_collective("allreduce", nbytes, algorithm=algo)
+        if fn is not None:
+            fn(self, sendbuf, sendoffset, recvbuf, recvoffset, count, datatype, op)
             return
         self.Reduce(sendbuf, sendoffset, recvbuf, recvoffset, count, datatype, op, 0)
         self.Bcast(recvbuf, recvoffset, count, datatype, 0)
@@ -469,14 +539,36 @@ class Intracomm(Comm):
     ) -> None:
         """Reduce then scatter segments of *recvcounts* elements."""
         self._check_live()
-        size, rank = self.size(), self.rank()
-        if len(recvcounts) != size:
-            raise MPIException(
-                f"recvcounts has {len(recvcounts)} entries for {size} ranks"
-            )
+        self._check_vector_args(recvcounts)
         datatype = self._resolve_type(sendbuf, datatype)
+        nbytes = self._coll_nbytes(sendbuf, int(sum(recvcounts)), datatype)
+        algo, fn = self._select_algorithm("reduce_scatter", nbytes)
+        self._observe_collective("reduce_scatter", nbytes, algorithm=algo)
+        if fn is not None:
+            fn(self, sendbuf, sendoffset, recvbuf, recvoffset, recvcounts, datatype, op)
+            return
+        self._reduce_scatter_default(
+            sendbuf, sendoffset, recvbuf, recvoffset, recvcounts, datatype, op
+        )
+
+    def _reduce_scatter_default(
+        self,
+        sendbuf: Any,
+        sendoffset: int,
+        recvbuf: Any,
+        recvoffset: int,
+        recvcounts: Sequence[int],
+        datatype: Datatype,
+        op: ops.Op,
+    ) -> None:
+        """Reduce to rank 0 + Scatterv; staging buffer at the root only."""
+        rank = self.rank()
         total = int(sum(recvcounts))
-        full = np.empty(total * datatype.block_count, dtype=datatype.base_dtype)
+        full = (
+            np.empty(total * datatype.block_count, dtype=datatype.base_dtype)
+            if rank == 0
+            else None
+        )
         self.Reduce(sendbuf, sendoffset, full, 0, total, datatype, op, 0)
         displs = np.concatenate(([0], np.cumsum(recvcounts)[:-1])).astype(int)
         self.Scatterv(
@@ -545,12 +637,30 @@ class Intracomm(Comm):
         recvbuf: Any, recvoffset: int, recvcount: int, recvtype: Optional[Datatype],
         root: int,
     ) -> None:
-        """Linear gather to *root* (rank i lands at block i)."""
+        """Gather to *root*, rank i landing at block i."""
         self._check_live()
         self._check_rank(root)
-        self._coll_observe("gather", sendbuf, sendcount, sendtype)
-        size, rank = self.size(), self.rank()
+        nbytes = self._coll_nbytes(sendbuf, sendcount, sendtype) * self.size()
+        algo, fn = self._select_algorithm("gather", nbytes)
+        self._observe_collective("gather", nbytes, algorithm=algo)
         sendtype = self._resolve_type(sendbuf, sendtype)
+        if fn is not None:
+            if self.rank() == root:
+                recvtype = self._resolve_type(recvbuf, recvtype)
+            fn(self, sendbuf, sendoffset, sendcount, sendtype,
+               recvbuf, recvoffset, recvcount, recvtype, root)
+            return
+        self._gather_linear(sendbuf, sendoffset, sendcount, sendtype,
+                            recvbuf, recvoffset, recvcount, recvtype, root)
+
+    def _gather_linear(
+        self,
+        sendbuf: Any, sendoffset: int, sendcount: int, sendtype: Datatype,
+        recvbuf: Any, recvoffset: int, recvcount: int, recvtype: Optional[Datatype],
+        root: int,
+    ) -> None:
+        """Linear gather: every rank sends straight to the root."""
+        size, rank = self.size(), self.rank()
         if rank != root:
             self._coll_send(sendbuf, sendoffset, sendcount, sendtype, root, TAG_GATHER)
             return
@@ -604,12 +714,30 @@ class Intracomm(Comm):
         recvbuf: Any, recvoffset: int, recvcount: int, recvtype: Optional[Datatype],
         root: int,
     ) -> None:
-        """Linear scatter from *root* (block i goes to rank i)."""
+        """Scatter from *root*, block i going to rank i."""
         self._check_live()
         self._check_rank(root)
-        self._coll_observe("scatter", recvbuf, recvcount, recvtype)
-        size, rank = self.size(), self.rank()
+        nbytes = self._coll_nbytes(recvbuf, recvcount, recvtype) * self.size()
+        algo, fn = self._select_algorithm("scatter", nbytes)
+        self._observe_collective("scatter", nbytes, algorithm=algo)
         recvtype = self._resolve_type(recvbuf, recvtype)
+        if fn is not None:
+            if self.rank() == root:
+                sendtype = self._resolve_type(sendbuf, sendtype)
+            fn(self, sendbuf, sendoffset, sendcount, sendtype,
+               recvbuf, recvoffset, recvcount, recvtype, root)
+            return
+        self._scatter_linear(sendbuf, sendoffset, sendcount, sendtype,
+                             recvbuf, recvoffset, recvcount, recvtype, root)
+
+    def _scatter_linear(
+        self,
+        sendbuf: Any, sendoffset: int, sendcount: int, sendtype: Optional[Datatype],
+        recvbuf: Any, recvoffset: int, recvcount: int, recvtype: Datatype,
+        root: int,
+    ) -> None:
+        """Linear scatter: the root sends straight to every rank."""
+        size, rank = self.size(), self.rank()
         if rank != root:
             self._coll_recv(recvbuf, recvoffset, recvcount, recvtype, root, TAG_SCATTER)
             return
@@ -663,17 +791,27 @@ class Intracomm(Comm):
         sendbuf: Any, sendoffset: int, sendcount: int, sendtype: Optional[Datatype],
         recvbuf: Any, recvoffset: int, recvcount: int, recvtype: Optional[Datatype],
     ) -> None:
-        """Ring allgather: p-1 steps, each forwarding one block."""
+        """Allgather (default: ring, p-1 steps forwarding one block)."""
         self._check_live()
-        self._coll_observe("allgather", sendbuf, sendcount, sendtype)
-        size, rank = self.size(), self.rank()
         sendtype = self._resolve_type(sendbuf, sendtype)
         recvtype = self._resolve_type(recvbuf, recvtype)
-        override = self._algorithm("allgather")
-        if override is not None:
-            override(self, sendbuf, sendoffset, sendcount, sendtype,
-                     recvbuf, recvoffset, recvcount, recvtype)
+        nbytes = self._coll_nbytes(sendbuf, sendcount, sendtype) * self.size()
+        algo, fn = self._select_algorithm("allgather", nbytes)
+        self._observe_collective("allgather", nbytes, algorithm=algo)
+        if fn is not None:
+            fn(self, sendbuf, sendoffset, sendcount, sendtype,
+               recvbuf, recvoffset, recvcount, recvtype)
             return
+        self._allgather_ring(sendbuf, sendoffset, sendcount, sendtype,
+                             recvbuf, recvoffset, recvcount, recvtype)
+
+    def _allgather_ring(
+        self,
+        sendbuf: Any, sendoffset: int, sendcount: int, sendtype: Datatype,
+        recvbuf: Any, recvoffset: int, recvcount: int, recvtype: Datatype,
+    ) -> None:
+        """Ring allgather: p-1 steps, each forwarding one block."""
+        size, rank = self.size(), self.rank()
         # Own block into place first.
         own_disp = recvoffset + rank * recvcount * recvtype.extent
         _local_copy(sendbuf, sendoffset, sendcount, sendtype,
@@ -698,8 +836,28 @@ class Intracomm(Comm):
         recvbuf: Any, recvoffset: int, recvcounts: Sequence[int],
         displs: Sequence[int], recvtype: Optional[Datatype],
     ) -> None:
-        """Gatherv to rank 0 + Bcast of the assembled result."""
+        """Allgather with per-rank counts and displacements."""
+        self._check_live()
+        self._check_vector_args(recvcounts, displs)
         recvtype = self._resolve_type(recvbuf, recvtype)
+        nbytes = self._coll_nbytes(recvbuf, int(sum(recvcounts)), recvtype)
+        algo, fn = self._select_algorithm("allgatherv", nbytes)
+        self._observe_collective("allgatherv", nbytes, algorithm=algo)
+        if fn is not None:
+            sendtype = self._resolve_type(sendbuf, sendtype)
+            fn(self, sendbuf, sendoffset, sendcount, sendtype,
+               recvbuf, recvoffset, recvcounts, displs, recvtype)
+            return
+        self._allgatherv_gather_bcast(sendbuf, sendoffset, sendcount, sendtype,
+                                      recvbuf, recvoffset, recvcounts, displs, recvtype)
+
+    def _allgatherv_gather_bcast(
+        self,
+        sendbuf: Any, sendoffset: int, sendcount: int, sendtype: Optional[Datatype],
+        recvbuf: Any, recvoffset: int, recvcounts: Sequence[int],
+        displs: Sequence[int], recvtype: Datatype,
+    ) -> None:
+        """Gatherv to rank 0 + Bcast of the assembled span."""
         self.Gatherv(sendbuf, sendoffset, sendcount, sendtype,
                      recvbuf, recvoffset, recvcounts, displs, recvtype, 0)
         total_span = max(

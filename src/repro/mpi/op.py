@@ -23,13 +23,25 @@ class Op:
 
     ``func(accumulator, operand)`` must return the elementwise
     reduction; *commute* declares commutativity (collectives may
-    re-associate commutative operations).
+    re-associate commutative operations).  *splits* declares that the
+    operation is elementwise over base elements, so vector-splitting
+    algorithms (Rabenseifner allreduce, pairwise reduce-scatter) may
+    partition the operand at arbitrary element boundaries; MAXLOC and
+    MINLOC set it False because their flat layout pairs up adjacent
+    elements.
     """
 
-    def __init__(self, func: Callable[[Any, Any], Any], commute: bool = True, name: str = "user") -> None:
+    def __init__(
+        self,
+        func: Callable[[Any, Any], Any],
+        commute: bool = True,
+        name: str = "user",
+        splits: bool = True,
+    ) -> None:
         self._func = func
         self.commute = commute
         self.name = name
+        self.splits = splits
 
     def __call__(self, a: Any, b: Any) -> Any:
         """Reduce *a* with *b* (a OP b), preserving array dtype."""
@@ -39,6 +51,30 @@ class Op:
         """Elementwise in-place-style reduction for numpy arrays."""
         result = self._func(acc, operand)
         return np.asarray(result, dtype=acc.dtype) if hasattr(acc, "dtype") else result
+
+    def reduce_into(self, acc: np.ndarray, operand: np.ndarray) -> np.ndarray:
+        """Fold *operand* into *acc*, in place when safely possible.
+
+        Predefined operations wrap binary ufuncs, so the fold can land
+        directly in the accumulator — no per-fold allocation, which is
+        what dominates large-message reduction cost.  Anything else
+        (wrapped callables, pair-structured ops, dtype-changing
+        results) falls back to :meth:`reduce_arrays` and returns a new
+        array; callers must use the return value either way.
+        """
+        if (
+            isinstance(self._func, np.ufunc)
+            and self._func.nin == 2
+            and self._func.nout == 1
+            and isinstance(acc, np.ndarray)
+            and acc.flags.writeable
+        ):
+            try:
+                self._func(acc, operand, out=acc)
+                return acc
+            except (TypeError, ValueError):
+                pass
+        return self.reduce_arrays(acc, operand)
 
     def __repr__(self) -> str:
         return f"Op({self.name})"
@@ -91,7 +127,7 @@ def _pairwise(select: Callable[[Any, Any], Any], name: str) -> Op:
         out[take_b] = b_arr[take_b]
         return out.reshape(a_in.shape) if flat_layout else out
 
-    return Op(wrapped, name=name)
+    return Op(wrapped, name=name, splits=False)
 
 
 MAX = Op(np.maximum, name="MAX")

@@ -181,6 +181,17 @@ class _NullInstrument:
 _NULL = _NullInstrument()
 
 
+def labeled_name(name: str, labels: dict[str, str]) -> str:
+    """Render a labeled instrument key, Prometheus-style.
+
+    ``labeled_name("coll.bcast", {"algorithm": "binomial"})`` →
+    ``"coll.bcast{algorithm=binomial}"``.  Labels sort by key so the
+    same label set always yields the same instrument.
+    """
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
 class MetricsRegistry:
     """Per-device instrument registry + snapshot assembler.
 
@@ -207,7 +218,11 @@ class MetricsRegistry:
 
     # -- instrument factories (get-or-create) --------------------------
 
-    def counter(self, name: str) -> Counter:
+    def counter(
+        self, name: str, labels: Optional[dict[str, str]] = None
+    ) -> Counter:
+        if labels:
+            name = labeled_name(name, labels)
         with self._lock:
             c = self._counters.get(name)
             if c is None:
@@ -269,8 +284,8 @@ class NullMetrics(MetricsRegistry):
 
     enabled = False
 
-    def counter(self, name: str) -> Counter:  # type: ignore[override]
-        return _NULL  # type: ignore[return-value]
+    def counter(self, name, labels=None):  # type: ignore[override]
+        return _NULL
 
     def gauge(self, name, fn=None):  # type: ignore[override]
         return _NULL

@@ -131,6 +131,287 @@ class TestAllreduceAlgorithms:
         assert run_spmd(main, nprocs) == [expected] * nprocs
 
 
+class TestPipelinedBcast:
+    @pytest.mark.parametrize("count", [0, 1, 33])
+    def test_small_counts_all_roots(self, nprocs, count):
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("bcast", "binomial_pipelined")
+            out = []
+            for root in range(comm.size()):
+                buf = (
+                    np.arange(count, dtype=np.int64) * (root + 1)
+                    if comm.rank() == root
+                    else np.zeros(count, dtype=np.int64)
+                )
+                comm.Bcast(buf, 0, count, mpi.LONG, root)
+                out.append(buf.copy())
+            return out
+
+        for per_rank in run_spmd(main, nprocs):
+            for root, buf in enumerate(per_rank):
+                np.testing.assert_array_equal(
+                    buf, np.arange(count, dtype=np.int64) * (root + 1)
+                )
+
+    def test_multi_segment_payload(self, nprocs):
+        """A payload bigger than SEGMENT_BYTES actually pipelines."""
+        from repro.mpi.algorithms import SEGMENT_BYTES
+
+        count = SEGMENT_BYTES // 8 + 4097  # 2 segments, odd remainder
+
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("bcast", "binomial_pipelined")
+            buf = (
+                np.arange(count, dtype=np.int64)
+                if comm.rank() == 1 % comm.size()
+                else np.zeros(count, dtype=np.int64)
+            )
+            comm.Bcast(buf, 0, count, mpi.LONG, 1 % comm.size())
+            return int(buf[0]), int(buf[-1]), int(buf.sum())
+
+        expected = (0, count - 1, int(np.arange(count, dtype=np.int64).sum()))
+        assert run_spmd(main, nprocs) == [expected] * nprocs
+
+
+class TestPipelinedReduce:
+    @pytest.mark.parametrize("count", [0, 1, 33])
+    def test_matches_default_nonzero_root(self, nprocs, count):
+        def main(env):
+            comm = env.COMM_WORLD
+            root = comm.size() - 1
+            send = (np.arange(count, dtype=np.int64) + 1) * (comm.rank() + 1)
+            default = np.zeros(count, dtype=np.int64)
+            comm.Reduce(send, 0, default, 0, count, mpi.LONG, mpi.SUM, root)
+            comm.set_collective_algorithm("reduce", "binomial_pipelined")
+            piped = np.zeros(count, dtype=np.int64)
+            comm.Reduce(send, 0, piped, 0, count, mpi.LONG, mpi.SUM, root)
+            if comm.rank() == root:
+                return default.tolist(), piped.tolist()
+            return None
+
+        results = run_spmd(main, nprocs)
+        default, piped = results[nprocs - 1]
+        assert default == piped
+
+    def test_multi_segment_payload(self, nprocs):
+        from repro.mpi.algorithms import SEGMENT_BYTES
+
+        count = SEGMENT_BYTES // 8 + 1023
+
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("reduce", "binomial_pipelined")
+            send = np.full(count, comm.rank() + 1, dtype=np.int64)
+            recv = np.zeros(count, dtype=np.int64)
+            comm.Reduce(send, 0, recv, 0, count, mpi.LONG, mpi.SUM, 0)
+            return int(recv[0]), int(recv[-1])
+
+        total = sum(range(1, nprocs + 1))
+        assert run_spmd(main, nprocs)[0] == (total, total)
+
+    def test_non_commutative_falls_back(self, nprocs):
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("reduce", "binomial_pipelined")
+            op = mpi.Op(lambda a, b: a - b, commute=False, name="SUB")
+            recv = np.zeros(1)
+            comm.Reduce(
+                np.array([float(comm.rank())]), 0, recv, 0, 1, mpi.DOUBLE, op, 0
+            )
+            return recv[0] if comm.rank() == 0 else None
+
+        assert run_spmd(main, nprocs)[0] == 0.0 - sum(range(1, nprocs))
+
+
+class TestRabenseifner:
+    @pytest.mark.parametrize("count", [0, 1, 13, 4096 + 7])
+    def test_matches_default(self, nprocs, count):
+        def main(env):
+            comm = env.COMM_WORLD
+            send = (np.arange(count, dtype=np.int64) % 11) + comm.rank()
+            default = np.zeros(count, dtype=np.int64)
+            comm.Allreduce(send, 0, default, 0, count, mpi.LONG, mpi.SUM)
+            comm.set_collective_algorithm("allreduce", "rabenseifner")
+            rab = np.zeros(count, dtype=np.int64)
+            comm.Allreduce(send, 0, rab, 0, count, mpi.LONG, mpi.SUM)
+            return default.tolist() == rab.tolist()
+
+        assert all(run_spmd(main, nprocs))
+
+    def test_max_op(self, nprocs):
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("allreduce", "rabenseifner")
+            send = np.array([(comm.rank() * 5) % 9, comm.rank()], dtype=np.int32)
+            recv = np.zeros(2, dtype=np.int32)
+            comm.Allreduce(send, 0, recv, 0, 2, mpi.INT, mpi.MAX)
+            return recv.tolist()
+
+        expected = [max((r * 5) % 9 for r in range(nprocs)), nprocs - 1]
+        assert run_spmd(main, nprocs) == [expected] * nprocs
+
+    def test_non_commutative_falls_back(self, nprocs):
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("allreduce", "rabenseifner")
+            op = mpi.Op(lambda a, b: a - b, commute=False, name="SUB")
+            recv = np.zeros(1)
+            comm.Allreduce(
+                np.array([float(comm.rank())]), 0, recv, 0, 1, mpi.DOUBLE, op
+            )
+            return recv[0]
+
+        expected = 0.0 - sum(range(1, nprocs))
+        assert run_spmd(main, nprocs) == [expected] * nprocs
+
+
+class TestGatherScatterBinomial:
+    @pytest.mark.parametrize("count", [0, 1, 5])
+    def test_gather_binomial_all_roots(self, nprocs, count):
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("gather", "binomial")
+            out = []
+            for root in range(comm.size()):
+                send = np.arange(count, dtype=np.int64) + 100 * comm.rank()
+                recv = np.full(count * comm.size(), -1, dtype=np.int64)
+                comm.Gather(send, 0, count, mpi.LONG, recv, 0, count, mpi.LONG, root)
+                out.append(recv.tolist() if comm.rank() == root else None)
+            return out
+
+        expected = [
+            v
+            for r in range(nprocs)
+            for v in (np.arange(count, dtype=np.int64) + 100 * r).tolist()
+        ]
+        results = run_spmd(main, nprocs)
+        for root in range(nprocs):
+            assert results[root][root] == expected
+
+    @pytest.mark.parametrize("count", [0, 1, 5])
+    def test_scatter_binomial_all_roots(self, nprocs, count):
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("scatter", "binomial")
+            out = []
+            for root in range(comm.size()):
+                send = (
+                    np.arange(count * comm.size(), dtype=np.int64) * (root + 1)
+                    if comm.rank() == root
+                    else np.zeros(count * comm.size(), dtype=np.int64)
+                )
+                recv = np.full(count, -1, dtype=np.int64)
+                comm.Scatter(send, 0, count, mpi.LONG, recv, 0, count, mpi.LONG, root)
+                out.append(recv.tolist())
+            return out
+
+        results = run_spmd(main, nprocs)
+        for rank, per_rank in enumerate(results):
+            for root, got in enumerate(per_rank):
+                base = np.arange(count * nprocs, dtype=np.int64) * (root + 1)
+                assert got == base[rank * count : (rank + 1) * count].tolist()
+
+    def test_gather_binomial_mixed_datatypes(self, nprocs):
+        """Vector sendtype + basic recvtype must agree rank-to-rank."""
+
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("gather", "binomial")
+            vec = mpi.LONG.vector(2, 1, 2)  # every other element
+            send = np.arange(4, dtype=np.int64) + 10 * comm.rank()
+            recv = np.zeros(2 * comm.size(), dtype=np.int64)
+            comm.Gather(send, 0, 1, vec, recv, 0, 2, mpi.LONG, 0)
+            return recv.tolist() if comm.rank() == 0 else None
+
+        expected = [v for r in range(nprocs) for v in (10 * r, 10 * r + 2)]
+        assert run_spmd(main, nprocs)[0] == expected
+
+
+class TestReduceScatterPairwise:
+    def test_matches_default_uneven_counts(self, nprocs):
+        def main(env):
+            comm = env.COMM_WORLD
+            size = comm.size()
+            recvcounts = [(i % 3) + 1 for i in range(size)]
+            total = sum(recvcounts)
+            send = (np.arange(total, dtype=np.int64) + 1) * (comm.rank() + 1)
+            mine = recvcounts[comm.rank()]
+            default = np.zeros(mine, dtype=np.int64)
+            comm.Reduce_scatter(send, 0, default, 0, recvcounts, mpi.LONG, mpi.SUM)
+            comm.set_collective_algorithm("reduce_scatter", "pairwise")
+            pw = np.zeros(mine, dtype=np.int64)
+            comm.Reduce_scatter(send, 0, pw, 0, recvcounts, mpi.LONG, mpi.SUM)
+            return default.tolist(), pw.tolist()
+
+        for default, pw in run_spmd(main, nprocs):
+            assert default == pw
+
+    def test_zero_count_blocks(self, nprocs):
+        def main(env):
+            comm = env.COMM_WORLD
+            size = comm.size()
+            comm.set_collective_algorithm("reduce_scatter", "pairwise")
+            recvcounts = [2 if i % 2 == 0 else 0 for i in range(size)]
+            total = sum(recvcounts)
+            send = np.full(total, comm.rank() + 1, dtype=np.int64)
+            mine = recvcounts[comm.rank()]
+            recv = np.zeros(max(mine, 1), dtype=np.int64)
+            comm.Reduce_scatter(send, 0, recv, 0, recvcounts, mpi.LONG, mpi.SUM)
+            return recv[:mine].tolist()
+
+        total = sum(range(1, nprocs + 1))
+        for rank, got in enumerate(run_spmd(main, nprocs)):
+            assert got == ([total, total] if rank % 2 == 0 else [])
+
+    def test_non_commutative_falls_back(self, nprocs):
+        def main(env):
+            comm = env.COMM_WORLD
+            comm.set_collective_algorithm("reduce_scatter", "pairwise")
+            op = mpi.Op(lambda a, b: a - b, commute=False, name="SUB")
+            recvcounts = [1] * comm.size()
+            send = np.full(comm.size(), float(comm.rank()))
+            recv = np.zeros(1)
+            comm.Reduce_scatter(send, 0, recv, 0, recvcounts, mpi.DOUBLE, op)
+            return recv[0]
+
+        expected = 0.0 - sum(range(1, nprocs))
+        assert run_spmd(main, nprocs) == [expected] * nprocs
+
+
+class TestAllgathervRing:
+    def test_matches_default_uneven_counts(self, nprocs):
+        def main(env):
+            comm = env.COMM_WORLD
+            size, rank = comm.size(), comm.rank()
+            recvcounts = [(i % 3) + 1 for i in range(size)]
+            displs = list(np.concatenate(([0], np.cumsum(recvcounts)[:-1])))
+            total = sum(recvcounts)
+            send = np.arange(recvcounts[rank], dtype=np.int64) + 100 * rank
+            default = np.full(total, -1, dtype=np.int64)
+            comm.Allgatherv(
+                send, 0, recvcounts[rank], mpi.LONG,
+                default, 0, recvcounts, displs, mpi.LONG,
+            )
+            comm.set_collective_algorithm("allgatherv", "ring")
+            ring = np.full(total, -1, dtype=np.int64)
+            comm.Allgatherv(
+                send, 0, recvcounts[rank], mpi.LONG,
+                ring, 0, recvcounts, displs, mpi.LONG,
+            )
+            return default.tolist(), ring.tolist()
+
+        expected = [
+            v
+            for r in range(nprocs)
+            for v in (np.arange((r % 3) + 1, dtype=np.int64) + 100 * r).tolist()
+        ]
+        for default, ring in run_spmd(main, nprocs):
+            assert default == expected
+            assert ring == expected
+
+
 class TestAllgatherAlgorithms:
     def test_gather_bcast_matches_ring(self, nprocs):
         def main(env):

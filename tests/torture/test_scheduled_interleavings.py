@@ -150,3 +150,82 @@ class TestWildcardsUnderScheduledDelivery:
         devices[0].send(send_buffer(0), pids[1], 999, 0)
         wait_until(lambda: "status" in out, timeout=60, message="release delivered")
         assert out["status"].tag == 999
+
+
+class TestConcurrentCollectives:
+    """Two threads per rank drive different communicators concurrently
+    under scheduled delivery — the THREAD_MULTIPLE claim for the new
+    collective engine, replayable from the seed."""
+
+    def test_allreduce_and_bcast_interleaved(self, seeded_schedule):
+        from repro.mpi.environment import MPJEnvironment
+        from repro.mpi.op import SUM
+
+        nprocs, rounds = 3, 4
+        devices, pids = seeded_schedule.job(nprocs)
+        envs = [MPJEnvironment(devices[r], pids, r) for r in range(nprocs)]
+        results = [{} for _ in range(nprocs)]
+        errors = []
+
+        def rank_main(rank):
+            try:
+                world = envs[rank].COMM_WORLD
+                coll_a = world.dup()
+                coll_b = world.dup()
+
+                def allreducer():
+                    # Force the vector-splitting algorithm so the two
+                    # threads interleave segment traffic, not just calls.
+                    coll_a.set_collective_algorithm("allreduce", "recursive_doubling")
+                    out = []
+                    for i in range(rounds):
+                        send = np.arange(16, dtype=np.int64) + rank + i
+                        recv = np.zeros(16, dtype=np.int64)
+                        coll_a.Allreduce(send, 0, recv, 0, 16, None, SUM)
+                        out.append(recv.tolist())
+                    results[rank]["allreduce"] = out
+
+                def bcaster():
+                    coll_b.set_collective_algorithm("bcast", "binomial_pipelined")
+                    out = []
+                    for i in range(rounds):
+                        buf = (
+                            np.arange(16, dtype=np.int64) * (i + 1)
+                            if rank == i % nprocs
+                            else np.zeros(16, dtype=np.int64)
+                        )
+                        coll_b.Bcast(buf, 0, 16, None, i % nprocs)
+                        out.append(buf.tolist())
+                    results[rank]["bcast"] = out
+
+                ta = threading.Thread(target=allreducer, daemon=True)
+                tb = threading.Thread(target=bcaster, daemon=True)
+                ta.start(), tb.start()
+                ta.join(60), tb.join(60)
+                assert not ta.is_alive() and not tb.is_alive(), "collective hang"
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append((rank, exc))
+
+        threads = [
+            threading.Thread(target=rank_main, args=(r,), daemon=True)
+            for r in range(nprocs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+        assert not errors, errors
+
+        expected_allreduce = [
+            [
+                sum((np.arange(16, dtype=np.int64) + r + i).tolist()[j] for r in range(nprocs))
+                for j in range(16)
+            ]
+            for i in range(rounds)
+        ]
+        expected_bcast = [
+            (np.arange(16, dtype=np.int64) * (i + 1)).tolist() for i in range(rounds)
+        ]
+        for rank in range(nprocs):
+            assert results[rank]["allreduce"] == expected_allreduce
+            assert results[rank]["bcast"] == expected_bcast

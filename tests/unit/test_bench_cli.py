@@ -96,3 +96,52 @@ class TestCsvExport:
         assert float(row[col]) == pytest.approx(
             fig.series["MPJ Express"][-1], rel=1e-5
         )
+
+
+class TestCollectivesCli:
+    def test_collectives_flag_writes_json(self, tmp_path, capsys, monkeypatch):
+        import repro.bench.collectives as coll
+
+        seen = {}
+
+        def fake_bench(nprocs, device, quick, progress):
+            seen.update(nprocs=nprocs, device=device, quick=quick)
+            return {"benchmark": "collectives", "cells": {}}
+
+        monkeypatch.setattr(coll, "run_collectives_bench", fake_bench)
+        out = tmp_path / "coll.json"
+        assert bench_main(
+            ["--json", "--collectives", "--nprocs", "4", "--out", str(out)]
+        ) == 0
+        assert seen == {"nprocs": 4, "device": "smdev", "quick": False}
+        import json
+
+        assert json.loads(out.read_text())["benchmark"] == "collectives"
+
+    def test_tune_coll_writes_table(self, tmp_path, capsys, monkeypatch):
+        import repro.bench.collectives as coll
+        from repro.mpi.tuning import DecisionTable, Rule
+
+        table = DecisionTable({"bcast": [Rule("linear", max_bytes=64)]})
+
+        def fake_tune(nprocs, device, quick, progress):
+            return table, {"bcast/1024": {"linear": 1.0, "binomial": 2.0}}
+
+        monkeypatch.setattr(coll, "tune_collectives", fake_tune)
+        out = tmp_path / "tuned.json"
+        assert bench_main(["tune-coll", "--out", str(out)]) == 0
+        loaded = DecisionTable.load(str(out))
+        assert loaded.choose("bcast", 64, 8) == "linear"
+        err = capsys.readouterr().err
+        assert "bcast/1024" in err  # measured cells echoed for the log
+
+    def test_tune_coll_prints_without_out(self, capsys, monkeypatch):
+        import repro.bench.collectives as coll
+        from repro.mpi.tuning import DecisionTable
+
+        monkeypatch.setattr(
+            coll, "tune_collectives", lambda **kw: (DecisionTable({}), {})
+        )
+        assert bench_main(["tune-coll"]) == 0
+        out = capsys.readouterr().out
+        assert "repro-coll-tuning-v1" in out
