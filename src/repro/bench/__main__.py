@@ -100,10 +100,31 @@ def main(argv: list[str] | None = None) -> int:
         "--nprocs", type=int, default=None,
         help="communicator size for collective cells / tune-coll (default 8)",
     )
+    parser.add_argument(
+        "--threads", action="store_true",
+        help="run the many-thread message-rate bench (endpoint-sharded vs "
+             "single-endpoint engine) and print JSON; honors --quick/--out",
+    )
     ns = parser.parse_args(argv)
 
     if ns.figures and ns.figures[0] == "tune-coll":
         return _tune_coll(ns)
+
+    if ns.threads:
+        import json
+        from pathlib import Path
+
+        from repro.bench.threads import run_threads_bench
+
+        result = run_threads_bench(
+            quick=ns.quick,
+            progress=lambda msg: print(f"# {msg}", file=sys.stderr),
+        )
+        text = json.dumps(result, indent=1)
+        print(text)
+        if ns.out:
+            Path(ns.out).write_text(text + "\n", encoding="utf-8")
+        return 0
 
     if ns.json or ns.quick:
         import json

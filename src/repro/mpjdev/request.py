@@ -15,6 +15,7 @@ channels the paper relies on:
 
 from __future__ import annotations
 
+import itertools
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
@@ -84,10 +85,14 @@ class Request:
         "seqno",
         "t_post",
         "trace_id",
+        "endpoint",
     )
 
-    _seq_lock = threading.Lock()
-    _seq = 0
+    # Class-wide creation counter.  itertools.count is effectively
+    # atomic under the GIL, so allocating a seqno takes no lock — with
+    # per-thread endpoints this constructor is the one piece of state
+    # every user thread would otherwise still serialize on.
+    _seq = itertools.count(1)
 
     def __init__(self, kind: str, buffer: Any = None) -> None:
         self.kind = kind
@@ -110,9 +115,10 @@ class Request:
         # events pair under.  Zero when instrumentation is off.
         self.t_post: float = 0.0
         self.trace_id: int = 0
-        with Request._seq_lock:
-            Request._seq += 1
-            self.seqno = Request._seq
+        #: Endpoint of the posting thread (protocol engine); decides
+        #: which completion shard this request lands on.
+        self.endpoint: int = 0
+        self.seqno = next(Request._seq)
 
     # ------------------------------------------------------------------
     # completion (device side)

@@ -65,6 +65,8 @@ class Span:
     tag: Optional[int] = None
     size: Optional[int] = None
     proto: Optional[str] = None
+    #: Endpoint the posting thread was bound to (``ep=`` trace field).
+    ep: Optional[int] = None
     #: Absolute µs of each stage instant sharing this span's id.
     stages: dict[str, float] = field(default_factory=dict)
 
@@ -146,6 +148,7 @@ def build_spans(traces: list[RankTrace]) -> tuple[list[Span], list[dict[str, Any
                         tag=post.get("tag"),
                         size=post.get("size", ev.get("size")),
                         proto=post.get("proto", ev.get("proto")),
+                        ep=post.get("ep"),
                     )
                 )
         for (base, _id), post in open_posts.items():
@@ -238,6 +241,7 @@ def chrome_trace(traces: list[RankTrace], spans: list[Span]) -> dict[str, Any]:
                     "tag": span.tag,
                     "size": span.size,
                     "rank": span.rank,
+                    "ep": span.ep,
                 },
             }
         )
@@ -289,6 +293,29 @@ def _stage_table(spans: Iterable[Span]) -> dict[str, dict[str, Any]]:
     return out
 
 
+def _endpoint_table(spans: Iterable[Span]) -> dict[str, dict[str, Any]]:
+    """Per (rank, endpoint, op) span-latency aggregate (µs).
+
+    Breaks stage latency down by the posting thread's endpoint so
+    ``repro.obs report`` shows whether one endpoint's lock shard is the
+    hot one.  Spans from traces predating the ``ep=`` field are
+    skipped.
+    """
+    agg: dict[tuple[int, int, str], list[float]] = defaultdict(list)
+    for span in spans:
+        if span.ep is None or span.base not in ("send", "recv"):
+            continue
+        agg[(span.rank, int(span.ep), span.base)].append(span.dur_us)
+    out: dict[str, dict[str, Any]] = {}
+    for (rank, ep, base), vals in sorted(agg.items()):
+        out[f"rank{rank}/ep{ep}/{base}"] = {
+            "count": len(vals),
+            "mean_us": round(sum(vals) / len(vals), 2),
+            "max_us": round(max(vals), 2),
+        }
+    return out
+
+
 def text_report(
     traces: list[RankTrace],
     spans: list[Span],
@@ -331,6 +358,16 @@ def text_report(
         for stage, cell in stage_table[key].items():
             lines.append(
                 f"    {stage:<22} n={cell['count']:<6} "
+                f"mean={cell['mean_us']:>10.2f} max={cell['max_us']:>10.2f}"
+            )
+
+    endpoint_table = _endpoint_table(spans)
+    if endpoint_table:
+        lines.append("")
+        lines.append("per-endpoint span latency (µs):")
+        for key, cell in endpoint_table.items():
+            lines.append(
+                f"  {key:<22} n={cell['count']:<6} "
                 f"mean={cell['mean_us']:>10.2f} max={cell['max_us']:>10.2f}"
             )
 

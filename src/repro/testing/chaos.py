@@ -124,9 +124,13 @@ class ChaosEvent:
 
 
 class _HeldFrame:
-    __slots__ = ("dest", "segments", "match_key", "generation", "on_delivered")
+    __slots__ = (
+        "dest", "segments", "match_key", "generation", "on_delivered", "route"
+    )
 
-    def __init__(self, dest, segments, match_key, generation, on_delivered=None):
+    def __init__(
+        self, dest, segments, match_key, generation, on_delivered=None, route=0
+    ):
         self.dest = dest
         self.segments = segments
         self.match_key = match_key
@@ -134,6 +138,10 @@ class _HeldFrame:
         # The engine's delivery fence rides along with a held frame:
         # the sender's memory stays referenced until the hold ends.
         self.on_delivered = on_delivered
+        # Content route (endpoint inbox) the frame releases on — a
+        # frame keeps its route through hold/swap/duplicate, so chaos
+        # perturbs timing, never demux.
+        self.route = route
 
 
 #: Frame types whose delivery order is matching-relevant: they enter
@@ -154,6 +162,11 @@ class ChaosTransport(Transport):
     #: Held-back and duplicated frames outlive write(), so chaos always
     #: retains segments regardless of what the inner transport does.
     retains_segments = True
+
+    @property
+    def routed(self) -> bool:  # type: ignore[override]
+        """Chaos demuxes exactly as its inner transport does."""
+        return bool(getattr(self.inner, "routed", False))
 
     def __init__(self, inner: Transport, config: ChaosConfig) -> None:
         self.inner = inner
@@ -241,16 +254,26 @@ class ChaosTransport(Transport):
                 self._write_locks[dest.uid] = lock
             return lock
 
-    def _inner_write(self, dest: ProcessID, segments, on_delivered=None) -> None:
+    def _inner_write(
+        self, dest: ProcessID, segments, on_delivered=None, route: int = 0
+    ) -> None:
         with self._write_lock(dest):
-            if on_delivered is not None and self.inner.retains_segments:
+            if self.routed:
+                if on_delivered is not None and self.inner.retains_segments:
+                    self.inner.write(dest, segments, on_delivered, route=route)
+                    return
+                self.inner.write(dest, segments, route=route)
+            elif on_delivered is not None and self.inner.retains_segments:
                 self.inner.write(dest, segments, on_delivered)
                 return
-            self.inner.write(dest, segments)
+            else:
+                self.inner.write(dest, segments)
         if on_delivered is not None:
             on_delivered()
 
-    def write(self, dest: ProcessID, segments, on_delivered=None) -> None:
+    def write(
+        self, dest: ProcessID, segments, on_delivered=None, route: int = 0
+    ) -> None:
         if self._closed:
             raise XDevException("chaos transport closed")
         header = FrameHeader.decode(segments[0])
@@ -305,7 +328,8 @@ class ChaosTransport(Transport):
             elif hold and not self._closed:
                 self._generation += 1
                 held_entry = _HeldFrame(
-                    dest, segments, match_key, self._generation, on_delivered
+                    dest, segments, match_key, self._generation, on_delivered,
+                    route,
                 )
                 self._held[dest.uid] = held_entry
 
@@ -321,21 +345,27 @@ class ChaosTransport(Transport):
             # control frames never carry a delivery fence.)
             if duplicate:
                 self._record("duplicate", header, occ)
-                self._inner_write(dest, segments)
+                self._inner_write(dest, segments, route=route)
             return
 
         if released is not None and swap:
             self._record("swap", header, occ)
-            self._inner_write(dest, segments, on_delivered)
-            self._inner_write(released.dest, released.segments, released.on_delivered)
+            self._inner_write(dest, segments, on_delivered, route=route)
+            self._inner_write(
+                released.dest, released.segments, released.on_delivered,
+                route=released.route,
+            )
         elif released is not None:
-            self._inner_write(released.dest, released.segments, released.on_delivered)
-            self._inner_write(dest, segments, on_delivered)
+            self._inner_write(
+                released.dest, released.segments, released.on_delivered,
+                route=released.route,
+            )
+            self._inner_write(dest, segments, on_delivered, route=route)
         else:
-            self._inner_write(dest, segments, on_delivered)
+            self._inner_write(dest, segments, on_delivered, route=route)
         if duplicate:
             self._record("duplicate", header, occ)
-            self._inner_write(dest, segments)
+            self._inner_write(dest, segments, route=route)
 
     def _flush_held(self, dest: ProcessID, entry: _HeldFrame) -> None:
         """Timer valve: a held frame with no reorder partner must still
@@ -345,7 +375,9 @@ class ChaosTransport(Transport):
             if current is None or current.generation != entry.generation:
                 return  # already released by a later write
             del self._held[dest.uid]
-        self._inner_write(entry.dest, entry.segments, entry.on_delivered)
+        self._inner_write(
+            entry.dest, entry.segments, entry.on_delivered, route=entry.route
+        )
 
     def flush(self) -> None:
         """Deliver every held frame now (tests call this at barriers)."""
@@ -353,7 +385,9 @@ class ChaosTransport(Transport):
             held = list(self._held.values())
             self._held.clear()
         for entry in held:
-            self._inner_write(entry.dest, entry.segments, entry.on_delivered)
+            self._inner_write(
+                entry.dest, entry.segments, entry.on_delivered, route=entry.route
+            )
 
     def close(self) -> None:
         self._closed = True
@@ -467,6 +501,18 @@ class ChaosDevice(Device):
 
     def probe(self, src: ProcessID | int, tag: int, context: int) -> Status:
         return self.inner.probe(src, tag, context)
+
+    def improbe(self, src: ProcessID | int, tag: int, context: int):
+        return self.inner.improbe(src, tag, context)
+
+    def mprobe(self, src: ProcessID | int, tag: int, context: int):
+        return self.inner.mprobe(src, tag, context)
+
+    def mrecv(self, match, buf: Buffer) -> Request:
+        return self.inner.mrecv(match, buf)
+
+    def introspect(self) -> dict:
+        return self.inner.introspect()
 
     def peek(self, timeout: float | None = None) -> Request:
         return self.inner.peek(timeout=timeout)

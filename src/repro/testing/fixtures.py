@@ -41,10 +41,15 @@ def make_chaos_job(
     config: Optional[ChaosConfig] = None,
     options: Optional[dict] = None,
     graph: Optional[LockGraph] = None,
+    endpoints: Optional[int] = None,
 ):
-    """Stand up *nprocs* chaosdev-wrapped smdev ranks on one fabric."""
+    """Stand up *nprocs* chaosdev-wrapped smdev ranks on one fabric.
+
+    *endpoints* overrides the ``REPRO_ENDPOINTS`` inbox/shard count so
+    a test can pin the sharding degree without env juggling.
+    """
     cfg = config if config is not None else ChaosConfig.torture(seed)
-    fabric = SMFabric(nprocs)
+    fabric = SMFabric(nprocs, endpoints=endpoints)
     devices = []
     for rank in range(nprocs):
         dev = new_instance("chaosdev")
@@ -62,10 +67,15 @@ def make_scheduled_job(
     schedule: SeededSchedule,
     options: Optional[dict] = None,
     gather_window_s: float = 0.001,
+    endpoints: Optional[int] = None,
 ):
     """Stand up *nprocs* smdev ranks over a schedule-replaying fabric."""
     fabric, _ = make_scheduled_fabric(
-        nprocs, schedule.seed, schedule=schedule, gather_window_s=gather_window_s
+        nprocs,
+        schedule.seed,
+        schedule=schedule,
+        gather_window_s=gather_window_s,
+        endpoints=endpoints,
     )
     devices = []
     for rank in range(nprocs):

@@ -33,14 +33,17 @@ class SeededSchedule:
         self.seed = seed
         self._rng = random.Random(seed)
         self._lock = threading.Lock()
-        #: (rank, chosen index, number of candidates) per decision.
-        self.choices: list[tuple[int, int, int]] = []
+        #: (rank, chosen index, number of candidates, endpoint) per
+        #: decision — one entry for every frame delivery of the job,
+        #: across every rank's every endpoint inbox.
+        self.choices: list[tuple[int, int, int, int]] = []
 
-    def pick(self, rank: int, n: int) -> int:
-        """Choose one of *n* deliverable frames for *rank*'s inbox."""
+    def pick(self, rank: int, n: int, endpoint: int = 0) -> int:
+        """Choose one of *n* deliverable frames for one of *rank*'s
+        endpoint inboxes."""
         with self._lock:
             idx = self._rng.randrange(n) if n > 1 else 0
-            self.choices.append((rank, idx, n))
+            self.choices.append((rank, idx, n, endpoint))
             return idx
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -60,10 +63,15 @@ class ScheduledInbox:
     """
 
     def __init__(
-        self, schedule: SeededSchedule, rank: int, gather_window_s: float = 0.001
+        self,
+        schedule: SeededSchedule,
+        rank: int,
+        gather_window_s: float = 0.001,
+        endpoint: int = 0,
     ) -> None:
         self._schedule = schedule
         self._rank = rank
+        self._endpoint = endpoint
         #: After the first frame arrives, wait this long for rivals so
         #: the scheduler has an actual choice to make under contention.
         self._gather_window_s = gather_window_s
@@ -109,7 +117,9 @@ class ScheduledInbox:
                 elif key not in seen_streams:
                     seen_streams.add(key)
                     eligible.append(i)
-            choice = self._schedule.pick(self._rank, len(eligible))
+            choice = self._schedule.pick(
+                self._rank, len(eligible), self._endpoint
+            )
             item, _key = self._frames.pop(eligible[choice])
             return item
 
@@ -123,13 +133,26 @@ def make_scheduled_fabric(
     seed: int,
     schedule: Optional[SeededSchedule] = None,
     gather_window_s: float = 0.001,
+    endpoints: Optional[int] = None,
 ) -> tuple[SMFabric, SeededSchedule]:
-    """An SMFabric whose inboxes replay the seeded schedule."""
+    """An SMFabric whose inboxes replay the seeded schedule.
+
+    The fabric keeps smdev's per-endpoint inbox grid (the
+    ``REPRO_ENDPOINTS`` knob, or *endpoints* explicitly): every
+    endpoint inbox of every rank is a :class:`ScheduledInbox` drawing
+    from the one shared :class:`SeededSchedule`, so interleavings are
+    schedulable — and replayable — across endpoints, not just ranks.
+    """
     if schedule is None:
         schedule = SeededSchedule(seed)
-    fabric = SMFabric(nprocs)
+    fabric = SMFabric(nprocs, endpoints=endpoints)
     fabric.inboxes = [
-        ScheduledInbox(schedule, rank, gather_window_s=gather_window_s)
+        [
+            ScheduledInbox(
+                schedule, rank, gather_window_s=gather_window_s, endpoint=ep
+            )
+            for ep in range(fabric.endpoints)
+        ]
         for rank in range(nprocs)
     ]
     return fabric, schedule

@@ -185,25 +185,41 @@ class InstrumentedLock:
 def instrument_engine(engine, graph: LockGraph, label: Optional[str] = None) -> LockGraph:
     """Swap a ProtocolEngine's locks for instrumented ones.
 
-    Must run before traffic starts (the engine's conditions are
-    rebuilt over the new locks).  Returns *graph* for chaining.
+    Must run before traffic starts.  Covers the endpoint-sharded lock
+    set: every matching-shard lock, the wildcard-domain lock (acquired
+    only after its shards — the ordering the LockGraph verifies), the
+    send-set and rendezvous-id locks, the per-endpoint completion
+    shard locks, and the (dest, route shard) channel locks.  Returns
+    *graph* for chaining.
     """
     me = label if label is not None else f"rank{engine.my_pid.uid}"
-    engine._recv_lock = InstrumentedLock(graph, f"{me}:recv-sets")
-    engine._recv_cond = threading.Condition(engine._recv_lock)
+    matcher = engine._matcher
+    for i, shard in enumerate(matcher._shards):
+        shard.lock = InstrumentedLock(graph, f"{me}:recv-shard{i}")
+    matcher._wc_lock = InstrumentedLock(graph, f"{me}:recv-wildcard")
     engine._send_lock = InstrumentedLock(graph, f"{me}:send-sets")
-    engine._completed_lock = InstrumentedLock(graph, f"{me}:completed")
-    engine._completed_cond = threading.Condition(engine._completed_lock)
+    engine._rndz_lock = InstrumentedLock(graph, f"{me}:rendezvous-ids")
+    completions = engine._completions
+    completions._locks = [
+        InstrumentedLock(graph, f"{me}:completed{i}")
+        for i in range(completions.n)
+    ]
 
     guard = engine._channel_locks_guard
     channel_locks = engine._channel_locks
+    endpoints = engine.endpoints
+    routed = engine._routed
 
-    def channel_lock(dest):
+    def channel_lock(dest, route=0):
+        shard = route % endpoints if routed else 0
+        key = (dest.uid, shard)
         with guard:
-            lock = channel_locks.get(dest.uid)
+            lock = channel_locks.get(key)
             if lock is None:
-                lock = InstrumentedLock(graph, f"{me}:channel->{dest.uid}")
-                channel_locks[dest.uid] = lock
+                lock = InstrumentedLock(
+                    graph, f"{me}:channel->{dest.uid}.{shard}"
+                )
+                channel_locks[key] = lock
             return lock
 
     # Instance attribute shadows the bound method.

@@ -55,6 +55,7 @@ class ProtocolDevice(Device):
             ),
             metrics=options.get("metrics"),
             trace_label=self.device_name,
+            endpoints=options.get("endpoints"),
         )
         transport.start(self._engine)
         return list(self._all_pids)
@@ -83,6 +84,7 @@ class ProtocolDevice(Device):
             return out
         out["rank"] = engine.my_pid.uid
         out.update(engine.introspect_queues())
+        out["endpoints"] = engine.introspect_endpoints()
         out["transport"] = engine.transport.introspect()
         waitany_queue = getattr(self, "_waitany_queue", None)
         out["waitany_queue"] = len(waitany_queue) if waitany_queue is not None else 0
@@ -132,6 +134,18 @@ class ProtocolDevice(Device):
 
     def probe(self, src: ProcessID | int, tag: int, context: int) -> Status:
         return self.engine.probe(src, tag, context)
+
+    def improbe(self, src: ProcessID | int, tag: int, context: int):
+        """Atomic probe-and-claim; receive the result with mrecv()."""
+        return self.engine.improbe(src, tag, context)
+
+    def mprobe(self, src: ProcessID | int, tag: int, context: int):
+        """Blocking improbe()."""
+        return self.engine.mprobe(src, tag, context)
+
+    def mrecv(self, match, buf: Buffer) -> Request:
+        """Receive a message claimed by improbe()/mprobe()."""
+        return self.engine.mrecv(match, buf)
 
     def peek(self, timeout: float | None = None) -> Request:
         return self.engine.peek(timeout=timeout)

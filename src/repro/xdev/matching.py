@@ -22,19 +22,26 @@ the *earliest posted* receive (resp. earliest arrived message) wins.
 Entries therefore carry sequence numbers and a claim flag; claimed
 entries are lazily popped when they surface at the head of a queue.
 
-This module is deliberately lock-free: the protocol engine serializes
-access with its ``receive-communication-sets`` lock, exactly as the
-paper's pseudocode does (Figs 4, 5, 7, 8).
+:class:`MessageQueues` is deliberately lock-free: callers serialize
+access — the paper's single ``receive-communication-sets`` lock in the
+seed engine (Figs 4, 5, 7, 8), or one lock per shard inside
+:class:`ShardedMatcher`, which splits the matching state across
+``N`` endpoint shards by content hash (see :mod:`repro.xdev.endpoints`)
+and keeps a wildcard domain for ``ANY_TAG`` receives, which span
+``(context, tag)`` streams and therefore cannot be routed to one shard.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 from repro.xdev.constants import ANY_SOURCE, ANY_TAG
+from repro.xdev.endpoints import route_of
 
 Key = tuple[int, int, int]
 
@@ -101,10 +108,15 @@ class MessageQueues:
     receive-communication-sets lock around every call.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, seq: Optional[itertools.count] = None) -> None:
         self._recvs: dict[Key, deque[PostedRecv]] = {}
         self._msgs: dict[Key, deque[ArrivedMessage]] = {}
-        self._seq = itertools.count(1)
+        # Sequence numbers order posted receives and arrived messages
+        # for the non-overtaking rule.  A ShardedMatcher passes one
+        # shared counter to every shard so seqnos form a single global
+        # order — what lets wildcard receives compare candidates from
+        # different shards.
+        self._seq = seq if seq is not None else itertools.count(1)
         #: Matching outcome counters (engine lock serializes updates).
         #: The unexpected-queue hit rate is
         #: ``recvs_matched_unexpected / recvs_posted``; the posted-queue
@@ -117,6 +129,7 @@ class MessageQueues:
             "arrivals_matched_posted": 0,
             "probe_hits": 0,
             "probe_misses": 0,
+            "claims": 0,
         }
 
     # ------------------------------------------------------------------
@@ -154,6 +167,25 @@ class MessageQueues:
         returns None (Figs 5 and 8: the input handler's match-or-add).
         """
         self.counters["arrivals"] += 1
+        cand = self.best_posted(msg)
+        if cand is not None:
+            best_q, best = cand
+            best_q.popleft()
+            best.claimed = True
+            self.counters["arrivals_matched_posted"] += 1
+            return best
+        self.store(msg)
+        return None
+
+    def best_posted(
+        self, msg: ArrivedMessage
+    ) -> Optional[tuple[deque, PostedRecv]]:
+        """Earliest-posted receive compatible with *msg*, not yet claimed.
+
+        Returns ``(queue, recv)`` with *recv* at the queue's head, or
+        None.  Does not claim — the caller decides (a ShardedMatcher
+        may prefer an even earlier wildcard receive).
+        """
         best: Optional[PostedRecv] = None
         best_q: Optional[deque] = None
         for key in msg.keys():
@@ -164,34 +196,63 @@ class MessageQueues:
             if q and (best is None or q[0].seqno < best.seqno):
                 best = q[0]
                 best_q = q
-        if best is not None:
-            assert best_q is not None
-            best_q.popleft()
-            best.claimed = True
-            self.counters["arrivals_matched_posted"] += 1
-            return best
+        if best is None:
+            return None
+        assert best_q is not None
+        return best_q, best
+
+    def store(self, msg: ArrivedMessage) -> None:
+        """Index *msg* as unexpected under all four of its keys."""
         msg.seqno = next(self._seq)
         for key in msg.keys():
             self._msgs.setdefault(key, deque()).append(msg)
-        return None
 
     # ------------------------------------------------------------------
     # probing
 
-    def find_message(self, context: int, tag: int, src_uid: int) -> Optional[ArrivedMessage]:
+    def find_message(
+        self, context: int, tag: int, src_uid: int, record: bool = True
+    ) -> Optional[ArrivedMessage]:
         """Earliest arrived, unclaimed message matching the pattern.
 
         *tag*/*src_uid* may be wildcards.  Does not consume the message
-        — this backs ``iprobe``/``probe``.
+        — this backs ``iprobe``/``probe``.  ``record=False`` skips the
+        probe counters (internal scans by the sharded matcher, which
+        counts one probe per user call, not one per shard probed).
         """
         q = self._msgs.get((context, tag, src_uid))
         if q is not None:
             _prune(q)
         msg = q[0] if q else None
-        if msg is not None:
+        if record:
+            if msg is not None:
+                self.counters["probe_hits"] += 1
+            else:
+                self.counters["probe_misses"] += 1
+        return msg
+
+    def claim_message(
+        self, context: int, tag: int, src_uid: int, record: bool = True
+    ) -> Optional[ArrivedMessage]:
+        """Find *and consume* the earliest matching unclaimed message.
+
+        The atomic probe-then-claim backing ``improbe``/``mprobe``:
+        under the caller's lock the observed message is removed from
+        matching, so no concurrent receive on another thread can steal
+        it between the probe and the matching ``mrecv``.
+        """
+        q = self._msgs.get((context, tag, src_uid))
+        if q is not None:
+            _prune(q)
+        if not q:
+            if record:
+                self.counters["probe_misses"] += 1
+            return None
+        msg = q.popleft()
+        msg.claimed = True
+        if record:
             self.counters["probe_hits"] += 1
-        else:
-            self.counters["probe_misses"] += 1
+            self.counters["claims"] += 1
         return msg
 
     def take_rendezvous_recv(self, recv: PostedRecv) -> None:
@@ -227,3 +288,419 @@ class MessageQueues:
                 if not m.claimed and id(m) not in seen:
                     seen.add(id(m))
                     yield m
+
+
+class _MatchShard:
+    """One endpoint's slice of the matching state: a lock + queues.
+
+    Each shard carries its own arrival ticker so a blocking probe on a
+    concrete tag sleeps on — and is woken by — *its shard only*.  With
+    one global ticker every store would wake every prober in the
+    process (a thundering herd of futile rescans, one per prober per
+    message); per-shard tickers make probe wakeups 1:1 with relevant
+    arrivals, which is where the seed's shared engine burns its CPU in
+    the probe-then-recv thread-scaling bench.
+    """
+
+    __slots__ = ("lock", "mq", "ticker", "ticks", "waiters")
+
+    def __init__(self, mq: MessageQueues) -> None:
+        self.lock = threading.Lock()
+        self.mq = mq
+        self.ticker = threading.Condition()
+        self.ticks = 0
+        self.waiters = 0
+
+
+def _wc_key() -> dict[str, int]:
+    return {
+        "recvs_posted": 0,
+        "recvs_matched_unexpected": 0,
+        "recvs_wildcard": 0,
+        "arrivals": 0,
+        "arrivals_matched_posted": 0,
+        "probe_hits": 0,
+        "probe_misses": 0,
+        "claims": 0,
+    }
+
+
+class ShardedMatcher:
+    """Endpoint-sharded matching state, internally synchronized.
+
+    ``N`` :class:`MessageQueues` shards, each behind its own lock, plus
+    a **wildcard domain** for receives that cannot name a shard.  A
+    frame's shard is ``route_of(context, tag) % N``, the same content
+    hash that picks its smdev inbox, so each shard's lock is only ever
+    contended by the threads actually sharing that traffic stream.
+    Because the route ignores the source, an ``ANY_SOURCE`` receive
+    with a concrete tag still maps to exactly one shard — every message
+    it could match hashes there too — and only ``ANY_TAG`` receives
+    (which span ``(context, tag)`` streams) take the wildcard path.
+
+    Lock order (deadlock freedom, checked by the LockGraph watchdog):
+    shard locks in ascending index, then the wildcard lock.  Concrete
+    operations take exactly one shard lock; wildcard operations take
+    all of them — the "global path" fallback the issue specifies.
+
+    A shared sequence counter spans every shard and the wildcard
+    domain, so posted-receive and arrival seqnos form one global order:
+    wildcard receives compare candidates across shards by seqno and MPI
+    non-overtaking holds globally, not just per shard.
+
+    With ``nshards == 1`` this degenerates to the seed's single lock +
+    single MessageQueues — the ``REPRO_ENDPOINTS=1`` baseline.
+    """
+
+    def __init__(self, nshards: int) -> None:
+        self.nshards = max(1, int(nshards))
+        self._seq = itertools.count(1)
+        self._shards = [
+            _MatchShard(MessageQueues(seq=self._seq)) for _ in range(self.nshards)
+        ]
+        # Wildcard domain: receives that span shards, in post order.
+        self._wc_lock = threading.Lock()
+        self._wc_recvs: deque[PostedRecv] = deque()
+        #: Unclaimed wildcard receives.  Mutated only under the wildcard
+        #: lock; read as a cheap skip hint under a shard lock, which is
+        #: safe because wildcard *insertion* holds every shard lock —
+        #: an arrival holding its shard lock can never miss a wildcard
+        #: receive that was posted before it locked the shard.
+        self._wc_count = 0
+        self._wc_counters = _wc_key()
+        # Global arrival ticker for ANY_TAG blocking probes, which span
+        # shards and so cannot wait on one shard's ticker.  Bumped only
+        # while such a prober is registered (the register-then-scan
+        # protocol below), so shard-local traffic never pays for it.
+        self._ticker = threading.Condition()
+        self._ticks = 0
+        self._probe_waiters = 0
+        #: Blocking-probe wakeup accounting (GIL-atomic increments).
+        #: ``futile_wakeups`` counts wakeups whose rescan found nothing
+        #: — the thundering-herd tax a shared ticker pays and per-shard
+        #: tickers mostly eliminate; the thread-scaling bench reports
+        #: it per message.
+        self.probe_stats = {"blocking_probes": 0, "wakeups": 0, "futile_wakeups": 0}
+
+    # ------------------------------------------------------------------
+    # routing
+
+    def shard_index(self, context: int, tag: int) -> int:
+        return route_of(context, tag) % self.nshards
+
+    @contextmanager
+    def _all_locked(self):
+        """Every shard lock (ascending), then the wildcard lock."""
+        for shard in self._shards:
+            shard.lock.acquire()
+        self._wc_lock.acquire()
+        try:
+            yield
+        finally:
+            self._wc_lock.release()
+            for shard in reversed(self._shards):
+                shard.lock.release()
+
+    def _notify_stores(self, shard: _MatchShard) -> None:
+        """Wake blocking probes after a store into *shard*.
+
+        The waiter counts are read unlocked as skip hints.  That is
+        lost-wakeup-safe because probers *register before scanning*: a
+        store whose hint read misses a prober finished storing (under
+        the shard lock) before that prober registered, so the prober's
+        first scan already sees the message.  When no probe is blocked
+        anywhere — every flood's hot path — both hints are zero and a
+        store pays nothing here.
+        """
+        if shard.waiters:
+            with shard.ticker:
+                shard.ticks += 1
+                shard.ticker.notify_all()
+        if self._probe_waiters:
+            with self._ticker:
+                self._ticks += 1
+                self._ticker.notify_all()
+
+    # ------------------------------------------------------------------
+    # receive side
+
+    def post_recv(self, recv: PostedRecv) -> Optional[ArrivedMessage]:
+        """Match-or-add for a posted receive (Figs 4 and 7, sharded).
+
+        Concrete-tag receives — including ``ANY_SOURCE`` ones, since
+        routes ignore the source — touch exactly one shard.  ``ANY_TAG``
+        receives take the global path: with every shard locked, claim
+        the earliest (by global seqno) compatible unexpected message
+        from any shard, or park in the wildcard domain.
+        """
+        if recv.tag == ANY_TAG:
+            return self._post_wildcard(recv)
+        shard = self._shards[self.shard_index(recv.context, recv.tag)]
+        with shard.lock:
+            return shard.mq.post_recv(recv)
+
+    def _post_wildcard(self, recv: PostedRecv) -> Optional[ArrivedMessage]:
+        with self._all_locked():
+            c = self._wc_counters
+            c["recvs_posted"] += 1
+            c["recvs_wildcard"] += 1
+            best: Optional[ArrivedMessage] = None
+            for shard in self._shards:
+                msg = shard.mq.find_message(
+                    recv.context, recv.tag, recv.src_uid, record=False
+                )
+                if msg is not None and (best is None or msg.seqno < best.seqno):
+                    best = msg
+            if best is not None:
+                best.claimed = True
+                c["recvs_matched_unexpected"] += 1
+                return best
+            recv.seqno = next(self._seq)
+            self._wc_recvs.append(recv)
+            self._wc_count += 1
+            return None
+
+    def take_rendezvous_recv(self, recv: PostedRecv) -> None:
+        """Mark *recv* claimed (it matched an RTS out-of-band)."""
+        recv.claimed = True
+
+    # ------------------------------------------------------------------
+    # arrival side
+
+    def arrive(
+        self, msg: ArrivedMessage, on_store=None
+    ) -> Optional[PostedRecv]:
+        """Match-or-store for an arrival (Figs 5 and 8, sharded).
+
+        Only the arrival's own shard lock is taken; the wildcard lock
+        nests inside it when wildcard receives are pending.  The
+        earliest of {best shard-posted receive, best wildcard receive}
+        wins — seqnos are globally comparable.
+
+        *on_store*, if given, runs under the shard lock immediately
+        before the message is indexed: the engine uses it to stage the
+        unexpected payload into stable storage *before* the message
+        becomes visible to concurrent receivers on other threads.
+        """
+        shard = self._shards[self.shard_index(msg.context, msg.tag)]
+        stored = False
+        matched: Optional[PostedRecv] = None
+        with shard.lock:
+            mq = shard.mq
+            mq.counters["arrivals"] += 1
+            cand = mq.best_posted(msg)
+            if self._wc_count:
+                with self._wc_lock:
+                    wc = self._best_wildcard(msg)
+                    if wc is not None and (
+                        cand is None or wc.seqno < cand[1].seqno
+                    ):
+                        wc.claimed = True
+                        self._wc_count -= 1
+                        _prune(self._wc_recvs)
+                        mq.counters["arrivals_matched_posted"] += 1
+                        return wc
+            if cand is not None:
+                best_q, matched = cand
+                best_q.popleft()
+                matched.claimed = True
+                mq.counters["arrivals_matched_posted"] += 1
+            else:
+                if on_store is not None:
+                    on_store(msg)
+                mq.store(msg)
+                stored = True
+        if stored:
+            self._notify_stores(shard)
+        return matched
+
+    def _best_wildcard(self, msg: ArrivedMessage) -> Optional[PostedRecv]:
+        """Earliest unclaimed wildcard receive compatible with *msg*.
+
+        The deque is in post (seqno) order, so the first compatible
+        entry is the earliest.  Caller holds the wildcard lock.
+        """
+        for recv in self._wc_recvs:
+            if recv.claimed:
+                continue
+            if (
+                recv.context == msg.context
+                and recv.tag in (ANY_TAG, msg.tag)
+                and recv.src_uid in (ANY_SOURCE, msg.src_uid)
+            ):
+                return recv
+        return None
+
+    # ------------------------------------------------------------------
+    # probing
+
+    def find_message(
+        self, context: int, tag: int, src_uid: int
+    ) -> Optional[ArrivedMessage]:
+        """Earliest matching unclaimed message; non-consuming (iprobe)."""
+        if tag != ANY_TAG:
+            shard = self._shards[self.shard_index(context, tag)]
+            with shard.lock:
+                return shard.mq.find_message(context, tag, src_uid)
+        with self._all_locked():
+            best: Optional[ArrivedMessage] = None
+            for shard in self._shards:
+                msg = shard.mq.find_message(context, tag, src_uid, record=False)
+                if msg is not None and (best is None or msg.seqno < best.seqno):
+                    best = msg
+            c = self._wc_counters
+            if best is not None:
+                c["probe_hits"] += 1
+            else:
+                c["probe_misses"] += 1
+            return best
+
+    def claim_message(
+        self, context: int, tag: int, src_uid: int
+    ) -> Optional[ArrivedMessage]:
+        """Atomic probe-then-claim across shards (improbe/mprobe).
+
+        The returned message has been removed from matching: a
+        concurrent receive on another thread cannot consume it.  This
+        is the fix for the probe/recv race — a plain ``iprobe`` only
+        *observes*, so the observed message can be stolen before the
+        follow-up ``recv``; ``claim_message`` makes the pair atomic
+        under the shard lock (or, for ``ANY_TAG``, under all of them).
+        """
+        if tag != ANY_TAG:
+            shard = self._shards[self.shard_index(context, tag)]
+            with shard.lock:
+                return shard.mq.claim_message(context, tag, src_uid)
+        with self._all_locked():
+            best: Optional[ArrivedMessage] = None
+            best_shard: Optional[_MatchShard] = None
+            for shard in self._shards:
+                msg = shard.mq.find_message(context, tag, src_uid, record=False)
+                if msg is not None and (best is None or msg.seqno < best.seqno):
+                    best = msg
+                    best_shard = shard
+            c = self._wc_counters
+            if best is None:
+                c["probe_misses"] += 1
+                return None
+            assert best_shard is not None
+            q = best_shard.mq._msgs.get((context, tag, src_uid))
+            assert q is not None and q[0] is best
+            q.popleft()
+            best.claimed = True
+            c["probe_hits"] += 1
+            c["claims"] += 1
+            return best
+
+    def wait_message(
+        self, context: int, tag: int, src_uid: int
+    ) -> ArrivedMessage:
+        """Block until a matching message arrives (blocking probe).
+
+        Concrete-tag probes sleep on their shard's ticker, so they are
+        woken only by stores into that shard — with sharding on, never
+        by other thread pairs' traffic.  ``ANY_TAG`` probes sleep on
+        the global ticker, which every store bumps while one is
+        registered.
+
+        Lost-wakeup safe by the register-then-scan protocol: the
+        waiter count is incremented and the tick sampled *before* the
+        scan, so any store the scan misses finds the waiter hint set
+        and bumps the tick the wait is watching.
+        """
+        stats = self.probe_stats
+        stats["blocking_probes"] += 1
+        wakeups = 0
+        if tag != ANY_TAG:
+            shard = self._shards[self.shard_index(context, tag)]
+            with shard.ticker:
+                shard.waiters += 1
+                tick = shard.ticks
+            try:
+                while True:
+                    with shard.lock:
+                        msg = shard.mq.find_message(context, tag, src_uid)
+                    if msg is not None:
+                        stats["wakeups"] += wakeups
+                        stats["futile_wakeups"] += max(wakeups - 1, 0)
+                        return msg
+                    with shard.ticker:
+                        while shard.ticks == tick:
+                            shard.ticker.wait()
+                        tick = shard.ticks
+                    wakeups += 1
+            finally:
+                with shard.ticker:
+                    shard.waiters -= 1
+        with self._ticker:
+            self._probe_waiters += 1
+            tick = self._ticks
+        try:
+            while True:
+                msg = self.find_message(context, tag, src_uid)
+                if msg is not None:
+                    stats["wakeups"] += wakeups
+                    stats["futile_wakeups"] += max(wakeups - 1, 0)
+                    return msg
+                with self._ticker:
+                    while self._ticks == tick:
+                        self._ticker.wait()
+                    tick = self._ticks
+                wakeups += 1
+        finally:
+            with self._ticker:
+                self._probe_waiters -= 1
+
+    # ------------------------------------------------------------------
+    # introspection (tests, diagnostics, obs)
+
+    def counters(self) -> dict[str, int]:
+        """Aggregated matching counters (shards + wildcard domain)."""
+        total = _wc_key()
+        for shard in self._shards:
+            with shard.lock:
+                for k, v in shard.mq.counters.items():
+                    total[k] += v
+        with self._wc_lock:
+            for k, v in self._wc_counters.items():
+                total[k] += v
+        return total
+
+    def pending_recv_count(self) -> int:
+        n = 0
+        for shard in self._shards:
+            with shard.lock:
+                n += shard.mq.pending_recv_count()
+        with self._wc_lock:
+            n += sum(1 for r in self._wc_recvs if not r.claimed)
+        return n
+
+    def unexpected_count(self) -> int:
+        n = 0
+        for shard in self._shards:
+            with shard.lock:
+                n += shard.mq.unexpected_count()
+        return n
+
+    def iter_unexpected(self) -> Iterator[ArrivedMessage]:
+        for shard in self._shards:
+            with shard.lock:
+                msgs = list(shard.mq.iter_unexpected())
+            yield from msgs
+
+    def depths(self) -> list[dict[str, int]]:
+        """Per-shard queue depths, for ``device.introspect()``."""
+        out = []
+        for shard in self._shards:
+            with shard.lock:
+                out.append(
+                    {
+                        "posted_recvs": shard.mq.pending_recv_count(),
+                        "unexpected_messages": shard.mq.unexpected_count(),
+                    }
+                )
+        return out
+
+    def wildcard_depth(self) -> int:
+        with self._wc_lock:
+            return sum(1 for r in self._wc_recvs if not r.claimed)

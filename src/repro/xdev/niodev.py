@@ -194,7 +194,15 @@ class NIOTransport(Transport):
     # ------------------------------------------------------------------
     # writing (called by the engine under the per-destination lock)
 
-    def write(self, dest: ProcessID, segments) -> None:
+    def write(self, dest: ProcessID, segments, route: int = 0) -> None:
+        # *route* is accepted for signature uniformity with routed
+        # transports but ignored: one TCP bytestream per peer means two
+        # in-flight writes to the same dest would interleave bytes and
+        # corrupt framing, so niodev keeps ``routed = False`` and one
+        # channel lock per destination.  Endpoint demux for stream
+        # transports happens on the *receive* side instead — the input
+        # handler hands each decoded frame to the engine, whose
+        # ShardedMatcher picks the (context, tag) shard by content.
         if self._closed:
             raise XDevException("transport closed")
         sock = self._write_socks.get(dest.uid)

@@ -7,16 +7,26 @@ paper implements inside niodev, so that every pure-Python transport
 offers its pseudocode "as a blueprint for developing other thread-safe
 devices", and this engine is that blueprint made executable.
 
-Locking discipline (paper Section IV-A):
+Locking discipline (paper Section IV-A, endpoint-sharded):
 
-* ``receive-communication-sets`` lock — guards the pending-recv set and
-  the unexpected-message store (Figs 4, 5, 7, 8).
+* ``receive-communication-sets`` — the paper's single lock, now split
+  across the :class:`~repro.xdev.matching.ShardedMatcher`'s per-shard
+  locks (one per endpoint; wildcard receives take the global all-shard
+  path).  ``REPRO_ENDPOINTS=1`` reproduces the paper's single lock.
 * ``send-communication-sets`` lock — guards the pending-send set
   (Figs 6, 8).
-* one **channel lock per destination** — serializes writes to a peer;
-  "every thread that tries to write a message first acquires the
-  associated lock".
-* No lock for reading: only the input-handler thread receives.
+* a ``rendezvous-ids`` lock — guards the recv-id table and active-RTS
+  set (id-addressed state, not part of any matching shard).
+* **channel locks per (destination, route shard)** — serialize writes
+  to a peer; "every thread that tries to write a message first
+  acquires the associated lock".  On routed transports (smdev's
+  per-endpoint inboxes) frames with different content routes commute,
+  so each (dest, shard) pair gets its own lock; on stream transports
+  (niodev sockets) all routes share the dest's single lock because
+  socket bytes must not interleave.
+* No lock for reading: input-handler threads (one per endpoint inbox
+  on smdev) demultiplex frames by content route, so two handlers never
+  touch the same matching shard's stream.
 
 The two locks taken by a rendezvous send are acquired *one after the
 other*, never nested ("to avoid blocking other user threads sending
@@ -47,14 +57,21 @@ from repro.buffer.pool import BufferPool, DEFAULT_POOL, RawPool
 from repro.obs.metrics import MetricsRegistry, make_registry
 from repro.obs.tracing import dump_metrics, writer_for
 from repro.mpjdev.request import Request, Status
+from repro.xdev.completion import CompletionShards
 from repro.xdev.constants import ANY_SOURCE
+from repro.xdev.endpoints import (
+    EndpointBinding,
+    endpoint_count,
+    route_of,
+    route_of_id,
+)
 from repro.xdev.exceptions import (
     DeviceFinishedError,
     DuplicateControlFrameError,
     XDevException,
 )
 from repro.xdev.frames import FrameHeader, FrameType, encode_frame
-from repro.xdev.matching import ArrivedMessage, MessageQueues, PostedRecv
+from repro.xdev.matching import ArrivedMessage, PostedRecv, ShardedMatcher
 from repro.xdev.processid import ProcessID
 
 #: Default eager→rendezvous switch point; "typically less than 128
@@ -97,6 +114,15 @@ class Transport(abc.ABC):
     #: True when write() may reference segments after returning; such
     #: transports must implement ``write(dest, segments, on_delivered)``.
     retains_segments: bool = False
+
+    #: True when the transport demultiplexes frames by content route —
+    #: it accepts ``write(..., route=r)`` and delivers frames with
+    #: different routes independently (per-endpoint inboxes).  The
+    #: engine then shards channel locks per (dest, route shard); for
+    #: the default False (byte-stream transports like TCP) all routes
+    #: to one dest share a single channel lock, because interleaving
+    #: two writes would corrupt the stream.
+    routed: bool = False
 
     @abc.abstractmethod
     def start(self, engine: "ProtocolEngine") -> None:
@@ -142,6 +168,28 @@ class _PendingSend:
         self.dest = dest
 
 
+class MatchedMessage:
+    """A message claimed by ``improbe``/``mprobe``, awaiting ``mrecv``.
+
+    The claim removed it from matching, so it belongs exclusively to
+    the holder; :attr:`status` reports source/tag/size for sizing the
+    receive buffer.
+    """
+
+    __slots__ = ("status", "_msg")
+
+    def __init__(self, msg: ArrivedMessage, status: Status) -> None:
+        self.status = status
+        self._msg = msg
+
+    def consume(self) -> ArrivedMessage:
+        msg = self._msg
+        if msg is None:
+            raise XDevException("MatchedMessage already received")
+        self._msg = None
+        return msg
+
+
 class ProtocolEngine:
     """Eager + rendezvous protocol state machine over a Transport."""
 
@@ -154,6 +202,7 @@ class ProtocolEngine:
         fork_rendezvous_writer: bool = True,
         metrics: MetricsRegistry | None = None,
         trace_label: str = "dev",
+        endpoints: int | None = None,
     ) -> None:
         self.my_pid = my_pid
         self.transport = transport
@@ -178,12 +227,23 @@ class ProtocolEngine:
         #: the configuration the paper warns can deadlock.
         self.fork_rendezvous_writer = fork_rendezvous_writer
 
-        # receive-communication-sets lock + its condition (probe blocks on it)
-        self._recv_lock = threading.Lock()
-        self._recv_cond = threading.Condition(self._recv_lock)
-        self._queues = MessageQueues()
+        #: Endpoint count (option > REPRO_ENDPOINTS env > default) and
+        #: the sticky round-robin thread → endpoint binding.
+        self.endpoints = endpoint_count(endpoints)
+        self._binding = EndpointBinding(self.endpoints)
+        #: Whether the transport demultiplexes by content route (smdev
+        #: per-endpoint inboxes); decides channel-lock sharding and
+        #: whether ``write`` receives the route.
+        self._routed = bool(getattr(transport, "routed", False))
+
+        # receive-communication-sets, sharded per endpoint (the seed's
+        # single lock + MessageQueues is the nshards=1 special case).
+        self._matcher = ShardedMatcher(self.endpoints)
         #: recv_id -> (Request, src, tag, context, send_id), for
-        #: rendezvous data addressed by id
+        #: rendezvous data addressed by id; with the active-RTS set,
+        #: id-addressed state outside any matching shard, under its own
+        #: rendezvous-ids lock.
+        self._rndz_lock = threading.Lock()
         self._rendezvous_recvs: dict[
             int, tuple[Request, ProcessID, int, int, int]
         ] = {}
@@ -195,14 +255,13 @@ class ProtocolEngine:
         self._send_lock = threading.Lock()
         self._pending_sends: dict[int, _PendingSend] = {}
 
-        # per-destination channel locks
-        self._channel_locks: dict[int, threading.Lock] = {}
+        # per-(destination, route shard) channel locks
+        self._channel_locks: dict[tuple[int, int], threading.Lock] = {}
         self._channel_locks_guard = threading.Lock()
 
-        # completed-request queue backing peek()
-        self._completed_lock = threading.Lock()
-        self._completed_cond = threading.Condition(self._completed_lock)
-        self._completed: deque[Request] = deque()
+        # completed-request shards backing peek(), one per endpoint
+        self._completions = CompletionShards(self.endpoints)
+        self._completions_lock = threading.Lock()
 
         self._ids = itertools.count(1)
         self._finished = False
@@ -229,9 +288,15 @@ class ProtocolEngine:
         self._h_send_latency = m.histogram("send.latency_us")
         self._h_recv_latency = m.histogram("recv.latency_us")
         self._h_lock_wait = m.histogram("channel_lock.wait_us")
+        #: Per-endpoint channel-lock wait histograms: the sharding win,
+        #: visible — with REPRO_ENDPOINTS=1 every wait lands in ep=0.
+        self._h_ep_lock_wait = [
+            m.histogram(f"ep.lock_wait_us{{ep={i}}}") for i in range(self.endpoints)
+        ]
         m.attach("engine", lambda: dict(self.stats))
         m.attach("matching", self._matching_counters)
         m.attach("queues", self.introspect_queues)
+        m.attach("endpoints", self.introspect_endpoints)
         m.attach("raw_pool", lambda: dict(self.raw_pool.stats))
         #: JSONL trace writer, created when REPRO_TRACE names a
         #: directory — every rank of every launcher/daemon job traces
@@ -241,13 +306,21 @@ class ProtocolEngine:
     # ------------------------------------------------------------------
     # plumbing
 
-    def channel_lock(self, dest: ProcessID) -> threading.Lock:
-        """The write lock for *dest*'s channel, created on first use."""
+    def channel_lock(self, dest: ProcessID, route: int = 0) -> threading.Lock:
+        """The write lock for *dest*'s channel, created on first use.
+
+        On a routed transport each (dest, route shard) gets its own
+        lock — writes on different routes land in different endpoint
+        inboxes and commute; on a stream transport every route maps to
+        shard 0, the seed's one-lock-per-destination discipline.
+        """
+        shard = route % self.endpoints if self._routed else 0
+        key = (dest.uid, shard)
         with self._channel_locks_guard:
-            lock = self._channel_locks.get(dest.uid)
+            lock = self._channel_locks.get(key)
             if lock is None:
                 lock = threading.Lock()
-                self._channel_locks[dest.uid] = lock
+                self._channel_locks[key] = lock
             return lock
 
     def _check_live(self) -> None:
@@ -268,36 +341,51 @@ class ProtocolEngine:
                 self._h_send_latency.observe(latency_us)
             else:
                 self._h_recv_latency.observe(latency_us)
-        with self._completed_cond:
+        # The completions counter stays exact (the watchdog's progress
+        # signal) under its own tiny lock; the request itself lands on
+        # its endpoint's completion shard.
+        with self._completions_lock:
             self.stats["completions"] += 1
-            self._completed.append(request)
-            self._completed_cond.notify_all()
+        self._completions.push(request, getattr(request, "endpoint", 0))
 
     def _write(
         self,
         dest: ProcessID,
         segments: list[bytes | memoryview],
         on_delivered: Optional[Callable[[], None]] = None,
+        route: int = 0,
     ) -> None:
-        """Write under the destination's channel lock.
+        """Write under the (destination, route shard) channel lock.
 
         *on_delivered* fires exactly once when the transport no longer
         references the segment memory: immediately after ``write``
         returns for consuming transports, or from the transport's own
         delivery path for retaining ones (queue transports, chaosdev).
+
+        *route* is the frame's content route (see
+        :mod:`repro.xdev.endpoints`): it picks the channel-lock shard
+        and, on routed transports, the destination endpoint inbox.
         """
-        lock = self.channel_lock(dest)
+        lock = self.channel_lock(dest, route)
         if self._metrics_on:
             t0 = time.monotonic()
             lock.acquire()
-            self._h_lock_wait.observe((time.monotonic() - t0) * 1e6)
+            wait_us = (time.monotonic() - t0) * 1e6
+            self._h_lock_wait.observe(wait_us)
+            self._h_ep_lock_wait[self._binding.current()].observe(wait_us)
         else:
             lock.acquire()
         try:
-            if on_delivered is not None and self.transport.retains_segments:
+            if self._routed:
+                if on_delivered is not None and self.transport.retains_segments:
+                    self.transport.write(dest, segments, on_delivered, route=route)
+                    return
+                self.transport.write(dest, segments, route=route)
+            elif on_delivered is not None and self.transport.retains_segments:
                 self.transport.write(dest, segments, on_delivered)
                 return
-            self.transport.write(dest, segments)
+            else:
+                self.transport.write(dest, segments)
         finally:
             lock.release()
         if on_delivered is not None:
@@ -324,6 +412,12 @@ class ProtocolEngine:
 
         request = self._track(Request(Request.SEND, buffer=buf))
         request.context, request.tag, request.peer = context, tag, dest
+        ep = self._binding.current()
+        request.endpoint = ep
+        # Content route: every frame of this (context, tag, src) stream
+        # takes the same channel-lock shard and destination inbox, so
+        # the non-overtaking rule holds structurally.
+        route = route_of(context, tag)
 
         if mode == MODE_SYNC:
             use_eager = False
@@ -346,13 +440,14 @@ class ProtocolEngine:
                 request.trace_id = next(self._ids)
                 tracer.emit(
                     "send.post", id=request.trace_id, peer=dest.uid,
-                    tag=tag, ctx=context, size=buf.size, proto="eager",
+                    tag=tag, ctx=context, size=buf.size, proto="eager", ep=ep,
                 )
             payload, release = self._stable_segments(segments, wire_len)
             self._write(
                 dest,
                 encode_frame(FrameType.EAGER, context, tag, payload=payload),
                 on_delivered=release,
+                route=route,
             )
             request.complete(Status(source=self.my_pid, tag=tag, size=buf.size))
             if tracer is not None:
@@ -370,7 +465,7 @@ class ProtocolEngine:
         if tracer is not None:
             tracer.emit(
                 "send.post", id=send_id, peer=dest.uid,
-                tag=tag, ctx=context, size=buf.size, proto="rndz",
+                tag=tag, ctx=context, size=buf.size, proto="rndz", ep=ep,
             )
         with self._send_lock:
             self._pending_sends[send_id] = _PendingSend(
@@ -378,12 +473,15 @@ class ProtocolEngine:
             )
         # The RTS advertises the message payload size in the (otherwise
         # unused) recv_id header field so probes can report an accurate
-        # count before the data transfer happens.
+        # count before the data transfer happens.  It shares the data
+        # stream's route: RTS frames must not overtake eager frames of
+        # the same stream.
         self._write(
             dest,
             encode_frame(
                 FrameType.RTS, context, tag, send_id=send_id, recv_id=buf.size
             ),
+            route=route,
         )
         if tracer is not None:
             tracer.emit("rts.out", id=send_id, peer=dest.uid)
@@ -437,58 +535,69 @@ class ProtocolEngine:
         src_uid = src.uid if isinstance(src, ProcessID) else int(src)
         request = self._track(Request(Request.RECV, buffer=buf))
         request.context, request.tag, request.peer = context, tag, src
+        request.endpoint = self._binding.current()
 
         posted = PostedRecv(request=request, context=context, tag=tag, src_uid=src_uid)
-        rts_to_answer: Optional[ArrivedMessage] = None
-        eager_msg: Optional[ArrivedMessage] = None
-        recv_id = 0
 
         tracer = self.tracer
         if tracer is not None:
             request.trace_id = next(self._ids)
             tracer.emit(
-                "recv.post", id=request.trace_id, peer=src_uid, tag=tag, ctx=context
+                "recv.post", id=request.trace_id, peer=src_uid, tag=tag,
+                ctx=context, ep=request.endpoint,
             )
 
-        # Figs 4 and 7: lock receive-communication-sets; match-or-add.
-        with self._recv_lock:
-            msg = self._queues.post_recv(posted)
-            if msg is not None:
-                if msg.is_rts:
-                    recv_id = next(self._ids)
-                    self._rendezvous_recvs[recv_id] = (
-                        request,
-                        msg.src_pid,
-                        msg.tag,
-                        msg.context,
-                        msg.send_id,
-                    )
-                    rts_to_answer = msg
-                else:
-                    eager_msg = msg
-
-        if eager_msg is not None:
+        # Figs 4 and 7: match-or-add under the receive's shard lock
+        # (or the all-shard wildcard path).
+        msg = self._matcher.post_recv(posted)
+        if msg is None:
+            return request
+        if msg.is_rts:
+            # Fig. 7: receive sets unlocked, THEN register the
+            # rendezvous id and answer with ready-to-recv — the user
+            # thread answers the RTS.
+            recv_id = self._register_rendezvous_recv(request, msg)
+            self._answer_rts(msg, recv_id, request.trace_id)
+        else:
             # Fig. 4: copy data from input-buffer into user-buffer.
-            self._deliver(request, buf, eager_msg)
-        elif rts_to_answer is not None:
-            # Fig. 7: unlock receive sets, THEN lock src channel and
-            # send ready-to-recv — the user thread answers the RTS.
-            self._write(
-                rts_to_answer.src_pid,
-                encode_frame(
-                    FrameType.RTR,
-                    rts_to_answer.context,
-                    rts_to_answer.tag,
-                    send_id=rts_to_answer.send_id,
-                    recv_id=recv_id,
-                ),
-            )
-            if tracer is not None:
-                tracer.emit(
-                    "rtr.out", id=request.trace_id,
-                    peer=rts_to_answer.src_uid,
-                )
+            self._deliver(request, buf, msg)
         return request
+
+    def _register_rendezvous_recv(
+        self, request: Request, rts: ArrivedMessage
+    ) -> int:
+        """Allocate a recv id and park *request* for the data frame."""
+        recv_id = next(self._ids)
+        with self._rndz_lock:
+            self._rendezvous_recvs[recv_id] = (
+                request,
+                rts.src_pid,
+                rts.tag,
+                rts.context,
+                rts.send_id,
+            )
+        return recv_id
+
+    def _answer_rts(
+        self, rts: ArrivedMessage, recv_id: int, trace_id: Optional[int]
+    ) -> None:
+        """Send ready-to-recv for a matched RTS (Fig. 7 / Fig. 8)."""
+        # RTR frames are id-addressed: route by the send id so the
+        # answer always takes the same path regardless of which thread
+        # sends it.
+        self._write(
+            rts.src_pid,
+            encode_frame(
+                FrameType.RTR,
+                rts.context,
+                rts.tag,
+                send_id=rts.send_id,
+                recv_id=recv_id,
+            ),
+            route=route_of_id(rts.send_id),
+        )
+        if self.tracer is not None:
+            self.tracer.emit("rtr.out", id=trace_id, peer=rts.src_uid)
 
     def recv(self, buf: Buffer, src: ProcessID | int, tag: int, context: int) -> Status:
         return self.irecv(buf, src, tag, context).wait()
@@ -546,21 +655,71 @@ class ProtocolEngine:
     ) -> Optional[Status]:
         self._check_live()
         src_uid = src.uid if isinstance(src, ProcessID) else int(src)
-        with self._recv_lock:
-            msg = self._queues.find_message(context, tag, src_uid)
-            if msg is None:
-                return None
-            return Status(source=msg.src_pid, tag=msg.tag, size=msg.size)
+        msg = self._matcher.find_message(context, tag, src_uid)
+        if msg is None:
+            return None
+        return Status(source=msg.src_pid, tag=msg.tag, size=msg.size)
 
     def probe(self, src: ProcessID | int, tag: int, context: int) -> Status:
         self._check_live()
         src_uid = src.uid if isinstance(src, ProcessID) else int(src)
-        with self._recv_cond:
-            while True:
-                msg = self._queues.find_message(context, tag, src_uid)
-                if msg is not None:
-                    return Status(source=msg.src_pid, tag=msg.tag, size=msg.size)
-                self._recv_cond.wait()
+        msg = self._matcher.wait_message(context, tag, src_uid)
+        return Status(source=msg.src_pid, tag=msg.tag, size=msg.size)
+
+    # ------------------------------------------------------------------
+    # matched probing — the atomic probe-then-recv
+
+    def improbe(
+        self, src: ProcessID | int, tag: int, context: int
+    ) -> Optional["MatchedMessage"]:
+        """Probe-and-claim: like ``iprobe``, but the observed message
+        is atomically removed from matching, so no concurrent receive
+        on another thread can consume it first.  Receive the claimed
+        message with :meth:`mrecv`.
+        """
+        self._check_live()
+        src_uid = src.uid if isinstance(src, ProcessID) else int(src)
+        msg = self._matcher.claim_message(context, tag, src_uid)
+        if msg is None:
+            return None
+        return MatchedMessage(
+            msg, Status(source=msg.src_pid, tag=msg.tag, size=msg.size)
+        )
+
+    def mprobe(
+        self, src: ProcessID | int, tag: int, context: int
+    ) -> "MatchedMessage":
+        """Blocking :meth:`improbe`."""
+        self._check_live()
+        src_uid = src.uid if isinstance(src, ProcessID) else int(src)
+        while True:
+            match = self.improbe(src, tag, context)
+            if match is not None:
+                return match
+            # Wait for a new unexpected arrival, then race to claim it.
+            self._matcher.wait_message(context, tag, src_uid)
+
+    def mrecv(self, match: "MatchedMessage", buf: Buffer) -> Request:
+        """Receive a message claimed by :meth:`improbe`/:meth:`mprobe`."""
+        self._check_live()
+        msg = match.consume()
+        request = self._track(Request(Request.RECV, buffer=buf))
+        request.context, request.tag = msg.context, msg.tag
+        request.peer = msg.src_pid
+        request.endpoint = self._binding.current()
+        if self.tracer is not None:
+            request.trace_id = next(self._ids)
+            tracer_ep = request.endpoint
+            self.tracer.emit(
+                "recv.post", id=request.trace_id, peer=msg.src_uid,
+                tag=msg.tag, ctx=msg.context, ep=tracer_ep, matched=True,
+            )
+        if msg.is_rts:
+            recv_id = self._register_rendezvous_recv(request, msg)
+            self._answer_rts(msg, recv_id, request.trace_id)
+        else:
+            self._deliver(request, buf, msg)
+        return request
 
     # ------------------------------------------------------------------
     # progress: peek()
@@ -571,19 +730,11 @@ class ProtocolEngine:
         "The peek() method returns the most recently completed Request
         object" (Section III-A) — hence the pop from the right.
         """
-        with self._completed_cond:
-            if not self._completed_cond.wait_for(
-                lambda: bool(self._completed), timeout=timeout
-            ):
-                raise TimeoutError("peek() timed out")
-            return self._completed.pop()
+        return self._completions.pop_latest(timeout=timeout)
 
     def drain_completed(self) -> list[Request]:
         """Remove and return all queued completed requests (tests)."""
-        with self._completed_cond:
-            out = list(self._completed)
-            self._completed.clear()
-            return out
+        return self._completions.drain()
 
     # ------------------------------------------------------------------
     # input handler — called by the transport's progress thread
@@ -649,89 +800,87 @@ class ProtocolEngine:
                 "eager.in", peer=src_pid.uid, tag=header.tag,
                 ctx=header.context, size=max(0, total - WIRE_HEADER_SIZE),
             )
-        matched: Optional[PostedRecv] = None
-        with self._recv_cond:
-            msg = ArrivedMessage(
-                context=header.context,
-                tag=header.tag,
-                src_uid=src_pid.uid,
-                # Payload size excluding the buffer wire header, so
-                # probe counts match what recv reports.
-                size=max(0, total - WIRE_HEADER_SIZE),
-                payload=None,
-                src_pid=src_pid,
-            )
-            matched = self._queues.arrive(msg)
-            if matched is not None:
-                # Delivered below, outside the lock, straight from the
-                # transport's segments — no intermediate copy.
-                msg.payload = segments
+        msg = ArrivedMessage(
+            context=header.context,
+            tag=header.tag,
+            src_uid=src_pid.uid,
+            # Payload size excluding the buffer wire header, so
+            # probe counts match what recv reports.
+            size=max(0, total - WIRE_HEADER_SIZE),
+            payload=None,
+            src_pid=src_pid,
+        )
+        adopted = owned
+
+        def stage_unexpected(m: ArrivedMessage) -> None:
+            # Runs under the shard lock, just before the message is
+            # indexed: once another thread can see it, its payload must
+            # already be stable.
+            nonlocal adopted
+            self.stats["unexpected_messages"] += 1
+            if owned is not None:
+                # Adopt the transport's scratch as the unexpected
+                # message's storage — no second copy.
+                m.payload = segments
+                m.storage = owned
+                adopted = None
             else:
-                self.stats["unexpected_messages"] += 1
-                if owned is not None:
-                    # Adopt the transport's scratch as the unexpected
-                    # message's storage — no second copy.
-                    msg.payload = segments
-                    msg.storage = owned
-                    owned = None
-                else:
-                    # The frame's memory belongs to the transport (it
-                    # is reclaimed once this handler returns): stage
-                    # the unexpected payload into stable pooled
-                    # scratch.  This is the eager protocol's "device
-                    # level memory" (Section IV-A.1), and the one copy
-                    # an unmatched eager message costs.
-                    stored = self.raw_pool.acquire(total)
-                    offset = 0
-                    for seg in segments:
-                        view = memoryview(seg).cast("B")
-                        stored[offset : offset + len(view)] = view
-                        offset += len(view)
-                    self.copy_stats.copied(total)
-                    msg.payload = [memoryview(stored)[:total]]
-                    msg.storage = stored
-                self._recv_cond.notify_all()
+                # The frame's memory belongs to the transport (it is
+                # reclaimed once this handler returns): stage the
+                # unexpected payload into stable pooled scratch.  This
+                # is the eager protocol's "device level memory"
+                # (Section IV-A.1), and the one copy an unmatched
+                # eager message costs.
+                stored = self.raw_pool.acquire(total)
+                offset = 0
+                for seg in segments:
+                    view = memoryview(seg).cast("B")
+                    stored[offset : offset + len(view)] = view
+                    offset += len(view)
+                self.copy_stats.copied(total)
+                m.payload = [memoryview(stored)[:total]]
+                m.storage = stored
+
+        matched = self._matcher.arrive(msg, on_store=stage_unexpected)
         if matched is not None:
+            # Delivered outside the shard lock, straight from the
+            # transport's segments — no intermediate copy.
+            msg.payload = segments
             self._deliver(matched.request, matched.request.buffer, msg)
-        return owned
+        return adopted
 
     def _handle_rts(self, src_pid: ProcessID, header: FrameHeader) -> None:
-        # Fig. 8, ready-to-send branch.
-        matched: Optional[PostedRecv] = None
-        recv_id = 0
-        with self._recv_cond:
-            # A duplicated RTS would claim (and forever wedge) a second
-            # posted receive; reject it before it can match anything.
-            rts_key = (src_pid.uid, header.send_id)
+        # Fig. 8, ready-to-send branch.  A duplicated RTS would claim
+        # (and forever wedge) a second posted receive; reject it before
+        # it can match anything.  Duplicates of one RTS share its
+        # content route, so they are serialized by its inbox handler —
+        # the check-then-add below cannot race with itself.
+        rts_key = (src_pid.uid, header.send_id)
+        with self._rndz_lock:
             if rts_key in self._active_rts:
                 self.stats["duplicate_control_frames"] += 1
                 raise DuplicateControlFrameError(
                     f"duplicate RTS send_id={header.send_id} from {src_pid}"
                 )
             self._active_rts.add(rts_key)
-            msg = ArrivedMessage(
-                context=header.context,
-                tag=header.tag,
-                src_uid=src_pid.uid,
-                # RTS frames advertise the payload size in recv_id.
-                size=header.recv_id,
-                send_id=header.send_id,
-                src_pid=src_pid,
-                is_rts=True,
-            )
-            matched = self._queues.arrive(msg)
-            if matched is not None:
-                recv_id = next(self._ids)
-                self._rendezvous_recvs[recv_id] = (
-                    matched.request,
-                    src_pid,
-                    header.tag,
-                    header.context,
-                    header.send_id,
-                )
-            else:
-                self.stats["unexpected_messages"] += 1
-                self._recv_cond.notify_all()
+        msg = ArrivedMessage(
+            context=header.context,
+            tag=header.tag,
+            src_uid=src_pid.uid,
+            # RTS frames advertise the payload size in recv_id.
+            size=header.recv_id,
+            send_id=header.send_id,
+            src_pid=src_pid,
+            is_rts=True,
+        )
+
+        def count_unexpected(m: ArrivedMessage) -> None:
+            self.stats["unexpected_messages"] += 1
+
+        matched = self._matcher.arrive(msg, on_store=count_unexpected)
+        recv_id = 0
+        if matched is not None:
+            recv_id = self._register_rendezvous_recv(matched.request, msg)
         if self.tracer is not None:
             self.tracer.emit(
                 "rts.in",
@@ -741,20 +890,7 @@ class ProtocolEngine:
         if matched is not None:
             # "unlock receive-communication-sets / lock src channel /
             # send ready-to-recv message to sender / unlock".
-            self._write(
-                src_pid,
-                encode_frame(
-                    FrameType.RTR,
-                    header.context,
-                    header.tag,
-                    send_id=header.send_id,
-                    recv_id=recv_id,
-                ),
-            )
-            if self.tracer is not None:
-                self.tracer.emit(
-                    "rtr.out", id=matched.request.trace_id, peer=src_pid.uid
-                )
+            self._answer_rts(msg, recv_id, matched.request.trace_id)
 
     def _handle_rtr(self, src_pid: ProcessID, header: FrameHeader) -> None:
         # Fig. 8, ready-to-receive branch: fork a rendez-write-thread.
@@ -788,6 +924,8 @@ class ProtocolEngine:
             # once the live segment views have been consumed.
             if tracer is not None:
                 tracer.emit("rndz.out", id=header.send_id, size=pending.size)
+            # RNDZ_DATA is id-addressed: route by recv id, matching
+            # the landing lookup on the receiving side.
             self._write(
                 pending.dest,
                 encode_frame(
@@ -798,6 +936,7 @@ class ProtocolEngine:
                     payload=pending.segments,
                 ),
                 on_delivered=on_delivered,
+                route=route_of_id(header.recv_id),
             )
 
         if self.fork_rendezvous_writer:
@@ -820,7 +959,7 @@ class ProtocolEngine:
         falls back to handing the payload to :meth:`handle_frame`,
         which reports the fault through the normal paths.
         """
-        with self._recv_lock:
+        with self._rndz_lock:
             entry = self._rendezvous_recvs.get(recv_id)
         if entry is None:
             return None
@@ -836,7 +975,7 @@ class ProtocolEngine:
         payload: memoryview | bytes | list | None,
         in_place: bool = False,
     ) -> None:
-        with self._recv_lock:
+        with self._rndz_lock:
             entry = self._rendezvous_recvs.pop(header.recv_id, None)
             if entry is not None:
                 self._active_rts.discard((src_pid.uid, entry[4]))
@@ -887,8 +1026,7 @@ class ProtocolEngine:
         self.transport.close()
         # Unexpected messages die with the device; return their pooled
         # scratch before auditing the pool for real leaks.
-        with self._recv_lock:
-            unexpected = list(self._queues.iter_unexpected())
+        unexpected = list(self._matcher.iter_unexpected())
         for msg in unexpected:
             self._release_message_storage(msg)
         self.raw_pool.check_leaks("device finish")
@@ -910,12 +1048,10 @@ class ProtocolEngine:
     # diagnostics
 
     def pending_recv_count(self) -> int:
-        with self._recv_lock:
-            return self._queues.pending_recv_count()
+        return self._matcher.pending_recv_count()
 
     def unexpected_count(self) -> int:
-        with self._recv_lock:
-            return self._queues.unexpected_count()
+        return self._matcher.unexpected_count()
 
     def pending_send_count(self) -> int:
         """Rendezvous sends awaiting their ready-to-recv."""
@@ -924,27 +1060,43 @@ class ProtocolEngine:
 
     def rendezvous_recv_count(self) -> int:
         """Rendezvous receives awaiting their data frame."""
-        with self._recv_lock:
+        with self._rndz_lock:
             return len(self._rendezvous_recvs)
 
     def _matching_counters(self) -> dict[str, int]:
-        with self._recv_lock:
-            return dict(self._queues.counters)
+        return self._matcher.counters()
 
     def introspect_queues(self) -> dict[str, int]:
-        """Live queue depths (the paper's communication sets), lock-consistent."""
-        with self._recv_lock:
-            posted = self._queues.pending_recv_count()
-            unexpected = self._queues.unexpected_count()
+        """Live queue depths (the paper's communication sets)."""
+        with self._rndz_lock:
             rndz_recvs = len(self._rendezvous_recvs)
         with self._send_lock:
             pending_sends = len(self._pending_sends)
-        with self._completed_lock:
-            completed_backlog = len(self._completed)
         return {
-            "posted_recvs": posted,
-            "unexpected_messages": unexpected,
+            "posted_recvs": self._matcher.pending_recv_count(),
+            "unexpected_messages": self._matcher.unexpected_count(),
             "pending_rendezvous_sends": pending_sends,
             "pending_rendezvous_recvs": rndz_recvs,
-            "completed_backlog": completed_backlog,
+            "completed_backlog": len(self._completions),
         }
+
+    def introspect_endpoints(self) -> dict[str, Any]:
+        """Per-endpoint live state: shard depths, completion backlogs.
+
+        Folded into ``device.introspect()`` and the metrics snapshot so
+        ``repro.obs`` tooling can break the device down by endpoint.
+        """
+        return {
+            "count": self.endpoints,
+            "bound_threads": self._binding.bound_threads(),
+            "matching_shards": self._matcher.depths(),
+            "wildcard_recvs": self._matcher.wildcard_depth(),
+            "completed_backlog": self._completions.depths(),
+            "completions": self._completions.totals(),
+            "probe_stats": dict(self._matcher.probe_stats),
+            "lock_wait_us": [h.snapshot() for h in self._h_ep_lock_wait],
+        }
+
+    def bind_endpoint(self, endpoint: int) -> int:
+        """Pin the calling thread to *endpoint* (benches, tests)."""
+        return self._binding.bind(endpoint)

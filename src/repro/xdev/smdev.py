@@ -9,9 +9,18 @@ transport is an in-process frame queue per rank.  (The real MPJ
 Express grew an ``smpdev`` along these lines in later releases.)
 
 Crucially, smdev runs the *same* protocol engine — eager/rendezvous,
-four-key matching, per-destination channel locks, one input-handler
-thread per rank — as niodev, so every protocol invariant is exercised
-deterministically without sockets.
+four-key matching, sharded channel locks, input-handler threads — as
+niodev, so every protocol invariant is exercised deterministically
+without sockets.
+
+Per-thread endpoints: each rank owns ``REPRO_ENDPOINTS`` inboxes, one
+per endpoint, each drained by its own input-handler thread.  A frame's
+inbox is chosen by its **content route** (see
+:mod:`repro.xdev.endpoints`), the same hash that picks its matching
+shard — so two handler threads never race on one traffic stream, and
+frames of one ``(context, tag, src)`` stream can never overtake each
+other.  With ``REPRO_ENDPOINTS=1`` this is byte-for-byte the seed's
+single-inbox, single-handler device.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import threading
 
 from repro.xdev.device import DeviceConfig, register_device
 from repro.xdev.base import ProtocolDevice
+from repro.xdev.endpoints import endpoint_count
 from repro.xdev.exceptions import ConnectionSetupError, XDevException
 from repro.xdev.frames import HEADER_SIZE, FrameHeader, FrameType
 from repro.xdev.processid import ProcessID
@@ -34,18 +44,24 @@ class SMFabric:
     launcher (:mod:`repro.runtime.launcher`) does this automatically.
     """
 
-    def __init__(self, nprocs: int) -> None:
+    def __init__(self, nprocs: int, endpoints: int | None = None) -> None:
         if nprocs < 1:
             raise ValueError("nprocs must be >= 1")
         self.nprocs = nprocs
+        #: Endpoint inboxes per rank (the REPRO_ENDPOINTS knob).
+        self.endpoints = endpoint_count(endpoints)
         self.pids = [ProcessID(address=("sm", rank)) for rank in range(nprocs)]
         self._uid_to_rank = {pid.uid: rank for rank, pid in enumerate(self.pids)}
-        # One unbounded inbound frame queue per rank, carrying
-        # ``(src_pid, segment list, delivery fence)`` items.  Segments
-        # are enqueued *by reference* — the zero-copy handoff — and the
-        # fence releases the sender's hold on that memory once the
-        # receiving input handler is done with the frame.
-        self.inboxes: list[queue.Queue] = [queue.Queue() for _ in range(nprocs)]
+        # ``endpoints`` unbounded inbound frame queues per rank — MPSC
+        # inboxes carrying ``(src_pid, segment list, delivery fence)``
+        # items.  Segments are enqueued *by reference* — the zero-copy
+        # handoff — and the fence releases the sender's hold on that
+        # memory once the receiving input handler is done with the
+        # frame.  ``inboxes[rank][route % endpoints]`` is the only
+        # queue a frame with that content route ever lands on.
+        self.inboxes: list[list[queue.Queue]] = [
+            [queue.Queue() for _ in range(self.endpoints)] for _ in range(nprocs)
+        ]
 
     def rank_of(self, pid: ProcessID) -> int:
         try:
@@ -62,9 +78,16 @@ class SMTransport(Transport):
     receiving rank's input handler has consumed the frame, at which
     point the delivery fence fires and the sender may reuse the
     memory.
+
+    The transport is **routed**: ``write`` takes the frame's content
+    route and enqueues on the destination's ``route % endpoints``
+    inbox.  The engine in turn shards its channel locks per
+    (dest, route shard), so sends on different routes to one peer no
+    longer serialize — the lock-convoy the seed path flatlines on.
     """
 
     retains_segments = True
+    routed = True
 
     _SHUTDOWN = object()
 
@@ -73,21 +96,26 @@ class SMTransport(Transport):
         self._rank = rank
         self._my_pid = fabric.pids[rank]
         self._engine: ProtocolEngine | None = None
-        self._thread: threading.Thread | None = None
+        self._threads: list[threading.Thread] = []
         self._closed = False
         #: Contained per-frame errors (diagnostics).
         self.errors: list[Exception] = []
 
     def start(self, engine: ProtocolEngine) -> None:
         self._engine = engine
-        self._thread = threading.Thread(
-            target=self._input_handler,
-            name=f"smdev-input-handler-{self._rank}",
-            daemon=True,
-        )
-        self._thread.start()
+        # One input-handler thread per endpoint inbox: the paper's "one
+        # input handler per rank", multiplied by the endpoint count.
+        for ep, inbox in enumerate(self._fabric.inboxes[self._rank]):
+            thread = threading.Thread(
+                target=self._input_handler,
+                args=(inbox,),
+                name=f"smdev-input-handler-{self._rank}.{ep}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
 
-    def write(self, dest: ProcessID, segments, on_delivered=None) -> None:
+    def write(self, dest: ProcessID, segments, on_delivered=None, route: int = 0) -> None:
         if self._closed:
             raise XDevException("transport closed")
         # Enqueue by reference: every payload byte "moves" into the
@@ -97,13 +125,11 @@ class SMTransport(Transport):
             payload_len = sum(len(s) for s in segments) - HEADER_SIZE
             if payload_len > 0:
                 engine.copy_stats.moved(payload_len)
-        self._fabric.inboxes[self._fabric.rank_of(dest)].put(
-            (self._my_pid, segments, on_delivered)
-        )
+        inboxes = self._fabric.inboxes[self._fabric.rank_of(dest)]
+        inboxes[route % len(inboxes)].put((self._my_pid, segments, on_delivered))
 
-    def _input_handler(self) -> None:
+    def _input_handler(self, inbox: queue.Queue) -> None:
         """The progress engine: pop frames, hand them to the protocol."""
-        inbox = self._fabric.inboxes[self._rank]
         while True:
             item = inbox.get()
             if item is SMTransport._SHUTDOWN:
@@ -147,8 +173,10 @@ class SMTransport(Transport):
 
     def introspect(self) -> dict:
         """Inbox backlog: frames enqueued but not yet handled."""
+        depths = [q.qsize() for q in self._fabric.inboxes[self._rank]]
         return {
-            "inbox_depth": self._fabric.inboxes[self._rank].qsize(),
+            "inbox_depth": sum(depths),
+            "inbox_depths": depths,
             "frame_errors": len(self.errors),
         }
 
@@ -156,9 +184,12 @@ class SMTransport(Transport):
         if self._closed:
             return
         self._closed = True
-        self._fabric.inboxes[self._rank].put(SMTransport._SHUTDOWN)
-        if self._thread is not None and self._thread is not threading.current_thread():
-            self._thread.join(timeout=5)
+        for inbox in self._fabric.inboxes[self._rank]:
+            inbox.put(SMTransport._SHUTDOWN)
+        current = threading.current_thread()
+        for thread in self._threads:
+            if thread is not current:
+                thread.join(timeout=5)
 
 
 @register_device("smdev")
@@ -178,6 +209,11 @@ class SMDevice(ProtocolDevice):
             raise ConnectionSetupError(
                 f"rank {args.rank} out of range for fabric of {fabric.nprocs}"
             )
+        # The engine's matching shards must line up with the fabric's
+        # inbox count so route demux and matching demux agree.
+        options = dict(args.options or {})
+        options.setdefault("endpoints", fabric.endpoints)
+        args.options = options
         my_pid = fabric.pids[args.rank]
         transport = SMTransport(fabric, args.rank)
         return my_pid, list(fabric.pids), transport

@@ -1,0 +1,191 @@
+"""Regression tests for the probe/recv race (improbe/mprobe/mrecv).
+
+A plain ``iprobe``/``probe`` only *observes* a matched message: between
+the probe and the follow-up ``recv`` another thread can consume it, so
+the "probe for size, then receive" idiom deadlocks under
+``MPI_THREAD_MULTIPLE`` — the classic ANY_SOURCE probe race.  The fix
+is the matched-probe family: ``improbe``/``mprobe`` atomically *claim*
+the message under the matching shard's lock and ``mrecv`` receives the
+claimed handle, so the pair is indivisible.
+
+These tests pin the device-level contract on smdev with sharding on
+(and the seed's single-endpoint path for the atomicity storm).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.buffer import Buffer
+from repro.xdev import new_instance
+from repro.xdev.constants import ANY_SOURCE, ANY_TAG
+from repro.xdev.device import DeviceConfig
+from repro.xdev.smdev import SMFabric
+
+
+def make_smdev_job(nprocs=2, endpoints=None):
+    fabric = SMFabric(nprocs, endpoints=endpoints)
+    devices = [new_instance("smdev") for _ in range(nprocs)]
+    for rank, dev in enumerate(devices):
+        dev.init(DeviceConfig(rank=rank, nprocs=nprocs, fabric=fabric))
+    return devices, fabric.pids
+
+
+def send_buffer(value):
+    buf = Buffer()
+    buf.write(np.array([value], dtype=np.int64))
+    return buf
+
+
+def read_one(buf):
+    return int(buf.read_section()[0])
+
+
+@pytest.fixture(params=[1, 4])
+def probe_job(request):
+    devices, pids = make_smdev_job(2, endpoints=request.param)
+    yield devices, pids
+    for d in devices:
+        d.finish()
+
+
+class TestMatchedProbeBasics:
+    def test_improbe_misses_then_claims(self, probe_job):
+        devices, pids = probe_job
+        assert devices[1].improbe(pids[0], 3, 0) is None
+        devices[0].send(send_buffer(42), pids[1], 3, 0)
+        devices[1].probe(pids[0], 3, 0)  # arrival visible
+        match = devices[1].improbe(pids[0], 3, 0)
+        assert match is not None
+        assert match.status.tag == 3
+        assert match.status.source.uid == pids[0].uid
+        # The claim removed it from matching: nothing left to probe.
+        assert devices[1].iprobe(pids[0], 3, 0) is None
+        rbuf = Buffer()
+        devices[1].mrecv(match, rbuf).wait(timeout=10)
+        assert read_one(rbuf) == 42
+
+    def test_iprobe_remains_nonconsuming(self, probe_job):
+        devices, pids = probe_job
+        devices[0].send(send_buffer(7), pids[1], 1, 0)
+        devices[1].probe(pids[0], 1, 0)
+        assert devices[1].iprobe(pids[0], 1, 0) is not None
+        assert devices[1].iprobe(pids[0], 1, 0) is not None  # still there
+        rbuf = Buffer()
+        devices[1].recv(rbuf, pids[0], 1, 0)
+        assert read_one(rbuf) == 7
+
+    def test_mprobe_blocks_until_arrival(self, probe_job):
+        devices, pids = probe_job
+        out = {}
+
+        def prober():
+            match = devices[1].mprobe(ANY_SOURCE, 9, 0)
+            rbuf = Buffer()
+            devices[1].mrecv(match, rbuf).wait(timeout=10)
+            out["value"] = read_one(rbuf)
+
+        t = threading.Thread(target=prober, daemon=True)
+        t.start()
+        devices[0].send(send_buffer(99), pids[1], 9, 0)
+        t.join(20)
+        assert out == {"value": 99}
+
+    def test_mrecv_handle_single_use(self, probe_job):
+        devices, pids = probe_job
+        devices[0].send(send_buffer(1), pids[1], 2, 0)
+        match = devices[1].mprobe(pids[0], 2, 0)
+        devices[1].mrecv(match, Buffer()).wait(timeout=10)
+        with pytest.raises(Exception, match="already received"):
+            devices[1].mrecv(match, Buffer())
+
+    def test_mprobe_rendezvous_message(self, probe_job):
+        """Claiming an RTS works too: mrecv drives the rendezvous."""
+        devices, pids = probe_job
+        big = np.arange(50_000, dtype=np.int64)
+        buf = Buffer(capacity=big.nbytes + 64)
+        buf.write(big)
+        sreq = devices[0].isend(buf, pids[1], 5, 0)
+        match = devices[1].mprobe(pids[0], 5, 0)
+        assert match.status.size >= big.nbytes
+        rbuf = Buffer()
+        devices[1].mrecv(match, rbuf).wait(timeout=20)
+        sreq.wait(timeout=20)
+        assert np.array_equal(rbuf.read_section(), big)
+
+
+class TestProbeRaceRegression:
+    """The race itself: many threads, one stream of ANY_SOURCE traffic."""
+
+    @pytest.mark.parametrize("endpoints", [1, 4])
+    def test_mprobe_mrecv_storm_no_lost_claims(self, endpoints):
+        """N receiver threads all mprobe/mrecv the same (tag, context)
+        stream.  With plain probe+recv this deadlocks (two threads
+        probe the same message, one recv starves); matched probes must
+        hand every message to exactly one thread, no stalls."""
+        devices, pids = make_smdev_job(2, endpoints=endpoints)
+        nthreads, total = 4, 60
+        received = []
+        received_lock = threading.Lock()
+        stop = object()
+        errors = []
+        try:
+            def receiver():
+                try:
+                    while True:
+                        match = devices[1].mprobe(ANY_SOURCE, 5, 0)
+                        rbuf = Buffer()
+                        devices[1].mrecv(match, rbuf).wait(timeout=30)
+                        value = read_one(rbuf)
+                        if value < 0:
+                            return
+                        with received_lock:
+                            received.append(value)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=receiver, daemon=True)
+                for _ in range(nthreads)
+            ]
+            for t in threads:
+                t.start()
+            for i in range(total):
+                devices[0].send(send_buffer(i), pids[1], 5, 0)
+            for _ in range(nthreads):  # poison pills
+                devices[0].send(send_buffer(-1), pids[1], 5, 0)
+            for t in threads:
+                t.join(60)
+            assert not any(t.is_alive() for t in threads), "claim starved"
+            assert not errors, errors
+            assert sorted(received) == list(range(total))
+        finally:
+            for d in devices:
+                d.finish()
+
+    def test_improbe_any_tag_claims_what_iprobe_observes(self):
+        """ANY_TAG probes cross shards.  Distinct tags are distinct
+        streams, so their relative arrival order is scheduling-defined —
+        but iprobe and improbe must agree on which message is earliest,
+        and every message is claimed exactly once."""
+        devices, pids = make_smdev_job(2, endpoints=4)
+        try:
+            for i in range(4):
+                devices[0].send(send_buffer(i), pids[1], 10 + i, 0)
+            for i in range(4):
+                devices[1].probe(pids[0], 10 + i, 0)
+            claimed = []
+            for _ in range(4):
+                observed = devices[1].iprobe(ANY_SOURCE, ANY_TAG, 0)
+                match = devices[1].improbe(ANY_SOURCE, ANY_TAG, 0)
+                assert match is not None
+                assert match.status.tag == observed.tag
+                rbuf = Buffer()
+                devices[1].mrecv(match, rbuf).wait(timeout=10)
+                claimed.append((match.status.tag, read_one(rbuf)))
+            assert sorted(claimed) == [(10 + i, i) for i in range(4)]
+            assert devices[1].improbe(ANY_SOURCE, ANY_TAG, 0) is None
+        finally:
+            for d in devices:
+                d.finish()

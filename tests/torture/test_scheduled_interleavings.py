@@ -37,7 +37,7 @@ class TestScheduleReplay:
             assert read_one(rbuf) == i
         choices = seeded_schedule.schedule.choices
         assert choices, "every delivery should consult the schedule"
-        assert all(0 <= idx < n for _rank, idx, n in choices)
+        assert all(0 <= idx < n for _rank, idx, n, _ep in choices)
 
     def test_single_threaded_traffic_replays_identically(self, chaos_seed):
         """With single-file traffic the delivered sequence of schedule

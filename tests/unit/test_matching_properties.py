@@ -166,3 +166,150 @@ def test_no_entry_ever_double_matched(sequence):
             if r is not None:
                 assert not any(x is r for x in matched_recvs)
                 matched_recvs.append(r)
+
+
+# ----------------------------------------------------------------------
+# ShardedMatcher: the endpoint-sharded matcher against the same model
+#
+# The sharded matcher distributes streams over ``route_of(context, tag)
+# % nshards`` queues plus a wildcard domain, with a global seqno order
+# spanning all of them.  Externally it must be indistinguishable from
+# one big linear-scan queue — for ANY sharding degree, including the
+# degenerate nshards=1 seed path.
+
+from repro.xdev.matching import ShardedMatcher  # noqa: E402
+
+nshards_st = st.sampled_from([1, 2, 4])
+
+
+@given(nshards_st, ops)
+@settings(max_examples=150, deadline=None)
+def test_sharded_matcher_equals_linear_scan(nshards, sequence):
+    """Sharding is an implementation detail: match decisions (including
+    ANY_SOURCE within a shard and ANY_TAG across shards) must equal the
+    global linear scan's, and the global counts must agree."""
+    real = ShardedMatcher(nshards)
+    ref = ReferenceQueues()
+    for is_recv, context, tag, src in sequence:
+        if is_recv:
+            got = real.post_recv(
+                PostedRecv(Request(Request.RECV), context, tag, src)
+            )
+            expected = ref.post_recv(
+                PostedRecv(Request(Request.RECV), context, tag, src)
+            )
+        else:
+            tag_c = 0 if tag == ANY_TAG else tag
+            src_c = 0 if src == ANY_SOURCE else src
+            got = real.arrive(
+                ArrivedMessage(context, tag_c, src_c, 1, b"", src_pid=ProcessID(uid=src_c))
+            )
+            expected = ref.arrive(
+                ArrivedMessage(context, tag_c, src_c, 1, b"", src_pid=ProcessID(uid=src_c))
+            )
+        assert (got is None) == (expected is None)
+        if got is not None:
+            assert (got.context, got.tag, getattr(got, "src_uid", None)) == (
+                expected.context,
+                expected.tag,
+                getattr(expected, "src_uid", None),
+            )
+    assert real.pending_recv_count() == len(ref.recvs)
+    assert real.unexpected_count() == len(ref.msgs)
+
+
+@given(nshards_st, ops, probes)
+@settings(max_examples=100, deadline=None)
+def test_sharded_find_and_claim_agree_with_reference(
+    nshards, sequence, probe_list
+):
+    """``find_message`` (iprobe) stays non-consuming and agrees with
+    the linear scan; ``claim_message`` (improbe) consumes exactly the
+    message the scan would pick — earliest by global arrival order,
+    even when candidates live in different shards (ANY_TAG)."""
+    real = ShardedMatcher(nshards)
+    ref = ReferenceQueues()
+    for is_recv, context, tag, src in sequence:
+        if is_recv:
+            real.post_recv(PostedRecv(Request(Request.RECV), context, tag, src))
+            ref.post_recv(PostedRecv(Request(Request.RECV), context, tag, src))
+        else:
+            tag_c = 0 if tag == ANY_TAG else tag
+            src_c = 0 if src == ANY_SOURCE else src
+            real.arrive(
+                ArrivedMessage(context, tag_c, src_c, 1, b"", src_pid=ProcessID(uid=src_c))
+            )
+            ref.arrive(
+                ArrivedMessage(context, tag_c, src_c, 1, b"", src_pid=ProcessID(uid=src_c))
+            )
+
+    def ref_first(context, tag, src):
+        return next(
+            (
+                m
+                for m in ref.msgs
+                if m.context == context
+                and (tag == ANY_TAG or m.tag == tag)
+                and (src == ANY_SOURCE or m.src_uid == src)
+            ),
+            None,
+        )
+
+    for context, tag, src in probe_list:
+        before = real.unexpected_count()
+        found = real.find_message(context, tag, src)
+        expected = ref_first(context, tag, src)
+        assert (found is None) == (expected is None)
+        assert real.unexpected_count() == before  # iprobe never consumes
+        # improbe removes exactly the entry the linear scan names.
+        claimed = real.claim_message(context, tag, src)
+        assert (claimed is None) == (expected is None)
+        if claimed is not None:
+            assert (claimed.context, claimed.tag, claimed.src_uid) == (
+                expected.context,
+                expected.tag,
+                expected.src_uid,
+            )
+            ref.msgs.remove(expected)
+            assert real.unexpected_count() == before - 1
+    assert real.unexpected_count() == len(ref.msgs)
+
+
+@given(nshards_st, st.integers(min_value=2, max_value=6))
+@settings(max_examples=50, deadline=None)
+def test_wildcard_receives_honor_global_arrival_order(nshards, narrivals):
+    """Messages stored in *different* shards (distinct tags), then an
+    ANY_TAG receive per message: each receive must claim the earliest
+    arrival still unclaimed — global seqno order, not per-shard."""
+    m = ShardedMatcher(nshards)
+    for i in range(narrivals):
+        assert (
+            m.arrive(ArrivedMessage(0, i, 0, 1, b"", src_pid=ProcessID(uid=0)))
+            is None
+        )
+    for i in range(narrivals):
+        got = m.post_recv(
+            PostedRecv(Request(Request.RECV), 0, ANY_TAG, ANY_SOURCE)
+        )
+        assert got is not None and got.tag == i
+    assert m.unexpected_count() == 0
+
+
+@given(nshards_st, st.integers(min_value=2, max_value=6))
+@settings(max_examples=50, deadline=None)
+def test_parked_wildcards_matched_in_post_order(nshards, nrecvs):
+    """Parked ANY_TAG receives are matched by later arrivals in the
+    order they were posted (MPI non-overtaking across shards)."""
+    m = ShardedMatcher(nshards)
+    recvs = [
+        PostedRecv(Request(Request.RECV), 0, ANY_TAG, ANY_SOURCE)
+        for _ in range(nrecvs)
+    ]
+    for r in recvs:
+        assert m.post_recv(r) is None
+    for i in range(nrecvs):
+        matched = m.arrive(
+            ArrivedMessage(0, i, 0, 1, b"", src_pid=ProcessID(uid=0))
+        )
+        assert matched is recvs[i]
+    assert m.pending_recv_count() == 0
