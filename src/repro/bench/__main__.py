@@ -105,10 +105,32 @@ def main(argv: list[str] | None = None) -> int:
         help="run the many-thread message-rate bench (endpoint-sharded vs "
              "single-endpoint engine) and print JSON; honors --quick/--out",
     )
+    parser.add_argument(
+        "--procdev", action="store_true",
+        help="run the cross-process procdev bench (ranks as OS processes "
+             "over shared-memory rings, vs the same workload on smdev "
+             "threads) and print JSON; honors --quick/--out",
+    )
     ns = parser.parse_args(argv)
 
     if ns.figures and ns.figures[0] == "tune-coll":
         return _tune_coll(ns)
+
+    if ns.procdev:
+        import json
+        from pathlib import Path
+
+        from repro.bench.procbench import run_procdev_bench
+
+        result = run_procdev_bench(
+            quick=ns.quick,
+            progress=lambda msg: print(f"# {msg}", file=sys.stderr),
+        )
+        text = json.dumps(result, indent=1)
+        print(text)
+        if ns.out:
+            Path(ns.out).write_text(text + "\n", encoding="utf-8")
+        return 0
 
     if ns.threads:
         import json

@@ -1,0 +1,142 @@
+"""Cross-process procdev benchmark: processes vs the GIL ceiling.
+
+``python -m repro.bench --procdev`` runs three cells with ranks as
+real OS processes (:func:`repro.runtime.localspawn.run_local_job`) and
+the identical workloads as smdev thread-ranks, then reports both side
+by side:
+
+* **pingpong-xproc** — two process-ranks, 1 KB…4 MB; the per-rank
+  copy-stats snapshots prove ``bytes_copied == 0`` for rendezvous
+  payloads landed across address spaces.
+* **flood** — pairs streaming 1 MB messages concurrently: the
+  aggregate-bandwidth cell.  Thread-ranks serialize on the GIL no
+  matter how many pairs run; process-ranks scale with cores.
+* **allreduce** — 4-rank collective rate.
+
+On a single-core host the process cells *lose* (same core, plus IPC
+and process-spawn overhead) — the committed ``BENCH_procdev.json``
+reports whatever the host measured, with the core count right next to
+it, exactly as the PR 5 thread bench documented the GIL ceiling it
+could not escape on one core.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Optional
+
+#: Ping-pong sizes for the cross-process sweep.
+XPROC_SIZES = [1024, 64 * 1024, 1 << 20, 4 << 20]
+
+
+def _worker_module() -> str:
+    from repro.bench import procworkers
+
+    return procworkers.__file__
+
+
+def _merge_rank_cells(results: list) -> dict:
+    """Per-size cells from rank 0's view + both ranks' copy stats."""
+    out = {}
+    r0 = results[0] or {}
+    r1 = results[1] or {}
+    for size, cell in r0.items():
+        merged = dict(cell)
+        merged["copy_stats_rank0"] = cell.get("copy_stats", {})
+        merged["copy_stats_rank1"] = (r1.get(size) or {}).get("copy_stats", {})
+        merged.pop("copy_stats", None)
+        merged["bytes_copied"] = sum(
+            s.get("bytes_copied", 0)
+            for s in (merged["copy_stats_rank0"], merged["copy_stats_rank1"])
+        )
+        out[size] = merged
+    return out
+
+
+def run_procdev_bench(
+    quick: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Run the procdev (processes) vs smdev (threads) comparison."""
+    from repro.runtime.launcher import run_spmd
+    from repro.runtime.localspawn import run_local_job
+    from repro.bench import procworkers
+
+    def say(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    module = _worker_module()
+    iters = 20 if quick else 100
+    flood_iters = 20 if quick else 100
+    flood_bytes = 1 << 20
+    ar_count = (1 << 20) // 8  # 1 MB of float64
+    ar_iters = 5 if quick else 20
+    nranks = 4
+
+    result: dict = {
+        "meta": {
+            "cpu_count": os.cpu_count(),
+            "quick": quick,
+            "note": (
+                "procdev cells run ranks as OS processes over shared-memory "
+                "rings; smdev cells run the identical workload as threads in "
+                "one interpreter. On a single-core host the process cells "
+                "pay IPC overhead for no parallelism — see docs/performance.md."
+            ),
+        }
+    }
+
+    say("pingpong: 2 process-ranks over shm rings")
+    job = run_local_job(
+        2, module, entry="pingpong", args=[XPROC_SIZES, iters], timeout=300
+    )
+    result["pingpong_xproc"] = _merge_rank_cells(job.results)
+    result["pingpong_xproc_job_copy_stats"] = (
+        (job.stats or {}).get("copy_stats", {})
+    )
+
+    say(f"flood: {nranks} process-ranks, {flood_bytes >> 20} MB messages")
+    job = run_local_job(
+        nranks, module, entry="flood",
+        args=[flood_bytes, flood_iters], timeout=300,
+    )
+    flood_proc = job.results[0]
+
+    say(f"flood: {nranks} thread-ranks (smdev), same workload")
+    flood_sm = run_spmd(
+        procworkers.flood, nranks, device="smdev",
+        args=(flood_bytes, flood_iters), timeout=300,
+    )[0]
+
+    ratio = None
+    if flood_sm["aggregate_MBps"]:
+        ratio = round(flood_proc["aggregate_MBps"] / flood_sm["aggregate_MBps"], 3)
+    result["flood_1MB"] = {
+        "procdev_processes": flood_proc,
+        "smdev_threads": flood_sm,
+        "procdev_over_smdev": ratio,
+    }
+
+    say(f"allreduce: {nranks} process-ranks, 1 MB float64")
+    job = run_local_job(
+        nranks, module, entry="allreduce",
+        args=[ar_count, ar_iters], timeout=300,
+    )
+    ar_proc = job.results[0]
+
+    say(f"allreduce: {nranks} thread-ranks (smdev), same workload")
+    ar_sm = run_spmd(
+        procworkers.allreduce, nranks, device="smdev",
+        args=(ar_count, ar_iters), timeout=300,
+    )[0]
+
+    ar_ratio = None
+    if ar_sm["rate_MBps"]:
+        ar_ratio = round(ar_proc["rate_MBps"] / ar_sm["rate_MBps"], 3)
+    result["allreduce_1MB"] = {
+        "procdev_processes": ar_proc,
+        "smdev_threads": ar_sm,
+        "procdev_over_smdev": ar_ratio,
+    }
+    return result

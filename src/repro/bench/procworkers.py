@@ -1,0 +1,131 @@
+"""Worker entry points for the cross-process procdev benchmark.
+
+These functions run *inside spawned rank processes* (launched by
+:func:`repro.runtime.localspawn.run_local_job` with this module's path)
+— and, for the apples-to-apples smdev comparison, also inside
+``run_spmd`` thread-ranks.  Each returns plain JSON-able numbers that
+ride home through the worker result sentinels.
+
+All timed loops use the buffer API on contiguous numpy arrays so the
+datapath is the zero-copy segment path, not pickle: the per-rank
+``copy_stats`` snapshots they return are the cross-address-space
+zero-copy proof (``bytes_copied == 0`` with megabytes moved).
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def pingpong(env, sizes, iterations):
+    """Rank0<->rank1 buffer ping-pong; per-size latency + copy stats."""
+    import numpy as np
+
+    comm = env.COMM_WORLD
+    rank = comm.Rank()
+    out = {}
+    for nbytes in sizes:
+        iters = max(1, int(iterations * min(1.0, (1 << 20) / max(nbytes, 1))))
+        buf = np.zeros(nbytes, dtype=np.uint8)
+        comm.Barrier()
+        # Quiesce: a dissemination barrier's last message can land
+        # *after* the barrier returns; give it time to be consumed so
+        # its staging bytes don't pollute the timed window's counters.
+        time.sleep(0.05)
+        env.device.copy_stats.reset()
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            if rank == 0:
+                comm.Send(buf, 0, nbytes, None, 1, 7)
+                comm.Recv(buf, 0, nbytes, None, 1, 8)
+            elif rank == 1:
+                comm.Recv(buf, 0, nbytes, None, 0, 7)
+                comm.Send(buf, 0, nbytes, None, 0, 8)
+        elapsed = time.perf_counter() - t0
+        # Snapshot before the closing barrier: its object-path control
+        # message would otherwise smear pickle staging bytes into the
+        # timed window's counters.
+        snap = env.device.copy_stats.snapshot()
+        # Hold off the barrier itself, too: the rank whose last op was
+        # a Send reaches it first, and its barrier frame would arrive
+        # at the peer — unexpected, hence staged with a copy — before
+        # the peer's own snapshot line runs.
+        time.sleep(0.05)
+        comm.Barrier()
+        if rank <= 1:
+            latency = elapsed / (2 * iters)
+            out[str(nbytes)] = {
+                "iterations": iters,
+                "latency_us": round(latency * 1e6, 2),
+                "throughput_MBps": round(nbytes / latency / 1e6, 2),
+                "copy_stats": snap,
+            }
+    return out
+
+
+def flood(env, nbytes, iterations):
+    """Neighbor pairs (0<->1, 2<->3, ...) stream concurrently.
+
+    Even ranks send *iterations* messages of *nbytes*, odd ranks
+    receive them; every pair runs at once, so the wall-clock measured
+    across the barrier pair is the *aggregate* view — the number that
+    the GIL caps for thread-ranks and per-core processes unlock.
+    """
+    import numpy as np
+
+    comm = env.COMM_WORLD
+    rank, size = comm.Rank(), comm.Size()
+    peer = rank ^ 1
+    buf = np.zeros(nbytes, dtype=np.uint8)
+    comm.Barrier()
+    time.sleep(0.05)  # quiesce straggler barrier frames (see pingpong)
+    env.device.copy_stats.reset()
+    t0 = time.perf_counter()
+    if peer < size:
+        if rank % 2 == 0:
+            for _ in range(iterations):
+                comm.Send(buf, 0, nbytes, None, peer, 3)
+        else:
+            for _ in range(iterations):
+                comm.Recv(buf, 0, nbytes, None, peer, 3)
+    snap = env.device.copy_stats.snapshot()  # own ops done; barrier excluded
+    comm.Barrier()
+    elapsed = time.perf_counter() - t0
+    pair_count = size // 2
+    total_bytes = pair_count * iterations * nbytes
+    return {
+        "nbytes": nbytes,
+        "iterations": iterations,
+        "pairs": pair_count,
+        "elapsed_s": round(elapsed, 4),
+        "aggregate_MBps": round(total_bytes / elapsed / 1e6, 2),
+        "copy_stats": snap,
+    }
+
+
+def allreduce(env, count, iterations):
+    """Job-wide Allreduce of *count* float64 elements, *iterations* times."""
+    import numpy as np
+
+    from repro.mpi.datatype import DOUBLE
+    from repro.mpi.op import SUM
+
+    comm = env.COMM_WORLD
+    rank, size = comm.Rank(), comm.Size()
+    send = np.full(count, float(rank + 1), dtype=np.float64)
+    recv = np.zeros(count, dtype=np.float64)
+    comm.Barrier()
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        comm.Allreduce(send, 0, recv, 0, count, DOUBLE, SUM)
+    elapsed = time.perf_counter() - t0
+    expected = sum(range(1, size + 1))
+    assert abs(recv[0] - expected) < 1e-9, (recv[0], expected)
+    nbytes = count * 8
+    per_op = elapsed / iterations
+    return {
+        "count": count,
+        "iterations": iterations,
+        "per_op_us": round(per_op * 1e6, 2),
+        "rate_MBps": round(nbytes / per_op / 1e6, 2),
+    }

@@ -9,9 +9,14 @@ wired together by the chosen device's fabric.
 Any device can back the job:
 
 * ``smdev`` (default) — in-process queues, deterministic, fast;
+* ``procdev`` — shared-memory rings (thread-ranks here; the same
+  datapath runs ranks as OS processes under ``mpjrun --local``);
 * ``niodev`` — real localhost TCP with the selector progress engine;
 * ``mxdev`` — the simulated Myrinet eXpress path;
 * ``ibisdev`` — the thread-per-message baseline.
+
+``device=None`` resolves through :func:`repro.xdev.device.default_device`,
+honouring the ``REPRO_DEVICE`` environment variable.
 """
 
 from __future__ import annotations
@@ -44,6 +49,10 @@ def _make_fabric(device: str, nprocs: int):
         from repro.xdev.smdev import SMFabric
 
         return SMFabric(nprocs), None
+    if device == "procdev":
+        from repro.xdev.procdev import ProcFabric
+
+        return ProcFabric(nprocs), None
     if device == "mxdev":
         from repro.xdev.mxdev import MXFabric
 
@@ -63,7 +72,7 @@ def _make_fabric(device: str, nprocs: int):
 def run_spmd(
     main: Callable[[MPJEnvironment], Any],
     nprocs: int,
-    device: str = "smdev",
+    device: Optional[str] = None,
     options: Optional[Mapping[str, Any]] = None,
     timeout: Optional[float] = 120.0,
     args: Sequence[Any] = (),
@@ -84,6 +93,10 @@ def run_spmd(
     """
     if nprocs < 1:
         raise ValueError("nprocs must be >= 1")
+    if device is None:
+        from repro.xdev.device import default_device
+
+        device = default_device()
     fabric, nio = _make_fabric(device, nprocs)
     tracers: list[Any] = [None] * nprocs
 

@@ -39,7 +39,20 @@ from repro.runtime.worker import RESULT_BEGIN, RESULT_END
 
 
 class JobError(Exception):
-    """The job could not be started or a worker failed."""
+    """The job could not be started or a worker failed.
+
+    ``job_id`` identifies the failed job when known; for local
+    shared-memory jobs (:mod:`repro.runtime.localspawn`) ``swept``
+    lists segment names the parent had to reap after a crashed rank
+    and ``leaked`` any that survived even the sweep (always empty
+    unless /dev/shm itself misbehaves) — leak audits assert on these.
+    """
+
+    def __init__(self, message: str, *, job_id: str | None = None) -> None:
+        super().__init__(message)
+        self.job_id = job_id
+        self.swept: list[str] = []
+        self.leaked: list[str] = []
 
 
 def parse_hostfile(path: str | Path) -> list[tuple[str, int]]:
@@ -76,6 +89,10 @@ class JobResult:
     stdouts: list[str]
     stderrs: list[str]
     exit_codes: list[int]
+    #: Job-wide merged device statistics (local shared-memory jobs:
+    #: per-rank copy-stats snapshots plus their totals); None when the
+    #: launch path doesn't collect them.
+    stats: Optional[dict] = field(default=None)
 
     @property
     def ok(self) -> bool:
@@ -245,7 +262,36 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--device", default="niodev")
     parser.add_argument("--loader", choices=["local", "remote"], default="local")
     parser.add_argument("--timeout", type=float, default=300.0)
+    parser.add_argument(
+        "--local",
+        action="store_true",
+        help="spawn ranks as local child processes (no daemons); implied "
+        "by --device procdev, whose ranks must share memory on one host",
+    )
     ns = parser.parse_args(argv)
+
+    if ns.local or ns.device == "procdev":
+        from repro.runtime.localspawn import run_local_job
+
+        try:
+            outcome = run_local_job(
+                ns.np,
+                ns.script,
+                entry=ns.entry,
+                device=ns.device if ns.device != "niodev" else "procdev",
+                timeout=ns.timeout,
+            )
+        except JobError as exc:
+            print(f"mpjrun: {exc}", file=sys.stderr)
+            return 1
+        for rank, out in enumerate(outcome.stdouts):
+            text = out.split(RESULT_BEGIN)[0].rstrip()
+            if text:
+                print(f"[rank {rank}] {text}")
+        print(f"job {outcome.job_id} finished; results: {outcome.results}")
+        if outcome.stats and outcome.stats.get("copy_stats"):
+            print(f"job copy stats: {outcome.stats['copy_stats']}")
+        return 0
 
     daemons = []
     if ns.hostfile:

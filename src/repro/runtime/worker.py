@@ -71,6 +71,16 @@ def main(argv: list[str] | None = None) -> int:
         print("usage: python -m repro.runtime.worker <config.json>", file=sys.stderr)
         return 2
     try:
+        import signal
+
+        # A terminated rank must still run atexit hooks: shared-memory
+        # segment owners unlink there (repro.shm.segment), and plain
+        # SIGTERM would skip them.  SystemExit turns the signal into an
+        # orderly interpreter shutdown.
+        signal.signal(signal.SIGTERM, lambda *_: sys.exit(143))
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+    try:
         config = json.loads(Path(argv[0]).read_text(encoding="utf-8"))
         return run_from_config(config)
     except Exception:

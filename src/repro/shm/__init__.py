@@ -1,0 +1,43 @@
+"""Cross-process shared-memory plumbing for the procdev transport.
+
+smdev proved the sharded engine is lock-clean, and PR 5's thread
+benchmark measured the hard ceiling: on the GIL, more threads never buy
+more bandwidth.  This package is the other half of the answer — ranks
+as OS *processes*, wired through ``multiprocessing.shared_memory``:
+
+* :mod:`repro.shm.segment` — :class:`ShmSegment`, a named segment
+  window whose handle pickles as ``(name, offset, length)`` and
+  reattaches in a peer process, plus the process-wide cleanup registry
+  that guarantees unlink-exactly-once at interpreter shutdown.
+* :mod:`repro.shm.ring` — :class:`SpscRing`, a fixed-slot
+  single-producer/single-consumer frame ring laid out directly in
+  shared memory, and :class:`Backoff`, the futex-style adaptive
+  spin-then-sleep waiter both sides poll with.
+* :mod:`repro.shm.arena` — :class:`SegmentArena`, the owner-side pool
+  of size-classed spill segments that carries every payload too large
+  for a ring slot (and every rendezvous payload — the cross-process
+  zero-copy landing path).
+* :mod:`repro.shm.bootstrap` — :class:`ShmBootstrap`, the job wiring:
+  one rings segment for all N×N directed rings plus the JSON-able
+  descriptor a spawned rank needs to attach, and the
+  :func:`~repro.shm.bootstrap.sweep` crash-cleanup that unlinks
+  leftovers by job prefix.
+"""
+
+from repro.shm.arena import SegmentArena
+from repro.shm.bootstrap import ShmBootstrap, active_segments, job_prefix, sweep
+from repro.shm.ring import Backoff, RingStalledError, SpscRing
+from repro.shm.segment import ShmSegment, cleanup_registry
+
+__all__ = [
+    "Backoff",
+    "RingStalledError",
+    "SegmentArena",
+    "ShmBootstrap",
+    "ShmSegment",
+    "SpscRing",
+    "active_segments",
+    "cleanup_registry",
+    "job_prefix",
+    "sweep",
+]

@@ -1,0 +1,177 @@
+"""Job-level shared-memory wiring for procdev.
+
+One :class:`ShmBootstrap` per job: a single shared segment holding all
+N×N directed SPSC rings (including each rank's self-ring, so self-sends
+take the identical datapath), plus the JSON-able *descriptor* a spawned
+rank needs to attach — segment handle, geometry, per-rank protocol
+uids, and the directory where ranks drop their stats snapshots for the
+parent to aggregate.
+
+Naming ties the whole job together: every segment the job creates —
+the rings block here, every arena spill segment in every rank — is
+named under :func:`job_prefix`, so :func:`active_segments` can audit
+and :func:`sweep` can reap leftovers by prefix alone.  That sweep is
+the last line of the leak defense: owners unlink on close, the atexit
+registry covers exceptional exits, and the spawning parent sweeps the
+prefix after reaping children to cover ranks killed with SIGKILL,
+which run no Python cleanup at all.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+from typing import Optional, Sequence
+
+from repro.shm.ring import SpscRing, ring_bytes
+from repro.shm.segment import NAME_PREFIX, ShmSegment, unlink_names
+
+#: Where POSIX shared memory surfaces as files on Linux.
+_SHM_DIR = "/dev/shm"
+
+
+def new_job_id() -> str:
+    """A short, filesystem-safe, unguessable job identifier."""
+    return f"{os.getpid():x}-{secrets.token_hex(3)}"
+
+
+def job_prefix(job_id: str) -> str:
+    """Name prefix shared by every segment belonging to *job_id*."""
+    return f"{NAME_PREFIX}-{job_id}"
+
+
+def active_segments(job_id: str) -> list[str]:
+    """Names of this job's segments still linked in /dev/shm."""
+    prefix = job_prefix(job_id) + "-"
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:  # pragma: no cover - non-Linux shm backends
+        return []
+    return sorted(name for name in entries if name.startswith(prefix))
+
+
+def sweep(job_id: str) -> list[str]:
+    """Unlink every leftover segment of *job_id*; returns the names.
+
+    Safe to run while surviving ranks still hold mappings: an unlinked
+    block stays mapped until the last close, only its name goes away.
+    """
+    return unlink_names(active_segments(job_id))
+
+
+def _align64(n: int) -> int:
+    return (n + 63) & ~63
+
+
+class ShmBootstrap:
+    """The rings segment plus everything a rank needs to attach to it."""
+
+    def __init__(
+        self,
+        segment: ShmSegment,
+        job_id: str,
+        nprocs: int,
+        nslots: int,
+        slot_bytes: int,
+        uids: Sequence[int],
+        stats_dir: Optional[str],
+    ) -> None:
+        self.segment = segment
+        self.job_id = job_id
+        self.nprocs = nprocs
+        self.nslots = nslots
+        self.slot_bytes = slot_bytes
+        self.uids = list(uids)
+        self.stats_dir = stats_dir
+        self._stride = _align64(ring_bytes(nslots, slot_bytes))
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def create(
+        cls,
+        job_id: str,
+        nprocs: int,
+        *,
+        nslots: int = 32,
+        slot_bytes: int = 16384,
+        uids: Optional[Sequence[int]] = None,
+        stats_dir: Optional[str] = None,
+    ) -> "ShmBootstrap":
+        """Create and own the rings segment for an N-rank job.
+
+        Fresh POSIX shm is zero-filled, which is exactly the initial
+        ring state (head == tail == 0), so no formatting pass is
+        needed.  *uids* are the ranks' protocol-level ProcessID uids;
+        they default to ``1..nprocs`` and must be unique within the
+        job because frame routing matches on them.
+        """
+        if nprocs < 1:
+            raise ValueError("nprocs must be >= 1")
+        if uids is None:
+            uids = list(range(1, nprocs + 1))
+        if len(set(uids)) != nprocs:
+            raise ValueError(f"need {nprocs} unique uids, got {uids!r}")
+        stride = _align64(ring_bytes(nslots, slot_bytes))
+        segment = ShmSegment.create(
+            nprocs * nprocs * stride, prefix=job_prefix(job_id)
+        )
+        return cls(segment, job_id, nprocs, nslots, slot_bytes, uids, stats_dir)
+
+    @classmethod
+    def attach(cls, descriptor: dict) -> "ShmBootstrap":
+        """Map the rings segment described by a parent's descriptor."""
+        name, offset, length = descriptor["segment"]
+        segment = ShmSegment.attach((name, int(offset), int(length)))
+        return cls(
+            segment,
+            descriptor["job_id"],
+            int(descriptor["nprocs"]),
+            int(descriptor["nslots"]),
+            int(descriptor["slot_bytes"]),
+            [int(u) for u in descriptor["uids"]],
+            descriptor.get("stats_dir"),
+        )
+
+    def descriptor(self) -> dict:
+        """JSON-able attach recipe, shipped to workers in their config."""
+        return {
+            "job_id": self.job_id,
+            "nprocs": self.nprocs,
+            "nslots": self.nslots,
+            "slot_bytes": self.slot_bytes,
+            "uids": list(self.uids),
+            "stats_dir": self.stats_dir,
+            "segment": list(self.segment.handle()),
+        }
+
+    # ------------------------------------------------------------------
+    # access
+
+    def ring(self, src: int, dst: int) -> SpscRing:
+        """The directed ring carrying frames from rank *src* to *dst*."""
+        if not (0 <= src < self.nprocs and 0 <= dst < self.nprocs):
+            raise IndexError(f"ring({src}, {dst}) in a {self.nprocs}-rank job")
+        offset = (src * self.nprocs + dst) * self._stride
+        view = self.segment.view(offset, self._stride)
+        return SpscRing(view, self.nslots, self.slot_bytes)
+
+    def arena_prefix(self) -> str:
+        """Name prefix arenas must use so the job sweep finds their spills."""
+        return job_prefix(self.job_id)
+
+    def close(self) -> None:
+        """Drop the mapping; the owning side also unlinks the segment."""
+        self.segment.close()
+
+    def introspect(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "nprocs": self.nprocs,
+            "nslots": self.nslots,
+            "slot_bytes": self.slot_bytes,
+            "segment": self.segment.name,
+            "segment_bytes": self.segment.length,
+            "owner": self.segment.owner,
+        }

@@ -1,0 +1,319 @@
+"""Named shared-memory segments with picklable cross-process handles.
+
+A :class:`ShmSegment` is a ``(name, offset, length)`` window onto a
+POSIX shared-memory block.  The *owner* (the process that created the
+block) is responsible for unlinking it exactly once; *attachers* map an
+existing block by name and only ever close their mapping.  Pickling a
+segment serializes just the handle, so a handle embedded in a frame
+reattaches in the receiving process — the mechanism procdev uses to
+extend the zero-copy landing contract across address spaces.
+
+Leak discipline (the part that has to survive crashes):
+
+* every owned block is recorded in the process-wide
+  :class:`CleanupRegistry`, whose ``atexit`` hook unlinks anything
+  still registered — unlink is guarded so double calls (explicit close
+  followed by the hook, or two racing finalizers) are no-ops;
+* attachments are *unregistered* from CPython's multiprocessing
+  ``resource_tracker``, which would otherwise believe each attaching
+  process owns the block and both warn and double-unlink it at exit
+  (Python < 3.13 has no ``track=False``);
+* a rank killed with SIGKILL runs neither — that hole is closed by the
+  job-level sweep in :mod:`repro.shm.bootstrap`, which the spawning
+  parent runs over the job's name prefix after reaping children.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import secrets
+import threading
+from multiprocessing import shared_memory
+from typing import Iterable, Optional
+
+#: Every segment name this codebase creates starts with this, so crash
+#: sweeps can recognize their own leftovers and never touch anything
+#: else living in /dev/shm.
+NAME_PREFIX = "repro-shm"
+
+_seq = itertools.count()
+_seq_lock = threading.Lock()
+
+
+def _next_name(prefix: str) -> str:
+    with _seq_lock:
+        n = next(_seq)
+    # pid + sequence uniquifies within a host; the random suffix keeps
+    # names unguessable across recycled pids.
+    return f"{prefix}-{os.getpid()}-{n}-{secrets.token_hex(4)}"
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Stop the resource tracker from 'owning' an attached block.
+
+    ``SharedMemory(name=...)`` on Python < 3.13 registers the mapping
+    with the multiprocessing resource tracker even when attaching, so
+    every attaching process would try to unlink the block at exit and
+    print "leaked shared_memory" warnings.  Ownership here is explicit
+    (creator unlinks, attachers close), so attachments are unregistered.
+
+    Exception: when this same process also *owns* the block (in-process
+    fabrics attach their own segments), the tracker holds exactly one
+    entry for the name, and ``unlink()`` will unregister it — removing
+    it here as well would make that later unregister a tracker error.
+    """
+    if _REGISTRY.owns(shm.name):
+        return
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+    except Exception:  # pragma: no cover - tracker absent/refactored
+        pass
+
+
+class CleanupRegistry:
+    """Process-wide record of owned segments; unlinks leftovers at exit.
+
+    ``register``/``forget`` bracket a block's owned lifetime.  The
+    ``atexit``-installed :meth:`cleanup` unlinks whatever is still
+    registered — the guarantee that a rank that dies mid-job with live
+    segments (an exception unwinding past device teardown) still
+    unlinks them, exactly once, with no resource-tracker involvement.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._owned: dict[str, shared_memory.SharedMemory] = {}
+        self._installed = False
+
+    def register(self, shm: shared_memory.SharedMemory) -> None:
+        with self._lock:
+            if not self._installed:
+                atexit.register(self.cleanup)
+                self._installed = True
+            self._owned[shm.name] = shm
+
+    def forget(self, name: str) -> bool:
+        """Drop *name* from the registry; True if it was registered.
+
+        The single-unlink guard: whoever successfully forgets the name
+        performs the unlink, everyone else sees False and does nothing.
+        """
+        with self._lock:
+            return self._owned.pop(name, None) is not None
+
+    def owned_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._owned)
+
+    def owns(self, name: str) -> bool:
+        with self._lock:
+            return name in self._owned
+
+    def cleanup(self) -> list[str]:
+        """Unlink every still-registered block; returns their names."""
+        with self._lock:
+            leftovers = list(self._owned.items())
+            self._owned.clear()
+        cleaned = []
+        for name, shm in leftovers:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - exported views at exit
+                pass
+            try:
+                shm.unlink()
+                cleaned.append(name)
+            except FileNotFoundError:
+                pass
+            except Exception:  # pragma: no cover - platform oddities
+                pass
+        return cleaned
+
+
+_REGISTRY = CleanupRegistry()
+
+
+def cleanup_registry() -> CleanupRegistry:
+    """The process-wide owned-segment registry (tests, diagnostics)."""
+    return _REGISTRY
+
+
+class ShmSegment:
+    """A window onto a named shared-memory block.
+
+    ``handle()`` → ``(name, offset, length)`` is the cross-process
+    identity; :meth:`attach` (and pickling, which round-trips through
+    the handle) maps the same physical pages in another process.
+    """
+
+    __slots__ = ("name", "offset", "length", "_shm", "_owner", "_views")
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        offset: int,
+        length: int,
+        owner: bool,
+    ) -> None:
+        self.name = shm.name
+        self.offset = offset
+        self.length = length
+        self._shm = shm
+        self._owner = owner
+        self._views: list[memoryview] = []
+
+    # ------------------------------------------------------------------
+    # construction
+
+    @classmethod
+    def create(cls, nbytes: int, prefix: str = NAME_PREFIX) -> "ShmSegment":
+        """Create and own a fresh block of at least *nbytes*."""
+        if nbytes < 1:
+            raise ValueError("segment size must be >= 1 byte")
+        shm = shared_memory.SharedMemory(
+            name=_next_name(prefix), create=True, size=nbytes
+        )
+        _REGISTRY.register(shm)
+        return cls(shm, 0, nbytes, owner=True)
+
+    @classmethod
+    def attach(cls, handle: tuple[str, int, int]) -> "ShmSegment":
+        """Map an existing block by handle (non-owning)."""
+        name, offset, length = handle
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm)
+        if offset < 0 or length < 0 or offset + length > shm.size:
+            shm.close()
+            raise ValueError(
+                f"handle {handle!r} overruns segment of {shm.size} bytes"
+            )
+        return cls(shm, offset, length, owner=False)
+
+    @classmethod
+    def attach_block(cls, name: str) -> "ShmSegment":
+        """Map a whole existing block by bare name (non-owning).
+
+        Receiver-side attach caches use this: one mapping covers every
+        window a pooled sender segment will ever carry, whatever
+        offset/length each individual message uses.
+        """
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm)
+        return cls(shm, 0, shm.size, owner=False)
+
+    # ------------------------------------------------------------------
+    # identity
+
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    @property
+    def capacity(self) -> int:
+        """Size of the whole underlying block (>= offset + length)."""
+        return self._shm.size
+
+    def handle(self) -> tuple[str, int, int]:
+        return (self.name, self.offset, self.length)
+
+    def window(self, offset: int, length: int) -> tuple[str, int, int]:
+        """A sub-window handle relative to this segment's base offset."""
+        if offset < 0 or length < 0 or self.offset + offset + length > self._shm.size:
+            raise ValueError("window overruns segment")
+        return (self.name, self.offset + offset, length)
+
+    def __reduce__(self):
+        # Pickling ships the handle; unpickling reattaches in the peer.
+        return (ShmSegment.attach, (self.handle(),))
+
+    # ------------------------------------------------------------------
+    # access
+
+    def view(
+        self, offset: int = 0, length: Optional[int] = None, *, track: bool = True
+    ) -> memoryview:
+        """A writable byte view of (a slice of) the window.
+
+        Tracked views are released by :meth:`close`; pass
+        ``track=False`` for a transient view the caller releases
+        itself (hot paths that would otherwise grow the tracking list
+        on every reuse of a pooled segment).
+        """
+        if length is None:
+            length = self.length - offset
+        if offset < 0 or length < 0 or offset + length > self.length:
+            raise ValueError("view overruns segment window")
+        base = self.offset + offset
+        mv = memoryview(self._shm.buf)[base : base + length]
+        if track:
+            self._views.append(mv)
+        return mv
+
+    # ------------------------------------------------------------------
+    # teardown
+
+    def _release_views(self) -> None:
+        for mv in self._views:
+            try:
+                mv.release()
+            except Exception:  # pragma: no cover - exported sub-views
+                pass
+        self._views.clear()
+
+    def close(self) -> None:
+        """Drop this process's mapping (and unlink if we own the block)."""
+        self._release_views()
+        if self._owner:
+            self.unlink()
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a consumer kept a view
+            pass
+
+    def unlink(self) -> bool:
+        """Remove the block's name, exactly once; True if we did it."""
+        if not _REGISTRY.forget(self.name) and self._owner:
+            return False  # already unlinked (close raced the atexit hook)
+        if not self._owner:
+            return False
+        try:
+            self._shm.unlink()
+            return True
+        except FileNotFoundError:
+            return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        role = "owner" if self._owner else "attached"
+        return f"ShmSegment({self.name}[{self.offset}:+{self.length}], {role})"
+
+
+def unlink_names(names: Iterable[str]) -> list[str]:
+    """Best-effort unlink of segments by bare name; returns those removed.
+
+    Used by crash sweeps: the blocks may belong to a process that can
+    no longer clean up after itself, so attach-and-unlink is the only
+    handle we have on them.
+    """
+    removed = []
+    for name in names:
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:
+            continue
+        # No _untrack here: attaching registered the name with this
+        # process's resource tracker, and unlink() below unregisters
+        # it — the pair is balanced as-is.
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover
+            pass
+        try:
+            shm.unlink()
+            removed.append(name)
+        except FileNotFoundError:
+            pass
+    return removed

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import abc
 import importlib
+import os
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
@@ -32,7 +33,22 @@ _BUILTIN_MODULES = {
     "niodev": "repro.xdev.niodev",
     "mxdev": "repro.xdev.mxdev",
     "ibisdev": "repro.xdev.ibisdev",
+    "procdev": "repro.xdev.procdev",
 }
+
+
+#: Device used when a caller (or the CLI) doesn't name one.
+DEFAULT_DEVICE = "smdev"
+
+
+def default_device() -> str:
+    """Device name to use when none is given explicitly.
+
+    The ``REPRO_DEVICE`` environment variable overrides the built-in
+    default — the knob the CI matrix (and any user) flips to run the
+    whole suite over another transport, e.g. ``REPRO_DEVICE=procdev``.
+    """
+    return os.environ.get("REPRO_DEVICE", "").strip() or DEFAULT_DEVICE
 
 
 def register_device(name: str):

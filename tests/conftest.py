@@ -13,13 +13,36 @@ import pytest
 #: and the failure-report hook that prints the replay seed.
 pytest_plugins = ["repro.testing.fixtures"]
 
-#: All four devices of DESIGN.md's inventory, plus the tracing
-#: decorator over smdev — the whole device-generic matrix must pass
-#: through the tracer unchanged (decorator-correctness guarantee).
-ALL_DEVICES = ["smdev", "mxdev", "ibisdev", "niodev", "traced-smdev"]
+#: The devices of DESIGN.md's inventory, plus the tracing decorator
+#: over smdev — the whole device-generic matrix must pass through the
+#: tracer unchanged (decorator-correctness guarantee).  procdev runs
+#: here in its in-process mode: thread-ranks over real shared-memory
+#: rings, the byte-identical datapath of process-rank jobs.
+ALL_DEVICES = ["smdev", "mxdev", "ibisdev", "niodev", "procdev", "traced-smdev"]
 
 #: In-process devices (no sockets) — cheap enough for heavy loops.
 FAST_DEVICES = ["smdev", "mxdev"]
+
+
+def _honour_repro_device() -> None:
+    """Fold a REPRO_DEVICE override into the device matrices.
+
+    ``REPRO_DEVICE=procdev`` (the CI matrix knob) must subject the
+    whole suite to that device: it becomes the default for
+    ``run_spmd``/``make_job`` callers automatically (see
+    ``repro.xdev.device.default_device``), and here it is promoted
+    into the explicit fixture matrices as well.
+    """
+    import os
+
+    dev = os.environ.get("REPRO_DEVICE", "").strip()
+    if dev and dev not in ALL_DEVICES:
+        ALL_DEVICES.append(dev)
+    if dev and dev not in FAST_DEVICES:
+        FAST_DEVICES.append(dev)
+
+
+_honour_repro_device()
 
 
 @pytest.fixture(params=ALL_DEVICES)

@@ -1,0 +1,178 @@
+"""procdev specifics: cross-address-space zero-copy landings, spill
+segment recycling, and shared-memory hygiene.
+
+These run procdev in its in-process mode (thread-ranks over real shm
+rings) — the byte-identical datapath of process-rank jobs, minus fork.
+The cross-*process* variants live in tests/integration/test_localspawn.py.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.buffer import Buffer
+from repro.shm.bootstrap import active_segments
+
+from tests.conftest import make_job
+
+MB = 1 << 20
+
+
+def send_buffer(arr):
+    buf = Buffer(capacity=arr.nbytes + 64)
+    buf.write(arr)
+    return buf
+
+
+def _reset_stats(devices):
+    for d in devices:
+        d.engine.copy_stats.reset()
+
+
+def _combined(devices):
+    stats = [d.engine.copy_stats.snapshot() for d in devices]
+    return {k: sum(s[k] for s in stats) for k in stats[0]}
+
+
+def _transfer(devices, pids, payload, tag, mode="send"):
+    out = np.empty_like(payload)
+
+    def receiver():
+        rbuf = Buffer(capacity=payload.nbytes + 64)
+        devices[1].recv(rbuf, pids[0], tag, 0)
+        rbuf.read_section(out=out)
+
+    t = threading.Thread(target=receiver)
+    t.start()
+    getattr(devices[0], mode)(send_buffer(payload), pids[1], tag, 0)
+    t.join(timeout=30)
+    assert not t.is_alive()
+    assert np.array_equal(out, payload)
+    return out
+
+
+class TestZeroCopyAcrossRings:
+    """Rendezvous payloads land in place: bytes_copied == 0."""
+
+    @pytest.mark.parametrize("nbytes", [MB, 4 * MB])
+    def test_large_rendezvous_is_zero_copy(self, nbytes):
+        devices, pids = make_job("procdev", 2)
+        try:
+            payload = np.arange(nbytes, dtype=np.uint8)
+            _reset_stats(devices)
+            _transfer(devices, pids, payload, tag=5)
+
+            combined = _combined(devices)
+            assert combined["bytes_copied"] == 0, combined
+            # Sender's gather into the spill segment + receiver's
+            # landing into the posted buffer: two accounted moves.
+            assert combined["bytes_moved"] >= 2 * payload.nbytes
+
+            sender = devices[0].engine.transport.counters
+            receiver = devices[1].engine.transport.counters
+            assert sender["frames_spilled"] >= 1
+            assert receiver["landings_in_place"] >= 1
+            assert receiver["landings_fallback"] == 0
+        finally:
+            for d in devices:
+                d.finish()
+
+    def test_ssend_forces_rendezvous_and_stays_zero_copy(self):
+        devices, pids = make_job("procdev", 2)
+        try:
+            payload = np.arange(2 * MB, dtype=np.uint8)
+            _reset_stats(devices)
+            _transfer(devices, pids, payload, tag=9, mode="ssend")
+            assert _combined(devices)["bytes_copied"] == 0
+        finally:
+            for d in devices:
+                d.finish()
+
+    def test_small_eager_rides_a_ring_slot_inline(self):
+        devices, pids = make_job("procdev", 2)
+        try:
+            payload = np.arange(1024, dtype=np.uint8)
+            _transfer(devices, pids, payload, tag=3)
+            sender = devices[0].engine.transport.counters
+            assert sender["frames_inline"] >= 1
+            assert sender["frames_spilled"] == 0
+        finally:
+            for d in devices:
+                d.finish()
+
+    def test_oversized_eager_spills_and_still_delivers(self):
+        # 32 KB: below the 128 KB eager threshold, above the 16 KB ring
+        # slot — the eager frame must detour through a spill segment.
+        devices, pids = make_job("procdev", 2)
+        try:
+            payload = np.arange(32 * 1024, dtype=np.uint8)
+            _transfer(devices, pids, payload, tag=4)
+            assert devices[0].engine.transport.counters["frames_spilled"] >= 1
+        finally:
+            for d in devices:
+                d.finish()
+
+
+class TestSpillRecycling:
+    def test_release_notices_return_segments_to_the_pool(self):
+        devices, pids = make_job("procdev", 2)
+        try:
+            payload = np.arange(MB, dtype=np.uint8)
+            for tag in (21, 22, 23):
+                _transfer(devices, pids, payload, tag=tag)
+            sender = devices[0].engine.transport
+            # RELEASE notices arrive asynchronously on the reverse ring.
+            deadline = time.monotonic() + 5.0
+            while sender._arena.inflight_names() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert sender._arena.inflight_names() == []
+            assert sender.counters["releases_received"] >= 3
+            # Steady state reuses pooled pages instead of shm_open.
+            assert sender._arena.hits >= 2
+        finally:
+            for d in devices:
+                d.finish()
+
+
+class TestHygieneAndIntrospection:
+    def test_finish_unlinks_every_job_segment(self):
+        devices, pids = make_job("procdev", 2)
+        job_id = devices[0].introspect()["job_id"]
+        payload = np.arange(MB, dtype=np.uint8)
+        _transfer(devices, pids, payload, tag=6)
+        assert active_segments(job_id)  # rings segment is live mid-job
+        for d in devices:
+            d.finish()
+        assert active_segments(job_id) == []
+
+    def test_introspect_reports_the_datapath(self):
+        devices, pids = make_job("procdev", 2)
+        try:
+            payload = np.arange(MB, dtype=np.uint8)
+            _transfer(devices, pids, payload, tag=8)
+            snap = devices[0].introspect()
+            assert snap["device"] == "procdev"
+            assert "job_id" in snap
+            t = snap["transport"]
+            for key in (
+                "frames_inline", "frames_spilled", "releases_sent",
+                "releases_received", "deferred_pushes",
+                "landings_in_place", "landings_fallback",
+                "arena", "inbox_depth",
+            ):
+                assert key in t, key
+            assert t["frame_errors"] == 0
+        finally:
+            for d in devices:
+                d.finish()
+
+    def test_double_finish_is_safe(self):
+        devices, _pids = make_job("procdev", 2)
+        for d in devices:
+            d.finish()
+        for d in devices:
+            d.finish()

@@ -1,0 +1,138 @@
+"""Cross-process procdev jobs: run_local_job, stats aggregation, and
+the leak audit — a rank killed mid-rendezvous must leave zero named
+shared-memory segments behind.
+
+These tests fork real child interpreters, so they are the slowest in
+the suite; keep payload sizes and iteration counts minimal.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import pytest
+
+from repro.runtime.localspawn import run_local_job
+from repro.runtime.mpjrun import JobError
+from repro.shm.bootstrap import active_segments, job_prefix
+
+MB = 1 << 20
+
+
+RING_SOURCE = """
+import numpy as np
+
+def main(env):
+    comm = env.COMM_WORLD
+    rank, size = comm.Rank(), comm.Size()
+    nbytes = 1 << 20
+    buf = np.full(nbytes, rank, dtype=np.uint8)
+    out = np.zeros(nbytes, dtype=np.uint8)
+    left, right = (rank - 1) % size, (rank + 1) % size
+    comm.Sendrecv(buf, 0, nbytes, None, right, 5,
+                  out, 0, nbytes, None, left, 5)
+    assert int(out[0]) == left and int(out[-1]) == left
+    return {"rank": rank, "peer_seen": int(out[0])}
+"""
+
+PINGPONG_SOURCE = """
+import numpy as np
+
+def main(env):
+    comm = env.COMM_WORLD
+    rank = comm.Rank()
+    nbytes = 1 << 20
+    buf = np.zeros(nbytes, dtype=np.uint8)
+    env.device.copy_stats.reset()
+    for _ in range(3):
+        if rank == 0:
+            comm.Send(buf, 0, nbytes, None, 1, 7)
+            comm.Recv(buf, 0, nbytes, None, 1, 8)
+        else:
+            comm.Recv(buf, 0, nbytes, None, 0, 7)
+            comm.Send(buf, 0, nbytes, None, 0, 8)
+    return env.device.copy_stats.snapshot()
+"""
+
+KILL_SOURCE = """
+import os, signal
+import numpy as np
+
+def main(env):
+    comm = env.COMM_WORLD
+    rank = comm.Rank()
+    nbytes = 4 << 20
+    buf = np.zeros(nbytes, dtype=np.uint8)
+    if rank == 1:
+        # Die the hard way mid-rendezvous: no atexit, no tracker.
+        os.kill(os.getpid(), signal.SIGKILL)
+    comm.Send(buf, 0, nbytes, None, 1, 7)
+    return "unreachable"
+"""
+
+
+def _no_repro_shm_leftovers() -> bool:
+    return not glob.glob("/dev/shm/repro-shm-*")
+
+
+class TestLocalJob:
+    def test_ring_exchange_across_processes(self):
+        job = run_local_job(3, module_source=RING_SOURCE, timeout=120)
+        assert job.exit_codes == [0, 0, 0]
+        assert [r["peer_seen"] for r in job.results] == [2, 0, 1]
+        assert active_segments(job.job_id) == []
+
+    def test_job_stats_aggregate_every_rank(self):
+        job = run_local_job(2, module_source=PINGPONG_SOURCE, timeout=120)
+        stats = job.stats
+        assert stats is not None and stats["missing_ranks"] == []
+        assert {r["rank"] for r in stats["ranks"]} == {0, 1}
+        # Job-wide totals are the sum of the per-rank snapshots the
+        # workers returned through the result channel.
+        returned = sum(r["bytes_moved"] for r in job.results)
+        assert stats["copy_stats"]["bytes_moved"] >= returned
+        # The rendezvous loop itself copied nothing on either rank.
+        for snap in job.results:
+            assert snap["bytes_copied"] == 0, snap
+            assert snap["bytes_moved"] >= 3 * 2 * MB
+
+    def test_transport_counters_ride_home(self):
+        job = run_local_job(2, module_source=PINGPONG_SOURCE, timeout=120)
+        transports = [r["transport"] for r in job.stats["ranks"]]
+        assert all(t["frames_spilled"] >= 3 for t in transports)
+        assert all(t["landings_in_place"] >= 3 for t in transports)
+        assert all(t["frame_errors"] == 0 for t in transports)
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(JobError):
+            run_local_job(0, module_source=RING_SOURCE)
+        with pytest.raises(JobError):
+            run_local_job(2)  # neither path nor source
+        with pytest.raises(JobError):
+            run_local_job(2, __file__, module_source=RING_SOURCE)  # both
+
+
+class TestLeakAudit:
+    def test_sigkilled_rank_leaves_no_segments(self):
+        with pytest.raises(JobError) as excinfo:
+            run_local_job(2, module_source=KILL_SOURCE, timeout=60)
+        err = excinfo.value
+        # The parent names the job and proves the sweep ran clean:
+        # whatever the dead rank abandoned was unlinked, and nothing
+        # with the job's name prefix survives.
+        assert err.job_id
+        assert err.leaked == []
+        assert active_segments(err.job_id) == []
+        assert not glob.glob(f"/dev/shm/{job_prefix(err.job_id)}*")
+
+    def test_failing_rank_surfaces_its_stderr(self):
+        source = """
+def main(env):
+    if env.COMM_WORLD.Rank() == 1:
+        raise RuntimeError("rank one exploded")
+    env.COMM_WORLD.Barrier()
+"""
+        with pytest.raises(JobError) as excinfo:
+            run_local_job(2, module_source=source, timeout=60)
+        assert "rank one exploded" in str(excinfo.value)
+        assert active_segments(excinfo.value.job_id) == []

@@ -1,0 +1,107 @@
+"""SegmentArena pooling: size classes, reuse, in-flight accounting."""
+
+from __future__ import annotations
+
+import glob
+
+import pytest
+
+from repro.shm.arena import MIN_SEGMENT, SegmentArena
+
+
+def _linked(name: str) -> bool:
+    return bool(glob.glob(f"/dev/shm/{name}"))
+
+
+@pytest.fixture
+def arena():
+    a = SegmentArena(prefix="repro-shm-arenatest")
+    yield a
+    a.close()
+
+
+class TestAcquire:
+    def test_rounds_up_to_power_of_two_class(self, arena):
+        seg = arena.acquire(5000)
+        assert seg.length == 8192
+        assert seg.owner
+
+    def test_small_requests_share_the_min_class(self, arena):
+        a = arena.acquire(1)
+        b = arena.acquire(MIN_SEGMENT)
+        assert a.length == b.length == MIN_SEGMENT
+
+    def test_prefix_carries_into_segment_names(self, arena):
+        seg = arena.acquire(64)
+        assert seg.name.startswith("repro-shm-arenatest")
+
+    def test_zero_byte_request_rejected(self, arena):
+        with pytest.raises(ValueError):
+            arena.acquire(0)
+
+
+class TestReleaseAndReuse:
+    def test_release_then_acquire_reuses_the_same_segment(self, arena):
+        seg = arena.acquire(1 << 20)
+        name = seg.name
+        assert arena.release(name) is True
+        again = arena.acquire(1 << 20)
+        assert again.name == name
+        assert arena.hits == 1 and arena.misses == 1
+
+    def test_unknown_name_is_ignored(self, arena):
+        assert arena.release("repro-shm-arenatest-never-existed") is False
+
+    def test_pool_overflow_closes_the_extras(self):
+        arena = SegmentArena(prefix="repro-shm-arenatest", max_per_class=1)
+        try:
+            a, b = arena.acquire(64), arena.acquire(64)
+            arena.release(a.name)
+            arena.release(b.name)  # class full: unlinked instead of pooled
+            assert _linked(a.name)
+            assert not _linked(b.name)
+        finally:
+            arena.close()
+
+    def test_inflight_names_track_unreleased_segments(self, arena):
+        seg = arena.acquire(64)
+        assert arena.inflight_names() == [seg.name]
+        arena.release(seg.name)
+        assert arena.inflight_names() == []
+
+
+class TestClose:
+    def test_close_unlinks_pooled_and_inflight(self):
+        arena = SegmentArena(prefix="repro-shm-arenatest")
+        pooled = arena.acquire(64)
+        arena.release(pooled.name)
+        leaked = arena.acquire(1 << 16)  # a crashed peer never releases this
+        counts = arena.close()
+        assert counts == {"pooled": 1, "inflight": 1}
+        assert not _linked(pooled.name)
+        assert not _linked(leaked.name)
+
+    def test_close_is_idempotent(self, arena):
+        arena.close()
+        assert arena.close() == {"pooled": 0, "inflight": 0}
+
+    def test_acquire_after_close_raises(self, arena):
+        arena.close()
+        with pytest.raises(RuntimeError):
+            arena.acquire(64)
+
+    def test_late_release_after_close_still_safe(self, arena):
+        seg = arena.acquire(64)
+        arena.close()
+        # The RELEASE notice from a peer can arrive mid-teardown.
+        assert arena.release(seg.name) is False
+
+    def test_introspect_counts(self, arena):
+        seg = arena.acquire(64)
+        arena.release(seg.name)
+        arena.acquire(64)
+        snap = arena.introspect()
+        assert snap["hits"] == 1 and snap["misses"] == 1
+        assert snap["created"] == 1
+        assert snap["pooled"] == 0 and snap["inflight"] == 1
+        assert snap["closed"] is False

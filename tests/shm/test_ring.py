@@ -1,0 +1,154 @@
+"""SPSC ring mechanics: push/poll/consume, wraparound, stalls, backoff."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.shm.ring import (
+    KIND_FRAME,
+    KIND_RELEASE,
+    KIND_SPILL,
+    Backoff,
+    RingStalledError,
+    SpscRing,
+    ring_bytes,
+)
+
+
+def make_ring(nslots: int = 4, slot_bytes: int = 64) -> SpscRing:
+    window = memoryview(bytearray(ring_bytes(nslots, slot_bytes)))
+    return SpscRing(window, nslots, slot_bytes)
+
+
+class TestPushPollConsume:
+    def test_round_trip_preserves_kind_and_bytes(self):
+        ring = make_ring()
+        assert ring.try_push(KIND_SPILL, [b"hello ", b"world"])
+        kind, view = ring.poll()
+        assert kind == KIND_SPILL
+        assert bytes(view) == b"hello world"
+        ring.consume()
+        assert ring.poll() is None
+
+    def test_frames_come_out_in_order(self):
+        ring = make_ring()
+        for i in range(3):
+            assert ring.try_push(KIND_FRAME, [bytes([i]) * 4])
+        for i in range(3):
+            kind, view = ring.poll()
+            assert bytes(view) == bytes([i]) * 4
+            ring.consume()
+
+    def test_poll_is_idempotent_until_consume(self):
+        ring = make_ring()
+        ring.try_push(KIND_RELEASE, [b"seg-name"])
+        first = ring.poll()
+        second = ring.poll()
+        assert bytes(first[1]) == bytes(second[1]) == b"seg-name"
+        assert len(ring) == 1
+        ring.consume()
+        assert len(ring) == 0
+
+    def test_consume_without_poll_raises(self):
+        ring = make_ring()
+        with pytest.raises(RuntimeError):
+            ring.consume()
+
+    def test_empty_ring_polls_none(self):
+        assert make_ring().poll() is None
+
+
+class TestCapacity:
+    def test_oversize_frame_rejected(self):
+        ring = make_ring(slot_bytes=16)
+        with pytest.raises(ValueError):
+            ring.try_push(KIND_FRAME, [b"x" * 17])
+
+    def test_full_ring_refuses_push(self):
+        ring = make_ring(nslots=2)
+        assert ring.try_push(KIND_FRAME, [b"a"])
+        assert ring.try_push(KIND_FRAME, [b"b"])
+        assert not ring.try_push(KIND_FRAME, [b"c"])
+        # Draining one slot frees one push.
+        ring.poll()
+        ring.consume()
+        assert ring.try_push(KIND_FRAME, [b"c"])
+
+    def test_wraparound_keeps_cursors_monotonic(self):
+        ring = make_ring(nslots=2, slot_bytes=16)
+        for i in range(10):
+            payload = f"frame-{i}".encode()
+            assert ring.try_push(KIND_FRAME, [payload])
+            kind, view = ring.poll()
+            assert bytes(view) == payload
+            ring.consume()
+        # Counts never wrap back to slot indices.
+        assert ring.head == ring.tail == 10
+
+    def test_tiny_ring_rejected(self):
+        with pytest.raises(ValueError):
+            make_ring(nslots=1)
+
+    def test_short_window_rejected(self):
+        with pytest.raises(ValueError):
+            SpscRing(memoryview(bytearray(64)), 4, 64)
+
+
+class TestBlockingPush:
+    def test_stalled_consumer_raises_after_timeout(self):
+        ring = make_ring(nslots=2)
+        ring.try_push(KIND_FRAME, [b"a"])
+        ring.try_push(KIND_FRAME, [b"b"])
+        with pytest.raises(RingStalledError):
+            ring.push(KIND_FRAME, [b"c"], timeout=0.05)
+
+    def test_should_abort_preempts_the_timeout(self):
+        ring = make_ring(nslots=2)
+        ring.try_push(KIND_FRAME, [b"a"])
+        ring.try_push(KIND_FRAME, [b"b"])
+        with pytest.raises(RingStalledError):
+            ring.push(KIND_FRAME, [b"c"], timeout=60.0, should_abort=lambda: True)
+
+    def test_push_completes_when_consumer_drains(self):
+        ring = make_ring(nslots=2)
+        ring.try_push(KIND_FRAME, [b"a"])
+        ring.try_push(KIND_FRAME, [b"b"])
+        received = []
+
+        def drain():
+            for _ in range(3):
+                while True:
+                    got = ring.poll()
+                    if got is not None:
+                        break
+                received.append(bytes(got[1]))
+                ring.consume()
+
+        t = threading.Thread(target=drain)
+        t.start()
+        ring.push(KIND_FRAME, [b"c"], timeout=10.0)
+        t.join(timeout=10.0)
+        assert received == [b"a", b"b", b"c"]
+
+
+class TestBackoff:
+    def test_spins_then_yields_then_sleeps_capped(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.shm.ring.time.sleep", sleeps.append)
+        b = Backoff(spins=2, max_sleep=4e-6)
+        for _ in range(7):
+            b.wait()
+        # 2 pure spins, 2 GIL yields, then 1us/2us/4us (capped).
+        assert sleeps == [0, 0, 1e-6, 2e-6, 4e-6]
+
+    def test_reset_snaps_back_to_spinning(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.shm.ring.time.sleep", sleeps.append)
+        b = Backoff(spins=1, max_sleep=1e-3)
+        for _ in range(4):
+            b.wait()
+        b.reset()
+        b.wait()  # a fresh spin: no sleep recorded
+        assert sleeps == [0, 1e-6, 2e-6]

@@ -1,0 +1,141 @@
+"""ShmSegment lifecycle: handles, pickling, and unlink-exactly-once."""
+
+from __future__ import annotations
+
+import glob
+import pickle
+
+import pytest
+
+from repro.shm.segment import (
+    NAME_PREFIX,
+    CleanupRegistry,
+    ShmSegment,
+    cleanup_registry,
+    unlink_names,
+)
+
+
+def _linked(name: str) -> bool:
+    return bool(glob.glob(f"/dev/shm/{name}"))
+
+
+class TestSegmentBasics:
+    def test_create_view_close(self):
+        seg = ShmSegment.create(4096)
+        assert seg.owner
+        assert seg.length == 4096
+        view = seg.view()
+        view[:5] = b"hello"
+        assert bytes(seg.view(0, 5)) == b"hello"
+        assert _linked(seg.name)
+        seg.close()
+        assert not _linked(seg.name)
+
+    def test_names_carry_the_repro_prefix(self):
+        seg = ShmSegment.create(64)
+        try:
+            assert seg.name.startswith(NAME_PREFIX)
+        finally:
+            seg.close()
+
+    def test_attach_sees_owner_writes(self):
+        owner = ShmSegment.create(1024)
+        try:
+            owner.view()[:3] = b"abc"
+            peer = ShmSegment.attach(owner.handle())
+            assert not peer.owner
+            assert bytes(peer.view(0, 3)) == b"abc"
+            peer.view()[3:6] = b"def"
+            assert bytes(owner.view(0, 6)) == b"abcdef"
+            peer.close()
+            # A non-owner close must not unlink.
+            assert _linked(owner.name)
+        finally:
+            owner.close()
+
+    def test_window_handles_are_relative(self):
+        seg = ShmSegment.create(4096)
+        try:
+            seg.view()[100:104] = b"wxyz"
+            sub = ShmSegment.attach(seg.window(100, 4))
+            assert bytes(sub.view()) == b"wxyz"
+            sub.close()
+        finally:
+            seg.close()
+
+    def test_attach_validates_bounds(self):
+        seg = ShmSegment.create(64)
+        try:
+            with pytest.raises(ValueError):
+                ShmSegment.attach((seg.name, 0, 1 << 20))
+        finally:
+            seg.close()
+
+    def test_view_bounds_checked(self):
+        seg = ShmSegment.create(64)
+        try:
+            with pytest.raises(ValueError):
+                seg.view(60, 10)
+        finally:
+            seg.close()
+
+
+class TestPickling:
+    def test_handle_round_trips_through_pickle(self):
+        seg = ShmSegment.create(256)
+        try:
+            seg.view()[:4] = b"ping"
+            blob = pickle.dumps(seg)
+            peer = pickle.loads(blob)
+            assert peer.handle() == seg.handle()
+            assert not peer.owner
+            assert bytes(peer.view(0, 4)) == b"ping"
+            peer.close()
+        finally:
+            seg.close()
+
+
+class TestUnlinkExactlyOnce:
+    def test_double_close_is_safe(self):
+        seg = ShmSegment.create(128)
+        seg.close()
+        seg.close()  # no FileNotFoundError, no tracker noise
+
+    def test_unlink_reports_only_the_first_call(self):
+        seg = ShmSegment.create(128)
+        assert seg.unlink() is True
+        assert seg.unlink() is False
+        seg.close()
+
+    def test_registry_cleanup_unlinks_leftovers(self):
+        registry = CleanupRegistry()
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(
+            name=f"{NAME_PREFIX}-test-cleanup-xyz", create=True, size=64
+        )
+        registry.register(shm)
+        assert registry.owned_names() == [shm.name]
+        cleaned = registry.cleanup()
+        assert cleaned == [shm.name]
+        assert not _linked(shm.name)
+        # Second run finds nothing.
+        assert registry.cleanup() == []
+
+    def test_close_forgets_the_registry_entry(self):
+        seg = ShmSegment.create(128)
+        name = seg.name
+        assert cleanup_registry().owns(name)
+        seg.close()
+        assert not cleanup_registry().owns(name)
+
+    def test_unlink_names_sweeps_and_tolerates_missing(self):
+        seg = ShmSegment.create(128)
+        name = seg.name
+        # Simulate a crashed owner: drop our registry entry without
+        # unlinking, then sweep by bare name.
+        assert cleanup_registry().forget(name)
+        removed = unlink_names([name, "repro-shm-definitely-not-there"])
+        assert removed == [name]
+        assert not _linked(name)
