@@ -29,8 +29,8 @@ Quickstart::
     run_spmd(main, nprocs=4)
 """
 
-__version__ = "1.0.0"
-
 from repro.runtime.launcher import run_spmd
+
+__version__ = "1.0.0"
 
 __all__ = ["run_spmd", "__version__"]

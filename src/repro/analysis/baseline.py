@@ -1,0 +1,94 @@
+"""Baseline suppression file for reprolint.
+
+The baseline is a checked-in JSON file (``reprolint-baseline.json`` at
+the repo root) listing findings that are acknowledged and waived.  Its
+purpose is *ratcheting*: adopt the tool on a tree with pre-existing
+findings without blocking CI, then burn the list down.  Each entry
+must carry a ``reason`` — an unexplained waiver defeats the point.
+
+Entries match findings by :meth:`repro.analysis.core.Finding.key` —
+``(checker, path, symbol, message)``, deliberately *without* the line
+number so unrelated edits above a finding don't invalidate the
+baseline.  Stale entries (matching nothing) are reported as warnings
+so the file shrinks as findings are fixed.
+
+This tree keeps the baseline empty: real findings were fixed, and
+designed-blocking sites carry inline ``# reprolint: allow[...]``
+directives next to the code they waive, where review can see them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+VERSION = 1
+DEFAULT_NAME = "reprolint-baseline.json"
+
+
+class BaselineError(ValueError):
+    pass
+
+
+def load(path: Path) -> list[dict]:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("version") != VERSION:
+        raise BaselineError(
+            f"baseline {path} must be an object with \"version\": {VERSION}"
+        )
+    entries = data.get("suppressions", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: \"suppressions\" must be a list")
+    for i, e in enumerate(entries):
+        missing = {"checker", "path", "symbol", "message", "reason"} - set(e)
+        if missing:
+            raise BaselineError(
+                f"baseline {path}: entry {i} missing {sorted(missing)}"
+            )
+        if not str(e["reason"]).strip():
+            raise BaselineError(
+                f"baseline {path}: entry {i} has an empty reason — every "
+                "waiver must say why"
+            )
+    return entries
+
+
+def _entry_key(e: dict) -> tuple[str, str, str, str]:
+    return (e["checker"], e["path"], e["symbol"], e["message"])
+
+
+def apply(
+    findings: list[Finding], entries: list[dict]
+) -> tuple[list[Finding], list[Finding], list[dict]]:
+    """Split into (kept, baselined); also return stale entries."""
+    keys = {_entry_key(e) for e in entries}
+    kept = [f for f in findings if f.key() not in keys]
+    baselined = [f for f in findings if f.key() in keys]
+    live = {f.key() for f in findings}
+    stale = [e for e in entries if _entry_key(e) not in live]
+    return kept, baselined, stale
+
+
+def render(findings: list[Finding]) -> str:
+    """Serialise *findings* as a fresh baseline (reasons to be filled)."""
+    return json.dumps(
+        {
+            "version": VERSION,
+            "suppressions": [
+                {
+                    "checker": f.checker,
+                    "path": f.path,
+                    "symbol": f.symbol,
+                    "message": f.message,
+                    "reason": "TODO: justify or fix",
+                }
+                for f in findings
+            ],
+        },
+        indent=2,
+    ) + "\n"

@@ -1,0 +1,524 @@
+"""Project-wide symbol table and call graph with light type inference.
+
+This is deliberately a *checker's* call graph, not a compiler's: it
+resolves the attribute calls this codebase actually writes —
+
+* ``self.method(...)`` and calls on ``self.attr`` where the attribute's
+  class is knowable from ``__init__`` (constructor call, annotated
+  parameter assignment, or an explicit annotation);
+* calls on annotated parameters and locally constructed objects;
+* subscripts of homogeneous containers (``self._shards[i].lock`` where
+  ``_shards`` was built as a list of one class);
+* abstract-method dispatch: a call through an ``abc.abstractmethod``
+  (or a base whose subclasses override the method) fans out to every
+  project override, so ``self.transport.write(...)`` reaches the
+  SM/NIO/proc/chaos transports.
+
+Unresolvable calls are kept with their dotted source text so pattern
+checkers (``time.sleep``, socket ops) can still match them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.core import Project, SourceFile
+
+# A type is either "qname" (instance of project class) or "list:qname".
+_LIST = "list:"
+
+
+def _ann_to_name(node: Optional[ast.AST]) -> Optional[str]:
+    """Dotted-name text of an annotation, unwrapping Optional/list."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _ann_to_name(node.value)
+        return f"{base}.{node.attr}" if base else None
+    if isinstance(node, ast.Subscript):
+        head = _ann_to_name(node.value)
+        if head in ("Optional", "typing.Optional"):
+            return _ann_to_name(node.slice)
+        if head in ("list", "List", "typing.List"):
+            inner = _ann_to_name(node.slice)
+            return f"{_LIST}{inner}" if inner else None
+        return head
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        # X | None — take the non-None side.
+        for side in (node.left, node.right):
+            name = _ann_to_name(side)
+            if name not in (None, "None"):
+                return name
+    return None
+
+
+def dotted_text(node: ast.AST) -> Optional[str]:
+    """Source-ish dotted text of a call target (for pattern matching)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_text(node.value)
+        return f"{base}.{node.attr}" if base else f"?.{node.attr}"
+    if isinstance(node, ast.Subscript):
+        base = dotted_text(node.value)
+        return f"{base}[]" if base else None
+    if isinstance(node, ast.Call):
+        base = dotted_text(node.func)
+        return f"{base}()" if base else None
+    return None
+
+
+@dataclass
+class CallSite:
+    line: int
+    callees: tuple[str, ...]  # resolved project function qnames
+    text: str  # dotted source text, e.g. "self.transport.write"
+    node: ast.Call
+
+
+@dataclass
+class FunctionInfo:
+    qname: str
+    module: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    sf: SourceFile
+    cls: Optional["ClassInfo"] = None
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.node.name  # type: ignore[union-attr]
+
+
+@dataclass
+class ClassInfo:
+    qname: str
+    module: str
+    node: ast.ClassDef
+    sf: SourceFile
+    base_names: list[str] = field(default_factory=list)  # resolved qnames
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    subclasses: list[str] = field(default_factory=list)
+
+
+class CallGraph:
+    """Symbol tables plus resolved call edges for a :class:`Project`."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.classes: dict[str, ClassInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        #: simple class name -> qnames (for annotation resolution)
+        self.class_names: dict[str, list[str]] = {}
+        #: per-module import map: module -> {local name -> target dotted}
+        self.imports: dict[str, dict[str, str]] = {}
+        self._collect_symbols()
+        self._link_classes()
+        self._infer_attr_types()
+        self._collect_calls()
+
+    # ------------------------------------------------------------------
+    # pass 1: symbols
+
+    def _collect_symbols(self) -> None:
+        for sf in self.project.files:
+            module = self.project.module_name(sf)
+            imports: dict[str, str] = {}
+            self.imports[module] = imports
+            is_pkg = sf.rel.endswith("__init__.py")
+            for node in sf.tree.body:
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        imports[alias.asname or alias.name.split(".")[0]] = alias.name
+                elif isinstance(node, ast.ImportFrom):
+                    target_mod = node.module or ""
+                    if node.level:
+                        # resolve `from .x import y` against this
+                        # module's package
+                        anchor = module.split(".")
+                        if not is_pkg:
+                            anchor = anchor[:-1]
+                        if node.level > 1:
+                            anchor = anchor[: len(anchor) - (node.level - 1)]
+                        target_mod = ".".join(
+                            anchor + ([target_mod] if target_mod else [])
+                        )
+                    if not target_mod:
+                        continue
+                    for alias in node.names:
+                        imports[alias.asname or alias.name] = (
+                            f"{target_mod}.{alias.name}"
+                        )
+            self._collect_scope(sf, module, sf.tree, prefix=module, cls=None)
+
+    def _collect_scope(
+        self,
+        sf: SourceFile,
+        module: str,
+        node: ast.AST,
+        prefix: str,
+        cls: Optional[ClassInfo],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                qname = f"{prefix}.{child.name}"
+                info = ClassInfo(qname=qname, module=module, node=child, sf=sf)
+                self.classes[qname] = info
+                self.class_names.setdefault(child.name, []).append(qname)
+                self._collect_scope(sf, module, child, qname, info)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qname = f"{prefix}.{child.name}"
+                fn = FunctionInfo(
+                    qname=qname, module=module, node=child, sf=sf, cls=cls
+                )
+                self.functions[qname] = fn
+                if cls is not None and prefix == cls.qname:
+                    cls.methods[child.name] = fn
+                # Nested defs live under the function's qname; they are
+                # NOT methods of the enclosing class.
+                self._collect_scope(sf, module, child, qname, cls=None)
+
+    # ------------------------------------------------------------------
+    # pass 2: class linking
+
+    def resolve_name(self, module: str, name: str) -> Optional[str]:
+        """Resolve a dotted *name* used in *module* to a project qname."""
+        if name in self.classes or name in self.functions:
+            return name
+        head, _, rest = name.partition(".")
+        imports = self.imports.get(module, {})
+        if head in imports:
+            target = imports[head] + (f".{rest}" if rest else "")
+            if target in self.classes or target in self.functions:
+                return target
+            # from repro.xdev.protocol import Transport -> target is the
+            # qname already; fall through to simple-name match below.
+            name = target.rsplit(".", 1)[-1] if not rest else name
+        local = f"{module}.{name}"
+        if local in self.classes or local in self.functions:
+            return local
+        simple = name.rsplit(".", 1)[-1]
+        candidates = self.class_names.get(simple, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def _link_classes(self) -> None:
+        for info in self.classes.values():
+            for base in info.node.bases:
+                text = dotted_text(base)
+                if not text:
+                    continue
+                resolved = self.resolve_name(info.module, text)
+                if resolved and resolved in self.classes:
+                    info.base_names.append(resolved)
+                    self.classes[resolved].subclasses.append(info.qname)
+
+    def mro(self, qname: str) -> list[ClassInfo]:
+        out: list[ClassInfo] = []
+        seen: set[str] = set()
+        stack = [qname]
+        while stack:
+            q = stack.pop(0)
+            if q in seen or q not in self.classes:
+                continue
+            seen.add(q)
+            info = self.classes[q]
+            out.append(info)
+            stack.extend(info.base_names)
+        return out
+
+    def find_method(self, cls_qname: str, name: str) -> Optional[FunctionInfo]:
+        for info in self.mro(cls_qname):
+            if name in info.methods:
+                return info.methods[name]
+        return None
+
+    def all_subclasses(self, qname: str) -> list[str]:
+        if qname not in self.classes:
+            return []
+        out: list[str] = []
+        stack = list(self.classes[qname].subclasses)
+        seen: set[str] = set()
+        while stack:
+            q = stack.pop()
+            if q in seen:
+                continue
+            seen.add(q)
+            out.append(q)
+            stack.extend(self.classes[q].subclasses)
+        return out
+
+    # ------------------------------------------------------------------
+    # pass 3: attribute types
+
+    def _infer_attr_types(self) -> None:
+        for info in self.classes.values():
+            for method in info.methods.values():
+                params = self._param_types(method)
+                for node in ast.walk(method.node):
+                    target = None
+                    value = None
+                    ann = None
+                    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                        target, value = node.targets[0], node.value
+                    elif isinstance(node, ast.AnnAssign):
+                        target, value, ann = node.target, node.value, node.annotation
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    t = None
+                    if ann is not None:
+                        name = _ann_to_name(ann)
+                        t = self._type_from_name(info.module, name)
+                    if t is None and value is not None:
+                        t = self._infer_expr_type(info.module, value, params)
+                    if t is not None:
+                        info.attr_types.setdefault(target.attr, t)
+
+    def _param_types(self, fn: FunctionInfo) -> dict[str, str]:
+        out: dict[str, str] = {}
+        args = fn.node.args  # type: ignore[union-attr]
+        for a in list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs):
+            name = _ann_to_name(a.annotation)
+            t = self._type_from_name(fn.module, name)
+            if t is not None:
+                out[a.arg] = t
+        if fn.cls is not None:
+            out.setdefault("self", fn.cls.qname)
+        return out
+
+    def _type_from_name(self, module: str, name: Optional[str]) -> Optional[str]:
+        if not name:
+            return None
+        if name.startswith(_LIST):
+            inner = self._type_from_name(module, name[len(_LIST):])
+            return f"{_LIST}{inner}" if inner else None
+        resolved = self.resolve_name(module, name)
+        if resolved in self.classes:
+            return resolved
+        return None
+
+    def _infer_expr_type(
+        self, module: str, expr: ast.AST, env: dict[str, str]
+    ) -> Optional[str]:
+        if isinstance(expr, ast.Call):
+            text = dotted_text(expr.func)
+            if text:
+                resolved = self.resolve_name(module, text)
+                if resolved in self.classes:
+                    return resolved
+            return None
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, (ast.List, ast.Tuple)):
+            elts = expr.elts
+            types = {self._infer_expr_type(module, e, env) for e in elts}
+            types.discard(None)
+            if len(types) == 1:
+                return f"{_LIST}{types.pop()}"
+            return None
+        if isinstance(expr, ast.ListComp):
+            t = self._infer_expr_type(module, expr.elt, env)
+            return f"{_LIST}{t}" if t else None
+        if isinstance(expr, ast.IfExp):
+            t = self._infer_expr_type(module, expr.body, env)
+            return t or self._infer_expr_type(module, expr.orelse, env)
+        return None
+
+    # ------------------------------------------------------------------
+    # pass 4: call sites
+
+    def _collect_calls(self) -> None:
+        for fn in list(self.functions.values()):
+            self._collect_calls_in(fn)
+
+    def _nested_locals(self, fn: FunctionInfo) -> dict[str, str]:
+        out = {}
+        for child in ast.iter_child_nodes(fn.node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out[child.name] = f"{fn.qname}.{child.name}"
+        return out
+
+    def _local_env(self, fn: FunctionInfo) -> dict[str, str]:
+        env = self._param_types(fn)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and target.id not in env:
+                    t = self._infer_expr_type(fn.module, node.value, env)
+                    if t is None and isinstance(
+                        node.value, (ast.Attribute, ast.Subscript)
+                    ):
+                        # engine = self._engine / shard = self._shards[i]
+                        t = self.receiver_type(fn, node.value, env)
+                    if t is not None:
+                        env[target.id] = t
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                name = _ann_to_name(node.annotation)
+                t = self._type_from_name(fn.module, name)
+                if t is not None:
+                    env.setdefault(node.target.id, t)
+        return env
+
+    def receiver_type(
+        self, fn: FunctionInfo, node: ast.AST, env: Optional[dict[str, str]] = None
+    ) -> Optional[str]:
+        """Best-effort type of an expression inside *fn*."""
+        if env is None:
+            env = self._local_env(fn)
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base_t = self.receiver_type(fn, node.value, env)
+            if base_t and base_t in self.classes:
+                for c in self.mro(base_t):
+                    if node.attr in c.attr_types:
+                        return c.attr_types[node.attr]
+            return None
+        if isinstance(node, ast.Subscript):
+            base_t = self.receiver_type(fn, node.value, env)
+            if base_t and base_t.startswith(_LIST):
+                return base_t[len(_LIST):]
+            return None
+        if isinstance(node, ast.Call):
+            return self._infer_expr_type(fn.module, node, env)
+        return None
+
+    def _dispatch(self, cls_qname: str, method: str) -> tuple[str, ...]:
+        """Resolve a method call on *cls_qname*, fanning out overrides."""
+        found = self.find_method(cls_qname, method)
+        targets: list[str] = []
+        if found is not None:
+            targets.append(found.qname)
+        # Fan out to subclass overrides when the base either lacks the
+        # method, declares it abstract, or is subclassed at all (the
+        # static receiver type may be the base of the runtime object).
+        for sub in self.all_subclasses(cls_qname):
+            m = self.classes[sub].methods.get(method)
+            if m is not None:
+                targets.append(m.qname)
+        return tuple(dict.fromkeys(targets))
+
+    def _collect_calls_in(self, fn: FunctionInfo) -> None:
+        env = self._local_env(fn)
+        nested = self._nested_locals(fn)
+
+        class V(ast.NodeVisitor):
+            def __init__(v) -> None:
+                v.sites: list[CallSite] = []
+
+            def visit_FunctionDef(v, node: ast.FunctionDef) -> None:
+                pass  # nested defs collected as their own FunctionInfo
+
+            visit_AsyncFunctionDef = visit_FunctionDef
+
+            def visit_Lambda(v, node: ast.Lambda) -> None:
+                pass  # lambda bodies run later, on an unknown thread
+
+            def visit_Call(v, node: ast.Call) -> None:
+                v.generic_visit(node)
+                text = dotted_text(node.func) or "?"
+                callees: tuple[str, ...] = ()
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                    if name in nested:
+                        callees = (nested[name],)
+                    else:
+                        resolved = self.resolve_name(fn.module, name)
+                        if resolved in self.functions:
+                            callees = (resolved,)
+                        elif resolved in self.classes:
+                            init = self.find_method(resolved, "__init__")
+                            if init is not None:
+                                callees = (init.qname,)
+                elif isinstance(node.func, ast.Attribute):
+                    recv_t = self.receiver_type(fn, node.func.value, env)
+                    if recv_t and recv_t in self.classes:
+                        callees = self._dispatch(recv_t, node.func.attr)
+                    else:
+                        # module-qualified project function/class?
+                        resolved = self.resolve_name(fn.module, text)
+                        if resolved in self.functions:
+                            callees = (resolved,)
+                v.sites.append(
+                    CallSite(
+                        line=node.lineno, callees=callees, text=text, node=node
+                    )
+                )
+
+        visitor = V()
+        for stmt in fn.node.body:  # type: ignore[union-attr]
+            visitor.visit(stmt)
+        fn.calls = visitor.sites
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def callees_closure(self, roots: list[str], blocked_edges=None) -> set[str]:
+        """All functions reachable from *roots* (roots included)."""
+        blocked = blocked_edges or set()
+        seen: set[str] = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            q = stack.pop()
+            if q in seen:
+                continue
+            seen.add(q)
+            fn = self.functions[q]
+            for site in fn.calls:
+                for callee in site.callees:
+                    if (q, site.line, callee) in blocked:
+                        continue
+                    if callee not in seen:
+                        stack.append(callee)
+        return seen
+
+    def shortest_path(
+        self, roots: list[str], goal: str, blocked_edges=None
+    ) -> Optional[list[tuple[str, int, str]]]:
+        """BFS path as (caller, line, callee) edges from a root to goal."""
+        blocked = blocked_edges or set()
+        parents: dict[str, Optional[tuple[str, int, str]]] = {
+            r: None for r in roots if r in self.functions
+        }
+        frontier = list(parents)
+        while frontier:
+            nxt: list[str] = []
+            for q in frontier:
+                if q == goal:
+                    edges: list[tuple[str, int, str]] = []
+                    cur: Optional[str] = q
+                    while cur is not None and parents[cur] is not None:
+                        edge = parents[cur]
+                        assert edge is not None
+                        edges.append(edge)
+                        cur = edge[0]
+                    return list(reversed(edges))
+                fn = self.functions.get(q)
+                if fn is None:
+                    continue
+                for site in fn.calls:
+                    for callee in site.callees:
+                        if (q, site.line, callee) in blocked:
+                            continue
+                        if callee not in parents:
+                            parents[callee] = (q, site.line, callee)
+                            nxt.append(callee)
+            frontier = nxt
+        return None

@@ -1,0 +1,98 @@
+"""publish-after-write: ring slot payloads are written before publish.
+
+The SPSC rings in :mod:`repro.shm.ring` synchronise two processes with
+nothing but two cursors in shared memory: the producer may touch a
+slot only before bumping ``tail``; the consumer may touch it only
+before bumping ``head``.  The entire correctness of the channel is one
+ordering rule — **every payload store dominates the publish store**.
+
+This checker verifies the rule lexically inside every function of a
+ring module (`repro/shm/ring.py` and any fixture module named like a
+ring): a write into the mapped view (``self._view[...] = ...`` or
+``pack_into(self._view, ...)``) that appears *after* a cursor publish
+(``self._set_tail(...)`` / ``self._set_head(...)``) in the same
+function is a violation.  The cursor accessors themselves are exempt —
+they are the publish.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import dotted_text
+from repro.analysis.core import Finding, Project, enclosing_symbols
+
+CHECKER = "publish-after-write"
+
+_PUBLISH_METHODS = frozenset({"_set_tail", "_set_head"})
+
+
+def _is_ring_file(rel: str) -> bool:
+    return rel.replace("\\", "/").endswith("shm/ring.py") or "ring" in rel.rsplit(
+        "/", 1
+    )[-1]
+
+
+def _payload_store_line(node: ast.AST) -> int | None:
+    """Line of a store into the mapped view, if *node* is one."""
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                base = dotted_text(target.value) or ""
+                if "view" in base or "_buf" in base:
+                    return node.lineno
+    if isinstance(node, ast.Call):
+        func_text = dotted_text(node.func) or ""
+        if func_text.endswith("pack_into") and node.args:
+            first = dotted_text(node.args[0]) or ""
+            if "view" in first or "_buf" in first:
+                return node.lineno
+    return None
+
+
+def _publish_lines(fn_node: ast.AST) -> list[int]:
+    out = []
+    for node in ast.walk(fn_node):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _PUBLISH_METHODS
+        ):
+            out.append(node.lineno)
+    return out
+
+
+def check(project: Project, cg=None) -> list[Finding]:
+    findings: list[Finding] = []
+    for sf in project.files:
+        if not _is_ring_file(sf.rel):
+            continue
+        symbols = enclosing_symbols(sf.tree)
+        for fn in ast.walk(sf.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name in _PUBLISH_METHODS:
+                continue  # the accessors ARE the publish store
+            publishes = _publish_lines(fn)
+            if not publishes:
+                continue
+            first_publish = min(publishes)
+            for node in ast.walk(fn):
+                line = _payload_store_line(node)
+                if line is not None and line > first_publish:
+                    findings.append(
+                        Finding(
+                            checker=CHECKER,
+                            path=sf.rel,
+                            line=line,
+                            symbol=symbols.get(line, fn.name),
+                            message=(
+                                "slot payload store follows the cursor "
+                                f"publish on line {first_publish}; the "
+                                "consumer may already own this slot — "
+                                "complete all payload writes before "
+                                "publishing the cursor"
+                            ),
+                        )
+                    )
+    return findings

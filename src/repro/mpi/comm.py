@@ -19,7 +19,7 @@ return to it when requests finish.
 from __future__ import annotations
 
 import os
-from typing import Any, Optional, Sequence
+from typing import Any, Optional
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from repro.buffer.window import (
     ArraySendWindow,
     SECTION_OVERHEAD,
 )
+from repro.mpi.attributes import AttributeMixin
 from repro.mpi.datatype import (
     BasicType,
     Datatype,
@@ -44,7 +45,7 @@ from repro.mpi.exceptions import (
     MPIException,
 )
 from repro.mpi.group import Group
-from repro.mpi.request import CompletedMPIRequest, MPIRequest
+from repro.mpi.request import MPIRequest
 from repro.mpi.status import MPIStatus
 from repro.mpjdev.comm import MPJDevComm, RankRequest
 from repro.mpjdev.request import Status as DevStatus
@@ -66,9 +67,6 @@ TAG_SCAN = 8
 TAG_COMMCTL = 9
 TAG_TOPO = 10
 TAG_INTERCOMM = 11
-
-
-from repro.mpi.attributes import AttributeMixin
 
 
 class Comm(AttributeMixin):
@@ -183,7 +181,13 @@ class Comm(AttributeMixin):
                 )
             datatype = datatype_for(buf)
         message = self._pool.acquire(datatype.packed_size(count) + _SLACK)
-        datatype.pack(message, buf, offset, count)
+        try:
+            datatype.pack(message, buf, offset, count)
+        except BaseException:
+            # A pack that rejects the user buffer (shape/dtype lie)
+            # must not leak the pooled message.
+            message.free()
+            raise
         return message, datatype
 
     def _recv_finisher(
@@ -208,8 +212,10 @@ class Comm(AttributeMixin):
 
         return finish
 
-    def _request(self, inner: RankRequest, finisher) -> MPIRequest:
-        return MPIRequest(inner, finisher, device=self._devcomm.device)
+    def _request(self, inner: RankRequest, finisher, cleanup=None) -> MPIRequest:
+        return MPIRequest(
+            inner, finisher, device=self._devcomm.device, cleanup=cleanup
+        )
 
     # ------------------------------------------------------------------
     # zero-copy array windows (collective datapath)
@@ -351,8 +357,14 @@ class Comm(AttributeMixin):
         self._check_tag(tag)
         message, datatype = self._pack(buf, offset, count, datatype)
         ctx = self._context_pt2pt if context is None else context
-        inner = self._devcomm.isend(message, dest, tag, ctx, mode=mode)
-        return self._request(inner, self._send_finisher(message))
+        try:
+            inner = self._devcomm.isend(message, dest, tag, ctx, mode=mode)
+        except BaseException:
+            message.free()
+            raise
+        return self._request(
+            inner, self._send_finisher(message), cleanup=message.free
+        )
 
     def Send(
         self,
@@ -417,11 +429,17 @@ class Comm(AttributeMixin):
             if not isinstance(buf, np.ndarray):
                 raise MPIException("datatype may be omitted only for numpy arrays")
             datatype = datatype_for(buf)
-        message = self._pool.acquire(datatype.packed_size(count) + _SLACK)
         ctx = self._context_pt2pt if context is None else context
-        inner = self._devcomm.irecv(message, source, tag, ctx)
+        message = self._pool.acquire(datatype.packed_size(count) + _SLACK)
+        try:
+            inner = self._devcomm.irecv(message, source, tag, ctx)
+        except BaseException:
+            message.free()
+            raise
         return self._request(
-            inner, self._recv_finisher(message, buf, offset, count, datatype)
+            inner,
+            self._recv_finisher(message, buf, offset, count, datatype),
+            cleanup=message.free,
         )
 
     def Recv(
@@ -566,9 +584,19 @@ class Comm(AttributeMixin):
         self._check_tag(tag, wildcard=True)
         box: list[Any] = [None]
         message = self._pool.acquire(_SLACK)
-        inner = self._devcomm.irecv(message, source, tag, self._context_pt2pt)
+        try:
+            inner = self._devcomm.irecv(message, source, tag, self._context_pt2pt)
+        except BaseException:
+            message.free()
+            raise
         finisher = self._recv_finisher(message, box, 0, 1, OBJECT)
-        return ObjectRecvRequest(inner, finisher, box, device=self._devcomm.device)
+        return ObjectRecvRequest(
+            inner,
+            finisher,
+            box,
+            device=self._devcomm.device,
+            cleanup=message.free,
+        )
 
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG, status: Optional[list] = None) -> Any:
         """Blocking object receive; returns the object.
@@ -589,8 +617,10 @@ class Comm(AttributeMixin):
 class ObjectRecvRequest(MPIRequest):
     """Request for a lowercase receive: ``wait()`` yields the object."""
 
-    def __init__(self, inner: RankRequest, finisher, box: list, device=None) -> None:
-        super().__init__(inner, finisher, device=device)
+    def __init__(
+        self, inner: RankRequest, finisher, box: list, device=None, cleanup=None
+    ) -> None:
+        super().__init__(inner, finisher, device=device, cleanup=cleanup)
         self._box = box
         self.status: Optional[MPIStatus] = None
 

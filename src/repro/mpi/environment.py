@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.buffer.pool import BufferPool
 from repro.mpi.exceptions import MPIException

@@ -18,7 +18,6 @@ agreement round is needed.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -51,14 +51,13 @@ from repro.mpi.comm import (
     TAG_ALLTOALL,
     TAG_BARRIER,
     TAG_BCAST,
-    TAG_COMMCTL,
     TAG_GATHER,
     TAG_REDUCE,
     TAG_SCAN,
     TAG_SCATTER,
 )
 from repro.mpi.datatype import BYTE, Datatype, OBJECT, datatype_for
-from repro.mpi.exceptions import CommunicatorError, InvalidRankError, MPIException
+from repro.mpi.exceptions import CommunicatorError, MPIException
 from repro.mpi.group import Group, UNDEFINED
 from repro.mpi.status import MPIStatus
 

@@ -31,8 +31,8 @@ from typing import Any
 import numpy as np
 
 from repro.buffer import Buffer
-from repro.mpi.datatype import BasicType, Datatype
 from repro.buffer.types import SectionType
+from repro.mpi.datatype import BasicType, Datatype
 from repro.mpi.exceptions import MPIException
 
 #: Datatype for transporting explicitly packed bytes (MPI_PACKED).

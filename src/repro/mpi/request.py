@@ -20,22 +20,31 @@ from typing import Callable, Optional, Sequence
 from repro.mpi.exceptions import MPIException
 from repro.mpi.status import MPIStatus
 from repro.mpjdev.comm import RankRequest
+from repro.mpjdev.request import RequestFailedError
 from repro.mpjdev.request import Status as DevStatus
 from repro.mpjdev.waitany import waitany as dev_waitany
 
 
 class MPIRequest:
-    """A pending MPI operation."""
+    """A pending MPI operation.
+
+    *cleanup* runs exactly once if the device-level request **fails**
+    (``RequestFailedError``): on that path the finisher — which
+    normally returns the packed message to its pool — never executes,
+    so without it every failed request leaked its pooled buffer.
+    """
 
     def __init__(
         self,
         inner: RankRequest,
         finisher: Callable[[DevStatus], MPIStatus],
         device=None,
+        cleanup: Optional[Callable[[], None]] = None,
     ) -> None:
         self.inner = inner
         self._finisher = finisher
         self._device = device
+        self._cleanup = cleanup
         self._lock = threading.Lock()
         self._result: Optional[MPIStatus] = None
 
@@ -52,13 +61,36 @@ class MPIRequest:
                 self._result = self._finisher(dev_status)
             return self._result
 
+    def _on_failure(self) -> None:
+        """Release resources the finisher would have owned.
+
+        Runs at most once, and never after a successful finish (a
+        request cannot both complete and fail).  Timeouts do NOT come
+        through here — a timed-out request is still pending and its
+        buffer still in flight.
+        """
+        with self._lock:
+            if self._result is not None or self._cleanup is None:
+                return
+            cleanup, self._cleanup = self._cleanup, None
+        cleanup()
+
     def wait(self, timeout: Optional[float] = None) -> MPIStatus:
         """Block until complete; returns the MPI status."""
-        return self._finish(self.inner.wait(timeout=timeout))
+        try:
+            dev_status = self.inner.wait(timeout=timeout)
+        except RequestFailedError:
+            self._on_failure()
+            raise
+        return self._finish(dev_status)
 
     def test(self) -> Optional[MPIStatus]:
         """Non-blocking completion check."""
-        dev_status = self.inner.test()
+        try:
+            dev_status = self.inner.test()
+        except RequestFailedError:
+            self._on_failure()
+            raise
         return self._finish(dev_status) if dev_status is not None else None
 
     # mpijava spellings
@@ -79,6 +111,7 @@ class CompletedMPIRequest(MPIRequest):
         self._status = status if status is not None else MPIStatus(DevStatus())
         self._lock = threading.Lock()
         self._result = self._status
+        self._cleanup = None
         self.inner = None  # type: ignore[assignment]
         self._device = None
 

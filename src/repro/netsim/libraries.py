@@ -24,7 +24,7 @@ for 16 MB, per-byte copy cost ``= 8/bw_target(Mbps) − 8/(nominal·η)``
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.netsim.fabrics import (

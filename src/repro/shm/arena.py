@@ -19,7 +19,6 @@ owner's atexit cleanup registry — is sufficient to unlink everything.
 from __future__ import annotations
 
 import threading
-from typing import Optional
 
 from repro.buffer.pool import size_class
 from repro.shm.segment import NAME_PREFIX, ShmSegment

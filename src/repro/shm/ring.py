@@ -80,6 +80,7 @@ class Backoff:
         self._round = 0
         self._sleep = 1e-6
 
+    # reprolint: allow[no-block-in-poller] -- bounded doorbell, not a wait: spins, yields, then sleeps capped at max_sleep; reset() on any progress, and callers never hold a peer's resource across it
     def wait(self) -> None:
         self._round += 1
         if self._round <= self.spins:

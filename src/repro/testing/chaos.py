@@ -38,7 +38,7 @@ import os
 import random
 import threading
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.buffer import Buffer
@@ -302,7 +302,7 @@ class ChaosTransport(Transport):
             segments = [segments[0], payload[: len(payload) // 2]]
         if delay:
             self._record("delay", header, occ)
-            time.sleep(cfg.delay_s)
+            time.sleep(cfg.delay_s)  # reprolint: allow[no-block-in-poller] -- the injected latency IS the chaos: a bounded, configured delay that torture runs use to widen race windows on purpose
 
         match_key = (
             (header.context, header.tag)

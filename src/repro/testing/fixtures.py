@@ -28,7 +28,7 @@ from typing import Optional
 
 import pytest
 
-from repro.testing.chaos import ChaosConfig, ChaosDevice, seed_from_env
+from repro.testing.chaos import ChaosConfig, seed_from_env
 from repro.testing.scheduler import SeededSchedule, make_scheduled_fabric
 from repro.testing.watchdog import LockGraph, instrument_engine
 from repro.xdev.device import DeviceConfig, new_instance

@@ -33,6 +33,7 @@ import threading
 import time
 from typing import Any, Callable, Optional, Sequence
 
+from repro.xdev import locknames
 from repro.xdev.exceptions import XDevException
 
 
@@ -192,16 +193,22 @@ def instrument_engine(engine, graph: LockGraph, label: Optional[str] = None) -> 
     shard locks, and the (dest, route shard) channel locks.  Returns
     *graph* for chaining.
     """
+    # Node names are built from the canonical lock classes in
+    # repro.xdev.locknames — the same vocabulary the static lock-order
+    # checker (repro.analysis.locks) reports in, so a reprolint finding
+    # and a watchdog stall snapshot cross-reference by name.
     me = label if label is not None else f"rank{engine.my_pid.uid}"
     matcher = engine._matcher
     for i, shard in enumerate(matcher._shards):
-        shard.lock = InstrumentedLock(graph, f"{me}:recv-shard{i}")
-    matcher._wc_lock = InstrumentedLock(graph, f"{me}:recv-wildcard")
-    engine._send_lock = InstrumentedLock(graph, f"{me}:send-sets")
-    engine._rndz_lock = InstrumentedLock(graph, f"{me}:rendezvous-ids")
+        shard.lock = InstrumentedLock(graph, f"{me}:{locknames.RECV_SHARD}{i}")
+    matcher._wc_lock = InstrumentedLock(graph, f"{me}:{locknames.RECV_WILDCARD}")
+    engine._send_lock = InstrumentedLock(graph, f"{me}:{locknames.SEND_SETS}")
+    engine._rndz_lock = InstrumentedLock(
+        graph, f"{me}:{locknames.RENDEZVOUS_IDS}"
+    )
     completions = engine._completions
     completions._locks = [
-        InstrumentedLock(graph, f"{me}:completed{i}")
+        InstrumentedLock(graph, f"{me}:{locknames.COMPLETED}{i}")
         for i in range(completions.n)
     ]
 
@@ -217,7 +224,7 @@ def instrument_engine(engine, graph: LockGraph, label: Optional[str] = None) -> 
             lock = channel_locks.get(key)
             if lock is None:
                 lock = InstrumentedLock(
-                    graph, f"{me}:channel->{dest.uid}.{shard}"
+                    graph, f"{me}:{locknames.CHANNEL}->{dest.uid}.{shard}"
                 )
                 channel_locks[key] = lock
             return lock

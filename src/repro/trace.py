@@ -27,7 +27,7 @@ import json
 import threading
 import time
 import warnings
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Any, Optional
 
 from repro.buffer import Buffer

@@ -1,0 +1,92 @@
+"""Canonical lock names and the global acquisition hierarchy.
+
+Every lock the protocol stack takes belongs to a named *class*; the
+names here are the single source of truth shared by the two tools that
+reason about them:
+
+* the **dynamic** side — :mod:`repro.testing.watchdog` builds its
+  lock-graph node names from these constants (``rank0:recv-shard2``,
+  ``rank1:channel->3.0``), so stall snapshots and lock-order violation
+  reports speak this vocabulary;
+* the **static** side — the reprolint lock-order checker
+  (:mod:`repro.analysis.locks`) maps ``with``/``acquire()`` sites in
+  the AST to the same classes and checks nesting against
+  :data:`HIERARCHY`.
+
+A static finding and a dynamic stall snapshot that both say
+``send-sets`` are talking about the same lock.
+
+The hierarchy encodes the documented acquisition discipline (DESIGN.md
+and the module docstrings of :mod:`repro.xdev.protocol` and
+:mod:`repro.xdev.matching`): a thread may acquire a lock only while
+holding locks of *strictly lower* rank.  Within one class, nesting is
+forbidden except for the classes in :data:`SELF_NESTING`, whose members
+are always taken in a globally consistent order (matching shards in
+ascending index — the ``_all_locked`` path).
+
+Rank order (outermost first):
+
+1.  ``recv-shard`` — per-endpoint matching-shard locks (ascending).
+2.  ``recv-wildcard`` — the ANY_TAG wildcard domain; nests inside the
+    shard locks, never the other way around.
+3.  ``send-sets`` — the pending-send set.  The engine takes it and the
+    channel lock *sequentially*, never nested, but if they ever were
+    nested this is the required order (Fig. 6 commentary).
+4.  ``rendezvous-ids`` — recv-id table and active-RTS set.
+5.  ``channel-guard`` — the tiny map guard creating channel locks.
+6.  ``channel`` — per-(destination, route-shard) write locks.
+7.  ``proc-out`` — procdev's per-destination outbound-ring locks
+    (restore the SPSC single-producer invariant under the channel
+    lock).
+8.  ``ring-set`` — RingSet's producer locks (same role as proc-out for
+    the generic wrapper).
+9.  ``ticker`` — arrival/probe condition variables.
+10. ``completed`` — completion-shard locks and the completions counter.
+11. ``internal`` — leaf locks private to one object (CopyStats, pool
+    free lists, metric registries, arenas...).  They guard a few
+    statements, never another lock.
+"""
+
+from __future__ import annotations
+
+RECV_SHARD = "recv-shard"
+RECV_WILDCARD = "recv-wildcard"
+SEND_SETS = "send-sets"
+RENDEZVOUS_IDS = "rendezvous-ids"
+CHANNEL_GUARD = "channel-guard"
+CHANNEL = "channel"
+PROC_OUT = "proc-out"
+RING_SET = "ring-set"
+TICKER = "ticker"
+COMPLETED = "completed"
+INTERNAL = "internal"
+
+#: Lock class -> rank.  Acquiring class B while holding class A is
+#: legal iff ``HIERARCHY[A] < HIERARCHY[B]`` (or A == B and the class
+#: allows self-nesting).
+HIERARCHY: dict[str, int] = {
+    RECV_SHARD: 10,
+    RECV_WILDCARD: 20,
+    SEND_SETS: 30,
+    RENDEZVOUS_IDS: 40,
+    CHANNEL_GUARD: 50,
+    CHANNEL: 60,
+    PROC_OUT: 70,
+    RING_SET: 75,
+    TICKER: 80,
+    COMPLETED: 85,
+    INTERNAL: 90,
+}
+
+#: Classes whose members may nest within themselves: shard locks
+#: because every holder takes them in one global order (ascending —
+#: the ``_all_locked`` path), and ``internal`` because it is a *family*
+#: of leaf locks on distinct objects (a name-based checker cannot
+#: order them, and by the leaf-lock rule they guard a few statements
+#: each, so cross-object nesting cannot cycle).
+SELF_NESTING: frozenset[str] = frozenset({RECV_SHARD, INTERNAL})
+
+
+def rank_of(lock_class: str) -> int:
+    """The hierarchy rank of *lock_class* (KeyError on unknown names)."""
+    return HIERARCHY[lock_class]

@@ -37,7 +37,7 @@ import itertools
 import threading
 from collections import deque
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
 from repro.xdev.constants import ANY_SOURCE, ANY_TAG

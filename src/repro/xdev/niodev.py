@@ -219,7 +219,7 @@ class NIOTransport(Transport):
         # sendmsg may accept only part; advance through the segment list.
         while views:
             try:
-                sent = sock.sendmsg(views)
+                sent = sock.sendmsg(views)  # reprolint: allow[no-block-in-poller] -- input-handler writes are small control frames (RTR/ack) the socket buffer absorbs; the large rendezvous DATA write is forked onto rendez-write-thread (fork_rendezvous_writer, paper Fig. 8)
             except InterruptedError:  # pragma: no cover - EINTR
                 continue
             while sent > 0 and views:
@@ -259,7 +259,7 @@ class NIOTransport(Transport):
 
     def _accept(self) -> None:
         try:
-            conn, _addr = self._listen.accept()
+            conn, _addr = self._listen.accept()  # reprolint: allow[no-block-in-poller] -- _listen is non-blocking (setblocking(False) in start); spurious readiness raises BlockingIOError instead of blocking
         except BlockingIOError:  # pragma: no cover - spurious readiness
             return
         self._tune(conn)
@@ -272,7 +272,7 @@ class NIOTransport(Transport):
         sock = state.sock
         while True:
             try:
-                n = sock.recv_into(state.view[state.filled : state.needed])
+                n = sock.recv_into(state.view[state.filled : state.needed])  # reprolint: allow[no-block-in-poller] -- read channels are non-blocking; exhaustion raises BlockingIOError and returns to the selector
             except BlockingIOError:
                 return  # no more bytes now; selector will call us again
             except (ConnectionResetError, OSError):

@@ -233,23 +233,24 @@ class ProcTransport(Transport):
 
     def _write_spill(self, drank: int, header, payload, payload_len: int) -> None:
         seg = self._arena.acquire(payload_len)
-        dst = seg.view(0, payload_len, track=False)
-        offset = 0
-        for chunk in payload:
-            view = memoryview(chunk).cast("B") if not isinstance(chunk, bytes) else chunk
-            dst[offset : offset + len(view)] = view
-            offset += len(view)
-        dst.release()
-        if self._engine is not None:
-            # The spill segment is the wire: the receiver maps these
-            # same pages, so this gather is the payload's only move.
-            self._engine.copy_stats.moved(payload_len)
-        blob = _encode_handle(seg.name, 0, payload_len)
         try:
+            dst = seg.view(0, payload_len, track=False)
+            offset = 0
+            for chunk in payload:
+                view = memoryview(chunk).cast("B") if not isinstance(chunk, bytes) else chunk
+                dst[offset : offset + len(view)] = view
+                offset += len(view)
+            dst.release()
+            if self._engine is not None:
+                # The spill segment is the wire: the receiver maps these
+                # same pages, so this gather is the payload's only move.
+                self._engine.copy_stats.moved(payload_len)
+            blob = _encode_handle(seg.name, 0, payload_len)
             self._push(drank, KIND_SPILL, [header, blob])
         except Exception:
-            # The handle never reached the peer; take the segment back
-            # ourselves or it leaks until close.
+            # The handle never reached the peer (bad chunk or full
+            # ring); take the segment back ourselves or it leaks until
+            # close.
             self._arena.release(seg.name)
             raise
         self.counters["frames_spilled"] += 1

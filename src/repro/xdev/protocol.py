@@ -48,15 +48,14 @@ import abc
 import itertools
 import threading
 import time
-from collections import deque
-from typing import Any, Callable, Optional, Sequence
+from typing import Any, Callable, Optional
 
 from repro.buffer import Buffer
 from repro.buffer.buffer import WIRE_HEADER_SIZE
 from repro.buffer.pool import BufferPool, DEFAULT_POOL, RawPool
+from repro.mpjdev.request import Request, Status
 from repro.obs.metrics import MetricsRegistry, make_registry
 from repro.obs.tracing import dump_metrics, writer_for
-from repro.mpjdev.request import Request, Status
 from repro.xdev.completion import CompletionShards
 from repro.xdev.constants import ANY_SOURCE
 from repro.xdev.endpoints import (
@@ -443,12 +442,19 @@ class ProtocolEngine:
                     tag=tag, ctx=context, size=buf.size, proto="eager", ep=ep,
                 )
             payload, release = self._stable_segments(segments, wire_len)
-            self._write(
-                dest,
-                encode_frame(FrameType.EAGER, context, tag, payload=payload),
-                on_delivered=release,
-                route=route,
-            )
+            try:
+                self._write(
+                    dest,
+                    encode_frame(FrameType.EAGER, context, tag, payload=payload),
+                    on_delivered=release,
+                    route=route,
+                )
+            except BaseException:
+                # A transport that raises from write() never fires the
+                # delivery fence; release the staging here or it leaks.
+                if release is not None:
+                    release()
+                raise
             request.complete(Status(source=self.my_pid, tag=tag, size=buf.size))
             if tracer is not None:
                 tracer.emit("send.complete", id=request.trace_id, size=buf.size)
@@ -468,7 +474,11 @@ class ProtocolEngine:
                 tag=tag, ctx=context, size=buf.size, proto="rndz", ep=ep,
             )
         with self._send_lock:
-            self._pending_sends[send_id] = _PendingSend(
+            # The park is the documented zero-copy window: MPI forbids
+            # touching the send buffer until the request completes, and
+            # completion fires only after the transport's delivery
+            # fence (see the _PendingSend docstring).
+            self._pending_sends[send_id] = _PendingSend(  # reprolint: allow[segment-escape] -- MPI send-buffer contract keeps the parked views valid until the delivery fence completes the request
                 request, segments, buf.size, dest
             )
         # The RTS advertises the message payload size in the (otherwise
@@ -476,13 +486,20 @@ class ProtocolEngine:
         # count before the data transfer happens.  It shares the data
         # stream's route: RTS frames must not overtake eager frames of
         # the same stream.
-        self._write(
-            dest,
-            encode_frame(
-                FrameType.RTS, context, tag, send_id=send_id, recv_id=buf.size
-            ),
-            route=route,
-        )
+        try:
+            self._write(
+                dest,
+                encode_frame(
+                    FrameType.RTS, context, tag, send_id=send_id, recv_id=buf.size
+                ),
+                route=route,
+            )
+        except BaseException:
+            # The RTS never left: un-park the send or it sits in the
+            # pending set forever (and keeps the segment views alive).
+            with self._send_lock:
+                self._pending_sends.pop(send_id, None)
+            raise
         if tracer is not None:
             tracer.emit("rts.out", id=send_id, peer=dest.uid)
         return request
@@ -506,11 +523,17 @@ class ProtocolEngine:
             self.copy_stats.copied(len(flat))
             return [flat], None
         staging = self.raw_pool.acquire(wire_len)
-        offset = 0
-        for seg in segments:
-            view = memoryview(seg).cast("B")
-            staging[offset : offset + len(view)] = view
-            offset += len(view)
+        try:
+            offset = 0
+            for seg in segments:
+                view = memoryview(seg).cast("B")
+                staging[offset : offset + len(view)] = view
+                offset += len(view)
+        except BaseException:
+            # A bad segment (released buffer, size lie) must not leak
+            # the staging scratch.
+            self.raw_pool.release(staging)
+            raise
         self.copy_stats.copied(offset)
         release = lambda: self.raw_pool.release(staging)  # noqa: E731
         return [memoryview(staging)[:offset]], release
@@ -832,11 +855,17 @@ class ProtocolEngine:
                 # (Section IV-A.1), and the one copy an unmatched
                 # eager message costs.
                 stored = self.raw_pool.acquire(total)
-                offset = 0
-                for seg in segments:
-                    view = memoryview(seg).cast("B")
-                    stored[offset : offset + len(view)] = view
-                    offset += len(view)
+                try:
+                    offset = 0
+                    for seg in segments:
+                        view = memoryview(seg).cast("B")
+                        stored[offset : offset + len(view)] = view
+                        offset += len(view)
+                except BaseException:
+                    # Gather failed under the shard lock: return the
+                    # scratch before the arrive() unwinds.
+                    self.raw_pool.release(stored)
+                    raise
                 self.copy_stats.copied(total)
                 m.payload = [memoryview(stored)[:total]]
                 m.storage = stored

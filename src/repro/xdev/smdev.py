@@ -28,8 +28,8 @@ from __future__ import annotations
 import queue
 import threading
 
-from repro.xdev.device import DeviceConfig, register_device
 from repro.xdev.base import ProtocolDevice
+from repro.xdev.device import DeviceConfig, register_device
 from repro.xdev.endpoints import endpoint_count
 from repro.xdev.exceptions import ConnectionSetupError, XDevException
 from repro.xdev.frames import HEADER_SIZE, FrameHeader, FrameType
@@ -131,7 +131,7 @@ class SMTransport(Transport):
     def _input_handler(self, inbox: queue.Queue) -> None:
         """The progress engine: pop frames, hand them to the protocol."""
         while True:
-            item = inbox.get()
+            item = inbox.get()  # reprolint: allow[no-block-in-poller] -- blocking on this handler's OWN inbox is its idle wait; it can never stall another rank's progress (the deadlock rule bans blocking on peers' resources)
             if item is SMTransport._SHUTDOWN:
                 return
             src_pid, segments, fence = item

@@ -1,0 +1,20 @@
+"""Fixture: same locks, nested in ascending hierarchy order."""
+
+import threading
+
+
+class Engine:
+    def __init__(self) -> None:
+        self._send_lock = threading.Lock()
+        self._rndz_lock = threading.Lock()
+
+    def ascending(self) -> None:
+        with self._send_lock:
+            with self._rndz_lock:
+                pass
+
+    def sequential(self) -> None:
+        with self._rndz_lock:
+            pass
+        with self._send_lock:
+            pass

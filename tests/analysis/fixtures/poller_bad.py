@@ -1,0 +1,21 @@
+"""Fixture: a poller thread whose loop calls a blocking primitive.
+
+The target itself is clean; the sleep hides one call away, so the
+checker must follow the call graph, not just the entry function.
+"""
+
+import threading
+import time
+
+
+class Device:
+    def start(self) -> None:
+        t = threading.Thread(target=self._poll_loop, name="fixture-poller-0")
+        t.start()
+
+    def _poll_loop(self) -> None:
+        while True:
+            self._drain_one()
+
+    def _drain_one(self) -> None:
+        time.sleep(0.25)

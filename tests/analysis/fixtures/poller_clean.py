@@ -1,0 +1,20 @@
+"""Fixture: a poller thread that only spins on non-blocking calls."""
+
+import threading
+
+
+class Device:
+    def __init__(self) -> None:
+        self._stop = threading.Event()
+
+    def start(self) -> None:
+        t = threading.Thread(target=self._poll_loop, name="fixture-poller-1")
+        t.start()
+
+    def _poll_loop(self) -> None:
+        while not self._stop.is_set():
+            self._drain_one()
+
+    def _drain_one(self) -> None:
+        # A timed wait is a bounded doorbell, not a block.
+        self._stop.wait(timeout=0.001)

@@ -1,0 +1,24 @@
+"""Fixture: pool acquires that leak on the exception edge.
+
+``risky`` can raise between acquire and release, so the buffer never
+returns to the pool; ``never_used`` drops its buffer entirely.
+"""
+
+
+def risky(buf) -> None:
+    raise RuntimeError(f"boom with {len(buf)} bytes staged")
+
+
+class Stager:
+    def __init__(self, pool) -> None:
+        self.pool = pool
+        self.count = 0
+
+    def unprotected(self) -> None:
+        buf = self.pool.acquire(64)
+        risky(buf)
+        self.pool.release(buf)
+
+    def never_used(self) -> None:
+        buf = self.pool.acquire(64)
+        self.count += 1

@@ -1,0 +1,32 @@
+"""Fixture: pool acquires balanced on every path, including raises."""
+
+
+def risky(buf) -> None:
+    raise RuntimeError(f"boom with {len(buf)} bytes staged")
+
+
+class Stager:
+    def __init__(self, pool) -> None:
+        self.pool = pool
+
+    def try_finally(self) -> None:
+        buf = self.pool.acquire(64)
+        try:
+            risky(buf)
+        finally:
+            self.pool.release(buf)
+
+    def release_on_error(self) -> None:
+        buf = self.pool.acquire(64)
+        try:
+            risky(buf)
+        except Exception:
+            self.pool.release(buf)
+            raise
+        self.pool.release(buf)
+
+    def transfers_ownership(self, outbox) -> None:
+        # Never releases: ownership moves to the outbox, whose drain
+        # loop releases.  Transfer-only functions carry no balance
+        # obligation.
+        outbox.put(self.pool.acquire(64))

@@ -1,0 +1,28 @@
+"""Fixture: ring cursor published before the payload store.
+
+A consumer that observes the advanced tail reads a slot whose bytes
+are not written yet — the store must dominate the publish.
+"""
+
+import struct
+
+_HDR = struct.Struct("<I")
+
+
+class Ring:
+    def __init__(self, view) -> None:
+        self._view = view
+        self._tail = 0
+
+    def _set_tail(self, value: int) -> None:
+        self._tail = value
+
+    def push_publishes_early(self, data: bytes) -> None:
+        tail = self._tail
+        self._set_tail(tail + 1)
+        self._view[0 : len(data)] = data
+
+    def push_packs_late(self, value: int) -> None:
+        tail = self._tail
+        self._set_tail(tail + 1)
+        _HDR.pack_into(self._view, 0, value)

@@ -1,0 +1,24 @@
+"""Fixture: ring payload stores strictly before the cursor publish."""
+
+import struct
+
+_HDR = struct.Struct("<I")
+
+
+class Ring:
+    def __init__(self, view) -> None:
+        self._view = view
+        self._tail = 0
+
+    def _set_tail(self, value: int) -> None:
+        self._tail = value
+
+    def push(self, data: bytes) -> None:
+        tail = self._tail
+        self._view[0 : len(data)] = data
+        self._set_tail(tail + 1)
+
+    def push_packed(self, value: int) -> None:
+        tail = self._tail
+        _HDR.pack_into(self._view, 0, value)
+        self._set_tail(tail + 1)

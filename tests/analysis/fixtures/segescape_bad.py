@@ -1,0 +1,19 @@
+"""Fixture: zero-copy segment views escaping their delivery window.
+
+Stashing a view on ``self`` (or using it after the fence) lets user
+code read memory the pool has already recycled.
+"""
+
+
+class Consumer:
+    def __init__(self) -> None:
+        self.stash = None
+
+    def escape_via_attribute(self, buf) -> None:
+        segs = buf.segments()
+        self.stash = segs
+
+    def use_after_fence(self, ring) -> int:
+        _kind, view = ring.poll()
+        ring.consume()
+        return view[0]

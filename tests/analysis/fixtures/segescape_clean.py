@@ -1,0 +1,18 @@
+"""Fixture: segment views used strictly inside the delivery window."""
+
+import struct
+
+
+class Consumer:
+    def copy_then_fence(self, ring) -> bytes:
+        _kind, view = ring.poll()
+        data = bytes(view)
+        ring.consume()
+        return data
+
+    def read_within_window(self, buf) -> int:
+        total = 0
+        for seg in buf.segments():
+            (first,) = struct.unpack_from("<I", seg, 0)
+            total += first
+        return total

@@ -1,0 +1,20 @@
+"""Fixture: one justified allow, one bare directive (itself a finding)."""
+
+import threading
+import time
+
+
+class Device:
+    def start(self) -> None:
+        t = threading.Thread(target=self._waived, name="fixture-poller-9")
+        t.start()
+        u = threading.Thread(target=self._unjustified, name="fixture-poller-8")
+        u.start()
+
+    # reprolint: allow[no-block-in-poller] -- fixture: designed-blocking helper
+    def _waived(self) -> None:
+        time.sleep(0.5)
+
+    # reprolint: allow[no-block-in-poller]
+    def _unjustified(self) -> None:
+        time.sleep(0.5)

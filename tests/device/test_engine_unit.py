@@ -10,7 +10,6 @@ import numpy as np
 import pytest
 
 from repro.buffer import Buffer
-from repro.mpjdev.request import Request
 from repro.xdev.frames import FrameHeader, FrameType, HEADER_SIZE
 from repro.xdev.processid import ProcessID
 from repro.xdev.protocol import ProtocolEngine, Transport

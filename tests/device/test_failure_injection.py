@@ -6,7 +6,6 @@ protocol violations, and must survive peers disappearing.
 
 import socket
 import struct
-import threading
 import time
 
 import numpy as np
@@ -14,7 +13,7 @@ import pytest
 
 from repro.buffer import Buffer, BufferFormatError
 from repro.xdev.exceptions import DuplicateControlFrameError, XDevException
-from repro.xdev.frames import HEADER_SIZE, FrameHeader, FrameType, encode_frame
+from repro.xdev.frames import HEADER_SIZE, FrameHeader, FrameType
 from repro.xdev.processid import ProcessID
 from repro.xdev.protocol import ProtocolEngine, Transport
 

@@ -11,11 +11,9 @@ import pytest
 
 from repro.buffer import Buffer
 from repro.testing import wait_until
-from repro.xdev import new_instance
 from repro.xdev.constants import ANY_SOURCE
-from repro.xdev.device import DeviceConfig
 from repro.xdev.exceptions import ResourceExhaustedError
-from repro.xdev.ibisdev import DEFAULT_MAX_THREADS, IbisFabric
+from repro.xdev.ibisdev import DEFAULT_MAX_THREADS
 
 from tests.conftest import make_job
 

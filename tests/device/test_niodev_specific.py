@@ -10,7 +10,7 @@ from repro.buffer import Buffer
 from repro.xdev import new_instance
 from repro.xdev.device import DeviceConfig
 from repro.xdev.exceptions import ConnectionSetupError
-from repro.xdev.niodev import NIODevice, allocate_local_endpoints
+from repro.xdev.niodev import allocate_local_endpoints
 
 from tests.conftest import make_job
 

@@ -8,7 +8,6 @@ import pytest
 from repro.buffer import Buffer
 from repro.mpjdev.waitany import WaitAnyQueue, waitany
 from repro.testing import wait_until
-from repro.xdev.constants import ANY_SOURCE
 
 
 def send_buffer(value):

@@ -6,9 +6,8 @@ import numpy as np
 import pytest
 
 from repro.buffer import Buffer
-from repro.xdev import new_instance
-from repro.xdev.device import DeviceConfig
 from repro.xdev.exceptions import XDevException
+from repro.testing import wait_until
 from repro.xdev.protocol import (
     DEFAULT_EAGER_THRESHOLD,
     MODE_BUFFERED,
@@ -16,8 +15,6 @@ from repro.xdev.protocol import (
     MODE_STANDARD,
     MODE_SYNC,
 )
-from repro.xdev.smdev import SMFabric
-from repro.testing import wait_until
 
 from tests.conftest import make_job
 

@@ -12,10 +12,9 @@ the execution of other threads in the same process."
 import threading
 
 import numpy as np
-import pytest
 
 from repro.buffer import Buffer
-from repro.xdev.constants import ANY_SOURCE, ANY_TAG
+from repro.xdev.constants import ANY_TAG
 
 
 def send_buffer(arr):

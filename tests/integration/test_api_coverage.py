@@ -1,7 +1,6 @@
 """Coverage of the remaining thin API wrappers."""
 
 import numpy as np
-import pytest
 
 from repro import mpi
 from repro.runtime.launcher import run_spmd

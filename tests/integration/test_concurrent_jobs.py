@@ -8,7 +8,6 @@ separate fabrics, separate matching engines, separate context spaces.
 import threading
 
 import numpy as np
-import pytest
 
 from repro import mpi
 from repro.runtime.launcher import run_spmd

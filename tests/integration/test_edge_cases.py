@@ -1,7 +1,6 @@
 """Edge cases across the stack: boundaries, zero counts, self-traffic."""
 
 import numpy as np
-import pytest
 
 from repro import mpi
 from repro.runtime.launcher import run_spmd

@@ -1,7 +1,6 @@
 """Integration tests for intercommunicators."""
 
 import numpy as np
-import pytest
 
 from repro import mpi
 from repro.runtime.launcher import run_spmd

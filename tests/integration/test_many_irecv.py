@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 
 from repro import mpi
-from repro.runtime.launcher import SpmdError, run_spmd
+from repro.runtime.launcher import run_spmd
 from repro.xdev.exceptions import ResourceExhaustedError
 
 N_RECEIVES = 650

@@ -4,8 +4,8 @@ import textwrap
 
 import pytest
 
-from repro.runtime.daemon import Daemon
 from repro.runtime import mpjrun
+from repro.runtime.daemon import Daemon
 
 APP = textwrap.dedent(
     """

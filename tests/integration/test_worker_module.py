@@ -5,9 +5,7 @@ import socket
 import subprocess
 import sys
 import textwrap
-from pathlib import Path
 
-import pytest
 
 from repro.runtime.worker import RESULT_BEGIN, RESULT_END, run_from_config
 
