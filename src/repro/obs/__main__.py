@@ -3,23 +3,41 @@
 Subcommands::
 
     python -m repro.obs merge DIR [--out FILE] [--quiet]
-        Merge DIR's per-rank JSONL traces into a clock-aligned Chrome
-        trace_event JSON (default DIR/timeline.json; open it in
-        chrome://tracing or https://ui.perfetto.dev) and print the
-        text report.
+        Merge DIR's per-rank JSONL traces into a causally stitched
+        Chrome trace_event JSON (default DIR/timeline.json; open it in
+        chrome://tracing or https://ui.perfetto.dev) — including
+        ``s``/``f`` flow arrows for every matched send→recv pair — and
+        print the text report.
 
-    python -m repro.obs report DIR
-        Print only the text report (per-peer byte matrix, protocol
-        stage spans, top latencies, unmatched receives).
+    python -m repro.obs report DIR [--critical-path] [--json FILE]
+        Print the text report (per-peer byte matrix, protocol stage
+        spans, causal-flow summary, top latencies, unmatched
+        receives).  ``--critical-path`` appends the longest dependency
+        chain with wait/wire/compute attribution; ``--json FILE``
+        writes a metric snapshot usable as a regression baseline.
+
+    python -m repro.obs report --regress OLD.json NEW.json [--fail-on-regress]
+        Diff two metric snapshots; prints every latency metric that
+        moved and flags >20% growth.  Exit code stays 0 (advisory)
+        unless ``--fail-on-regress`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
-from repro.obs.merge import merge_directory
+from repro.obs.critical import critical_path, format_critical_path
+from repro.obs.merge import analyze_directory
+from repro.obs.regress import (
+    DEFAULT_THRESHOLD,
+    build_snapshot,
+    compare_snapshots,
+    load_snapshot,
+    write_snapshot,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -36,25 +54,92 @@ def main(argv: list[str] | None = None) -> int:
         "--quiet", action="store_true", help="suppress the text report"
     )
 
-    p_report = sub.add_parser("report", help="print the text report only")
-    p_report.add_argument("dir", help="directory of per-rank *.jsonl trace files")
+    p_report = sub.add_parser(
+        "report", help="print the text report / diff metric snapshots"
+    )
+    p_report.add_argument(
+        "dir", nargs="?",
+        help="directory of per-rank *.jsonl trace files "
+        "(omitted in --regress mode)",
+    )
+    p_report.add_argument(
+        "--critical-path", action="store_true",
+        help="append the longest dependency chain with "
+        "wait/wire/compute attribution",
+    )
+    p_report.add_argument(
+        "--json", metavar="FILE", dest="json_out",
+        help="write a metric snapshot (regression baseline) to FILE",
+    )
+    p_report.add_argument(
+        "--regress", nargs=2, metavar=("OLD", "NEW"),
+        help="diff two metric snapshots instead of reading traces",
+    )
+    p_report.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="relative latency growth that counts as a regression "
+        "(default %(default)s)",
+    )
+    p_report.add_argument(
+        "--fail-on-regress", action="store_true",
+        help="exit non-zero when a regression is flagged "
+        "(default: advisory warnings only)",
+    )
 
     ns = parser.parse_args(argv)
+
+    if ns.command == "report" and ns.regress:
+        return _regress(ns)
+
+    if ns.dir is None:
+        print("report: a trace directory is required (or use --regress)",
+              file=sys.stderr)
+        return 2
     directory = Path(ns.dir)
     if not directory.is_dir():
         print(f"not a directory: {directory}", file=sys.stderr)
         return 2
 
+    analysis = analyze_directory(directory)
+
     if ns.command == "merge":
         out = Path(ns.out) if ns.out else directory / "timeline.json"
-        chrome, report = merge_directory(directory, out=out)
+        out.write_text(json.dumps(analysis.chrome) + "\n", encoding="utf-8")
         if not ns.quiet:
-            print(report)
-        print(f"wrote {out} ({len(chrome['traceEvents'])} trace events)")
+            print(analysis.report)
+        print(f"wrote {out} ({len(analysis.chrome['traceEvents'])} trace events)")
         return 0
 
-    _, report = merge_directory(directory, out=None)
-    print(report)
+    print(analysis.report)
+    if ns.critical_path:
+        crit = critical_path(analysis.spans, analysis.edges)
+        print(format_critical_path(crit))
+    if ns.json_out:
+        snapshot = build_snapshot(analysis)
+        path = write_snapshot(snapshot, ns.json_out)
+        print(f"wrote metric snapshot {path}")
+    return 0
+
+
+def _regress(ns: argparse.Namespace) -> int:
+    old_path, new_path = ns.regress
+    try:
+        old = load_snapshot(old_path)
+        new = load_snapshot(new_path)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot load snapshot: {exc}", file=sys.stderr)
+        return 2
+    lines, regressions = compare_snapshots(old, new, threshold=ns.threshold)
+    print(f"metric diff {old_path} -> {new_path}:")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(
+            f"WARNING: {len(regressions)} latency regression(s) beyond "
+            f"{ns.threshold * 100:.0f}%: {', '.join(regressions)}"
+        )
+        return 1 if ns.fail_on_regress else 0
+    print("no latency regressions.")
     return 0
 
 

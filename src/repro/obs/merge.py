@@ -1,4 +1,4 @@
-"""Merge per-rank JSONL traces into one clock-aligned timeline.
+"""Merge per-rank JSONL traces into one causally stitched timeline.
 
 Backs ``python -m repro.obs merge <dir>``: reads every ``*.jsonl`` the
 :class:`~repro.obs.tracing.TraceWriter` wrote, aligns ranks on their
@@ -7,15 +7,23 @@ Backs ``python -m repro.obs merge <dir>``: reads every ``*.jsonl`` the
 * Chrome ``trace_event`` JSON (open in ``chrome://tracing`` or
   https://ui.perfetto.dev): one process per rank file, one track per
   thread, ``X`` duration events for each ``<base>.post``/
-  ``<base>.complete`` pair and ``i`` instants for the rendezvous stage
-  marks (RTS/RTR/data), and
+  ``<base>.complete`` pair, ``i`` instants for the rendezvous stage
+  marks (RTS/RTR/data), and ``s``/``f`` *flow events* drawing an arrow
+  from each send span to the recv span that consumed its message, and
 * a text report: per-peer byte matrix, protocol-stage latency table,
-  top span latencies, unmatched receives.
+  flow-stitching summary, top span latencies, unmatched receives.
 
-Clock model: every event's absolute time is
-``(meta.wall_t0 - min(wall_t0)) + event.t`` — within one machine the
-wall-clock skew between ranks is far below the microsecond span
-resolution this needs, and all current transports are single-host.
+Clock model: ``wall_t0`` anchors give the coarse alignment, then the
+*causal* edges correct it.  Every message carries a flow id
+``(fs, fq)`` in its frame headers (:mod:`repro.xdev.causal`), stamped
+into the trace events, so a send span and the recv span it caused can
+be paired exactly — a true happened-before edge.  From the matched
+pairs the merge estimates per-file clock offsets (NTP-style: with
+edges in both directions between two files, half the difference of
+the minimum apparent one-way delays; with one direction, just enough
+shift that no recv completes before its send posts) and applies them
+to every event, so the merged timeline never shows an effect before
+its cause even when rank clocks disagree.
 """
 
 from __future__ import annotations
@@ -69,6 +77,64 @@ class Span:
     ep: Optional[int] = None
     #: Absolute µs of each stage instant sharing this span's id.
     stages: dict[str, float] = field(default_factory=dict)
+    #: Lamport clock at the span's defining event (post for sends,
+    #: complete for recvs) — ``lc`` trace field, schema version 2+.
+    lc: Optional[int] = None
+    #: Causal flow id ``(fs, fq)``: origin engine uid and per-engine
+    #: send sequence.  Send spans carry only ``fq`` on the wire (the
+    #: origin is the span's own rank); recv spans carry both.
+    fs: Optional[int] = None
+    fq: Optional[int] = None
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.dur_us
+
+    def flow_key(self) -> Optional[tuple[str, int, int]]:
+        """The stitching key, or None when the span carries no flow."""
+        if not self.fq:
+            return None
+        src = self.fs if self.fs is not None else self.rank
+        return (self.label, src, self.fq)
+
+    def shift(self, delta_us: float) -> None:
+        """Apply a clock-offset correction to every timestamp."""
+        self.start_us += delta_us
+        for stage in self.stages:
+            self.stages[stage] += delta_us
+
+
+@dataclass
+class FlowEdge:
+    """One matched send→recv pair: a happened-before edge."""
+
+    send: Span
+    recv: Span
+
+    @property
+    def key(self) -> tuple[str, int, int]:
+        return self.send.flow_key()  # type: ignore[return-value]
+
+
+@dataclass
+class FlowSummary:
+    """How well the directory's sends and recvs stitched together."""
+
+    sends: int = 0
+    recvs: int = 0
+    paired: int = 0
+    #: Recvs whose send span was evicted by the sender's trace ring
+    #: (the sender's file reports ``fin.dropped > 0``) — expected loss.
+    dropped: int = 0
+    #: Recvs with no explanation: no send span and no drops recorded
+    #: on the sender's side — a genuine stitching gap.
+    unmatched: int = 0
+    #: Pre-causal spans (no ``fq`` field): schema v1 traces.
+    unversioned: int = 0
+
+    @property
+    def pair_ratio(self) -> float:
+        return self.paired / self.recvs if self.recvs else 1.0
 
 
 #: Stage instants folded into the owning span (keyed by the same id).
@@ -149,6 +215,11 @@ def build_spans(traces: list[RankTrace]) -> tuple[list[Span], list[dict[str, Any
                         size=post.get("size", ev.get("size")),
                         proto=post.get("proto", ev.get("proto")),
                         ep=post.get("ep"),
+                        # Causal context: sends stamp it at post, recvs
+                        # only learn their flow at complete time.
+                        lc=post.get("lc", ev.get("lc")),
+                        fs=post.get("fs", ev.get("fs")),
+                        fq=post.get("fq", ev.get("fq")),
                     )
                 )
         for (base, _id), post in open_posts.items():
@@ -170,7 +241,152 @@ def build_spans(traces: list[RankTrace]) -> tuple[list[Span], list[dict[str, Any
     return spans, unmatched
 
 
-def chrome_trace(traces: list[RankTrace], spans: list[Span]) -> dict[str, Any]:
+# ----------------------------------------------------------------------
+# causal flow stitching
+
+
+def stitch_flows(
+    spans: list[Span], traces: Optional[list[RankTrace]] = None
+) -> tuple[list[FlowEdge], FlowSummary]:
+    """Pair send spans to recv spans by flow id.
+
+    A flow id is unique per engine, so within one job the pairing is
+    exact.  A directory holding several jobs of the same label (the
+    bench) can reuse ids across engine instances; colliding groups are
+    zipped in start-time order — the nearest-in-time interpretation.
+
+    The summary distinguishes a recv whose send event was *dropped* by
+    the sender's bounded trace ring (the sender's file finishes with
+    ``fin.dropped > 0`` — expected, tunable via REPRO_TRACE_BUFFER)
+    from one that is genuinely *unmatched*.
+    """
+    sends: dict[tuple[str, int, int], list[Span]] = defaultdict(list)
+    recvs: dict[tuple[str, int, int], list[Span]] = defaultdict(list)
+    summary = FlowSummary()
+    for span in spans:
+        if span.base not in ("send", "recv"):
+            continue
+        key = span.flow_key()
+        if key is None:
+            summary.unversioned += 1
+            continue
+        if span.base == "send":
+            summary.sends += 1
+            sends[key].append(span)
+        else:
+            summary.recvs += 1
+            recvs[key].append(span)
+
+    # Ranks whose trace ring evicted events: a missing send span from
+    # one of these is loss we can attribute, not a stitching bug.
+    lossy_ranks: set[int] = set()
+    for trace in traces or []:
+        if int(trace.fin.get("dropped", 0)) > 0:
+            lossy_ranks.add(trace.rank)
+
+    edges: list[FlowEdge] = []
+    for key, recv_group in recvs.items():
+        send_group = sorted(sends.get(key, []), key=lambda s: s.start_us)
+        recv_group = sorted(recv_group, key=lambda s: s.start_us)
+        for send, recv in zip(send_group, recv_group):
+            edges.append(FlowEdge(send=send, recv=recv))
+            summary.paired += 1
+        for recv in recv_group[len(send_group):]:
+            if key[1] in lossy_ranks:
+                summary.dropped += 1
+            else:
+                summary.unmatched += 1
+    return edges, summary
+
+
+def estimate_skew(
+    traces: list[RankTrace], edges: list[FlowEdge]
+) -> list[float]:
+    """Per-file clock-offset corrections (µs) from matched flow pairs.
+
+    Causality says a recv span cannot complete before its send span
+    posted; the apparent one-way delay of edge ``a→b`` is
+    ``recv.end - send.start``.  For each ordered file pair the minimum
+    apparent delay ``m`` is collected; with both directions available
+    the relative offset is the NTP estimate ``(m_ab - m_ba) / 2``, and
+    with only one direction the offset is whatever (if anything) is
+    needed to make the minimum delay non-negative.  Offsets propagate
+    from file 0 over a BFS spanning tree of the pair graph, then a
+    short relaxation pass lifts any file still showing a negative
+    residual, so no effect precedes its cause in the merged timeline.
+    """
+    nfiles = len(traces)
+    min_delay: dict[tuple[int, int], float] = {}
+    for edge in edges:
+        a, b = edge.send.file_idx, edge.recv.file_idx
+        if a == b:
+            continue
+        apparent = edge.recv.end_us - edge.send.start_us
+        key = (a, b)
+        if key not in min_delay or apparent < min_delay[key]:
+            min_delay[key] = apparent
+
+    neighbours: dict[int, set[int]] = defaultdict(set)
+    for a, b in min_delay:
+        neighbours[a].add(b)
+        neighbours[b].add(a)
+
+    offsets = [0.0] * nfiles
+    visited = {0} if nfiles else set()
+    queue = [0] if nfiles else []
+    while queue:
+        a = queue.pop(0)
+        for b in sorted(neighbours.get(a, ())):
+            if b in visited:
+                continue
+            m_ab = min_delay.get((a, b))
+            m_ba = min_delay.get((b, a))
+            if m_ab is not None and m_ba is not None:
+                delta = (m_ab - m_ba) / 2.0  # b's clock leads a's by delta
+            elif m_ab is not None:
+                delta = min(m_ab, 0.0)
+            else:
+                delta = -min(m_ba, 0.0)  # type: ignore[arg-type]
+            offsets[b] = offsets[a] - delta
+            visited.add(b)
+            queue.append(b)
+
+    # Relaxation: raise any file whose corrected min delay is still
+    # negative.  Each pass only increases offsets, so it terminates.
+    for _ in range(max(nfiles, 1) * 2):
+        adjusted = False
+        for (a, b), m in min_delay.items():
+            residual = m + offsets[b] - offsets[a]
+            if residual < 0:
+                offsets[b] += -residual
+                adjusted = True
+        if not adjusted:
+            break
+    return offsets
+
+
+def apply_skew(
+    traces: list[RankTrace], spans: list[Span], offsets: list[float]
+) -> None:
+    """Shift spans (and their raw events) by the per-file corrections."""
+    for span in spans:
+        delta = offsets[span.file_idx] if span.file_idx < len(offsets) else 0.0
+        if delta:
+            span.shift(delta)
+    for file_idx, trace in enumerate(traces):
+        delta = offsets[file_idx] if file_idx < len(offsets) else 0.0
+        if delta:
+            # Instant events are rendered straight from the raw event
+            # list; fold the correction into their offsets once.
+            trace.meta["skew_us"] = round(delta, 3)
+
+
+def chrome_trace(
+    traces: list[RankTrace],
+    spans: list[Span],
+    edges: Optional[list[FlowEdge]] = None,
+    offsets: Optional[list[float]] = None,
+) -> dict[str, Any]:
     """The merged timeline as Chrome ``trace_event`` JSON (dict form)."""
     zero = min((t.wall_t0 for t in traces), default=0.0)
     events: list[dict[str, Any]] = []
@@ -199,6 +415,8 @@ def chrome_trace(traces: list[RankTrace], spans: list[Span]) -> dict[str, Any]:
                 }
             )
         offset_us = (trace.wall_t0 - zero) * 1e6
+        if offsets is not None and file_idx < len(offsets):
+            offset_us += offsets[file_idx]
         for ev in trace.events:
             name = ev.get("ev", "")
             # Stage marks and any other point event (probe, failure,
@@ -242,7 +460,42 @@ def chrome_trace(traces: list[RankTrace], spans: list[Span]) -> dict[str, Any]:
                     "size": span.size,
                     "rank": span.rank,
                     "ep": span.ep,
+                    "lc": span.lc,
+                    "flow": f"{span.fs if span.fs is not None else span.rank}"
+                    f":{span.fq}" if span.fq else None,
                 },
+            }
+        )
+    # Flow events: an ``s`` (start) anchored inside the send span and
+    # an ``f`` (finish, binding-point "enclosing") inside the recv span
+    # draw the causal arrow between them in Perfetto/chrome://tracing.
+    # Anchoring at the span midpoints keeps both endpoints strictly
+    # inside their slices, which is what the binding rules require.
+    for edge in edges or []:
+        send, recv = edge.send, edge.recv
+        label, src, seq = edge.key
+        fid = f"{label}:{src}:{seq}"
+        events.append(
+            {
+                "ph": "s",
+                "cat": "flow",
+                "name": "msg",
+                "id": fid,
+                "pid": send.file_idx,
+                "tid": send.tid,
+                "ts": round(send.start_us + send.dur_us / 2.0, 3),
+            }
+        )
+        events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "cat": "flow",
+                "name": "msg",
+                "id": fid,
+                "pid": recv.file_idx,
+                "tid": recv.tid,
+                "ts": round(recv.start_us + recv.dur_us / 2.0, 3),
             }
         )
     events.sort(key=lambda e: e.get("ts", -1.0))
@@ -321,6 +574,8 @@ def text_report(
     spans: list[Span],
     unmatched: list[dict[str, Any]],
     top_n: int = 10,
+    flows: Optional[FlowSummary] = None,
+    offsets: Optional[list[float]] = None,
 ) -> str:
     lines: list[str] = []
     total_events = sum(len(t.events) for t in traces)
@@ -331,6 +586,24 @@ def text_report(
     )
     labels = sorted({t.label for t in traces})
     lines.append(f"devices: {', '.join(labels) if labels else '(none)'}")
+
+    if flows is not None:
+        lines.append(
+            f"causal flows: {flows.sends} send(s), {flows.recvs} recv(s), "
+            f"{flows.paired} paired ({flows.pair_ratio * 100:.1f}%); "
+            f"{flows.dropped} dropped by trace rings, "
+            f"{flows.unmatched} unmatched"
+            + (
+                f"; {flows.unversioned} span(s) predate causal tracing"
+                if flows.unversioned
+                else ""
+            )
+        )
+    if offsets is not None and any(abs(o) > 0.5 for o in offsets):
+        lines.append(
+            "clock-skew corrections (µs per file): "
+            + ", ".join(f"{o:+.1f}" for o in offsets)
+        )
 
     matrix = _byte_matrix(spans)
     lines.append("")
@@ -397,6 +670,44 @@ def text_report(
     return "\n".join(lines) + "\n"
 
 
+@dataclass
+class MergeAnalysis:
+    """Everything the merge pipeline derives from one trace directory."""
+
+    traces: list[RankTrace]
+    spans: list[Span]
+    unmatched: list[dict[str, Any]]
+    edges: list[FlowEdge]
+    flows: FlowSummary
+    offsets: list[float]
+    chrome: dict[str, Any]
+    report: str
+
+
+def analyze_directory(directory: Path | str, top_n: int = 10) -> MergeAnalysis:
+    """The full merge pipeline: load → span-pair → flow-stitch →
+    skew-correct → render."""
+    traces = load_trace_dir(directory)
+    spans, unmatched = build_spans(traces)
+    edges, flows = stitch_flows(spans, traces)
+    offsets = estimate_skew(traces, edges)
+    apply_skew(traces, spans, offsets)
+    chrome = chrome_trace(traces, spans, edges=edges, offsets=offsets)
+    report = text_report(
+        traces, spans, unmatched, top_n=top_n, flows=flows, offsets=offsets
+    )
+    return MergeAnalysis(
+        traces=traces,
+        spans=spans,
+        unmatched=unmatched,
+        edges=edges,
+        flows=flows,
+        offsets=offsets,
+        chrome=chrome,
+        report=report,
+    )
+
+
 def merge_directory(
     directory: Path | str, out: Optional[Path | str] = None
 ) -> tuple[dict[str, Any], str]:
@@ -404,10 +715,7 @@ def merge_directory(
 
     Returns ``(chrome_trace_dict, text_report_str)``.
     """
-    traces = load_trace_dir(directory)
-    spans, unmatched = build_spans(traces)
-    chrome = chrome_trace(traces, spans)
-    report = text_report(traces, spans, unmatched)
+    analysis = analyze_directory(directory)
     if out is not None:
-        Path(out).write_text(json.dumps(chrome) + "\n", encoding="utf-8")
-    return chrome, report
+        Path(out).write_text(json.dumps(analysis.chrome) + "\n", encoding="utf-8")
+    return analysis.chrome, analysis.report

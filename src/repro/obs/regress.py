@@ -1,0 +1,149 @@
+"""Metric snapshots and regression diffing for CI gating.
+
+``python -m repro.obs report DIR --json OUT`` condenses a merge
+analysis into a small, stable JSON snapshot: span-latency aggregates
+per (op, protocol), the protocol-stage table, the flow-stitching
+summary and the critical-path attribution.  A committed snapshot is a
+*baseline*; ``python -m repro.obs report --regress OLD.json NEW.json``
+diffs two snapshots and flags every latency-ish metric (keys ending in
+``_us``) that grew by more than the threshold (default 20%).
+
+The diff is advisory by design — CI runs it ``continue-on-error`` so a
+shared-runner hiccup warns instead of blocking — but ``--fail-on-
+regress`` upgrades regressions to a non-zero exit for local gating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+SNAPSHOT_VERSION = 1
+
+#: Relative growth beyond which a latency metric counts as regressed.
+DEFAULT_THRESHOLD = 0.20
+
+#: Ignore sub-microsecond-scale noise: a mean that went 0.4µs → 0.9µs
+#: is scheduler jitter, not a regression worth a CI warning.
+MIN_ABS_DELTA_US = 5.0
+
+
+def build_snapshot(analysis: Any) -> dict[str, Any]:
+    """A regression-comparable snapshot of a :class:`MergeAnalysis`."""
+    from repro.obs.critical import critical_path
+    from repro.obs.merge import _stage_table
+
+    span_agg: dict[str, dict[str, Any]] = {}
+    groups: dict[str, list[float]] = {}
+    for span in analysis.spans:
+        if span.base not in ("send", "recv"):
+            continue
+        groups.setdefault(f"{span.base}/{span.proto or 'eager'}", []).append(
+            span.dur_us
+        )
+    for key, vals in sorted(groups.items()):
+        vals.sort()
+        span_agg[key] = {
+            "count": len(vals),
+            "mean_us": round(sum(vals) / len(vals), 2),
+            "p50_us": round(vals[len(vals) // 2], 2),
+            "max_us": round(vals[-1], 2),
+        }
+
+    crit = critical_path(analysis.spans, analysis.edges)
+    flows = analysis.flows
+    return {
+        "version": SNAPSHOT_VERSION,
+        "spans": span_agg,
+        "stages": _stage_table(analysis.spans),
+        "flows": {
+            "sends": flows.sends,
+            "recvs": flows.recvs,
+            "paired": flows.paired,
+            "pair_ratio": round(flows.pair_ratio, 4),
+            "dropped": flows.dropped,
+            "unmatched": flows.unmatched,
+        },
+        "critical_path": {
+            "total_us": crit["total_us"],
+            "wait_us": crit["wait_us"],
+            "wire_us": crit["wire_us"],
+            "compute_us": crit["compute_us"],
+            "steps": len(crit["steps"]),
+        },
+    }
+
+
+def _numeric_leaves(doc: Any, prefix: str = "") -> dict[str, float]:
+    out: dict[str, float] = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(_numeric_leaves(value, path))
+    elif isinstance(doc, bool):
+        pass
+    elif isinstance(doc, (int, float)):
+        out[prefix] = float(doc)
+    return out
+
+
+def compare_snapshots(
+    old: dict[str, Any],
+    new: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_abs_delta_us: float = MIN_ABS_DELTA_US,
+) -> tuple[list[str], list[str]]:
+    """Diff two snapshots; returns ``(report_lines, regressions)``.
+
+    Only latency metrics (leaf keys ending ``_us``, excluding the
+    ``max_us`` outliers) can regress; counters and ratios are reported
+    when they change but never flagged.
+    """
+    old_leaves = _numeric_leaves(old)
+    new_leaves = _numeric_leaves(new)
+    lines: list[str] = []
+    regressions: list[str] = []
+    for path in sorted(set(old_leaves) | set(new_leaves)):
+        before = old_leaves.get(path)
+        after = new_leaves.get(path)
+        if before is None or after is None:
+            lines.append(
+                f"  {path}: "
+                + ("added" if before is None else "removed")
+                + f" (now {after if after is not None else '-'})"
+            )
+            continue
+        if before == after:
+            continue
+        rel = (after - before) / before if before else float("inf")
+        gating = (
+            path.endswith("_us")
+            and not path.endswith("max_us")
+            and after - before >= min_abs_delta_us
+        )
+        marker = ""
+        if gating and rel > threshold:
+            marker = f"  <-- REGRESSION (> {threshold * 100:.0f}%)"
+            regressions.append(path)
+        if marker or abs(rel) > 0.05:
+            lines.append(
+                f"  {path}: {before:g} -> {after:g} ({rel * +100:+.1f}%){marker}"
+            )
+    if not lines:
+        lines.append("  (no significant changes)")
+    return lines, regressions
+
+
+def load_snapshot(path: Path | str) -> dict[str, Any]:
+    return json.loads(Path(path).read_text(encoding="utf-8"))
+
+
+def write_snapshot(
+    snapshot: dict[str, Any], path: Path | str
+) -> Optional[Path]:
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    return out

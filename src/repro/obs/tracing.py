@@ -18,7 +18,13 @@ File schema (one JSON object per line):
   ``size``/``proto``.  Protocol-stage event names pair ``<base>.post``
   with ``<base>.complete`` (same ``id``) into spans; the rendezvous
   stages ``rts.out``/``rts.in``/``rtr.out``/``rtr.in``/``rndz.out``/
-  ``rndz.in`` are instants sharing the send/recv span's id.
+  ``rndz.in`` are instants sharing the send/recv span's id.  Since
+  schema version 2, protocol events also carry the causal context the
+  frame headers transport (:mod:`repro.xdev.causal`): ``lc`` — the
+  Lamport clock at the event — and ``fs``/``fq`` — the message's flow
+  id (origin engine uid, per-engine send sequence).  ``fq`` appears on
+  ``send.post`` and on the receive side's arrival/complete events; the
+  merge CLI pairs send and recv spans on ``(fs, fq)``.
 * last line — ``{"fin": {"events", "dropped", "threads"}}``; ``dropped``
   counts events evicted by the bounded ring buffer
   (``REPRO_TRACE_BUFFER``, default 65536 events per writer).
@@ -40,7 +46,7 @@ TRACE_BUFFER_ENV = "REPRO_TRACE_BUFFER"
 
 DEFAULT_BUFFER_EVENTS = 65536
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Per-process sequence so several writers for the same (label, rank)
 #: — the bench stands jobs up back to back — get distinct file names.

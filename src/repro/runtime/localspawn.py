@@ -36,19 +36,52 @@ from repro.runtime.mpjrun import JobError, JobResult, _extract_result
 from repro.shm.bootstrap import ShmBootstrap, active_segments, new_job_id, sweep
 
 
-def _worker_env() -> dict[str, str]:
+def _worker_env(trace_dir: Optional[Path] = None) -> dict[str, str]:
     """Child environment: inherit, but make sure ``repro`` imports.
 
     The parent may be running from a source checkout that is on
     ``sys.path`` without being on ``PYTHONPATH``; the child is a fresh
     interpreter and only sees the latter.
+
+    Observability env rides along the same way: ``REPRO_METRICS`` /
+    ``REPRO_TRACE`` (and its buffer knob) are inherited, so a traced
+    ``mpjrun --local`` invocation produces per-rank trace files just
+    like an in-process job.  An explicit *trace_dir* overrides the
+    inherited ``REPRO_TRACE``; either way the directory is absolutized
+    — the children run in the parent's cwd today, but a relative path
+    would silently scatter traces if that ever changes.
     """
     env = dict(os.environ)
     pkg_root = str(Path(__file__).resolve().parent.parent.parent)
     parts = env.get("PYTHONPATH", "").split(os.pathsep)
     if pkg_root not in parts:
         env["PYTHONPATH"] = os.pathsep.join([pkg_root] + [p for p in parts if p])
+    if trace_dir is not None:
+        env["REPRO_TRACE"] = str(Path(trace_dir).resolve())
+    elif env.get("REPRO_TRACE", "").strip():
+        env["REPRO_TRACE"] = str(Path(env["REPRO_TRACE"]).resolve())
     return env
+
+
+def _collect_traces(
+    env: dict[str, str], pids: list[int]
+) -> tuple[Optional[str], list[str]]:
+    """This job's trace files: the env's trace dir filtered by rank pid.
+
+    The trace dir may accumulate files across jobs (the bench reuses
+    one dir); the worker pids embedded in the file names
+    (``…-p<ospid>-…``) pick out exactly this job's output.
+    """
+    directory = env.get("REPRO_TRACE", "").strip()
+    if not directory:
+        return None, []
+    markers = [f"-p{pid}-" for pid in pids]
+    files = sorted(
+        str(p)
+        for p in Path(directory).glob("*.jsonl")
+        if any(marker in p.name for marker in markers)
+    )
+    return directory, files
 
 
 def run_local_job(
@@ -64,6 +97,7 @@ def run_local_job(
     poll_interval: float = 0.05,
     nslots: int = 32,
     slot_bytes: int = 16384,
+    trace_dir: str | Path | None = None,
 ) -> JobResult:
     """Run an SPMD job as local child processes over shared memory.
 
@@ -105,7 +139,9 @@ def run_local_job(
     else:
         base_config["module_path"] = str(Path(module_path).resolve())
 
-    env = _worker_env()
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
+    env = _worker_env(Path(trace_dir) if trace_dir is not None else None)
     procs: list[subprocess.Popen] = []
     swept: list[str] = []
     try:
@@ -156,6 +192,9 @@ def run_local_job(
             )
 
         stats = _collect_stats(str(stats_dir), nprocs)
+        job_trace_dir, trace_files = _collect_traces(
+            env, [p.pid for p in procs]
+        )
         result = JobResult(
             job_id,
             [_extract_result(out) for out, _ in outs],
@@ -163,6 +202,8 @@ def run_local_job(
             [err for _, err in outs],
             codes,
             stats=stats,
+            trace_dir=job_trace_dir,
+            trace_files=trace_files,
         )
         return result
     except JobError as exc:

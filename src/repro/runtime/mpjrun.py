@@ -93,6 +93,11 @@ class JobResult:
     #: per-rank copy-stats snapshots plus their totals); None when the
     #: launch path doesn't collect them.
     stats: Optional[dict] = field(default=None)
+    #: Where the job's per-rank JSONL traces landed (local jobs run
+    #: with tracing on), and the files this job's worker processes
+    #: wrote there — ready for ``python -m repro.obs merge``.
+    trace_dir: Optional[str] = field(default=None)
+    trace_files: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -268,6 +273,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="spawn ranks as local child processes (no daemons); implied "
         "by --device procdev, whose ranks must share memory on one host",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="DIR",
+        help="(with --local) collect per-rank JSONL traces into DIR "
+        "(sets REPRO_TRACE for every rank); merge them afterwards with "
+        "'python -m repro.obs merge DIR'",
+    )
     ns = parser.parse_args(argv)
 
     if ns.local or ns.device == "procdev":
@@ -280,6 +292,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                 entry=ns.entry,
                 device=ns.device if ns.device != "niodev" else "procdev",
                 timeout=ns.timeout,
+                trace_dir=ns.trace,
             )
         except JobError as exc:
             print(f"mpjrun: {exc}", file=sys.stderr)
@@ -291,6 +304,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         print(f"job {outcome.job_id} finished; results: {outcome.results}")
         if outcome.stats and outcome.stats.get("copy_stats"):
             print(f"job copy stats: {outcome.stats['copy_stats']}")
+        if outcome.trace_dir:
+            print(
+                f"wrote {len(outcome.trace_files)} rank trace file(s) to "
+                f"{outcome.trace_dir}; merge with "
+                f"'python -m repro.obs merge {outcome.trace_dir}'"
+            )
         return 0
 
     daemons = []

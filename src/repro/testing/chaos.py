@@ -218,6 +218,14 @@ class ChaosTransport(Transport):
         # which is stable across processes and interpreter versions —
         # unlike hash() of a tuple, which PYTHONHASHSEED could perturb
         # if a str ever entered the key.
+        #
+        # The causal header fields (clock, flow_src, flow_seq — see
+        # repro.xdev.causal) are deliberately EXCLUDED from this key
+        # and from _next_occurrence's identity: the Lamport clock value
+        # depends on thread interleaving, so keying on it would give
+        # the same logical frame different fault decisions run to run
+        # and break REPRO_CHAOS_SEED replay.  Flow ids ride through
+        # chaos untouched; fault decisions never depend on them.
         key = (
             f"{self.config.seed}:{int(header.type)}:{header.context}:"
             f"{header.tag}:{header.send_id}:{header.recv_id}:"

@@ -1,0 +1,61 @@
+"""Causal wire context: the Lamport clock behind every frame header.
+
+Every frame a protocol engine emits carries three extra header fields
+(see :mod:`repro.xdev.frames`):
+
+``clock``
+    A Lamport logical timestamp — ticked on every frame send, merged
+    (``max(local, remote) + 1``) on every frame receipt.  Comparing two
+    clocks orders causally related events without trusting wall time.
+``flow_src`` / ``flow_seq``
+    The message's *flow id*: the origin engine's uid plus a per-engine
+    sequence number, assigned once per user-level send and carried by
+    every frame of that message (EAGER, RTS, the RTR echo, RNDZ_DATA).
+    The merge CLI (:mod:`repro.obs.merge`) pairs send spans to recv
+    spans by this id — the happened-before edge wall clocks can't give.
+
+The clock is always on: headers carry it whether or not tracing is
+enabled, so a partially traced job (some ranks with ``REPRO_TRACE``,
+some without) still merges its clocks correctly.  The cost per frame is
+one lock-protected integer increment and three extra struct fields —
+no allocation, which is what keeps the REPRO_TRACE-unset fast path
+allocation-free.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class LamportClock:
+    """A thread-safe Lamport logical clock.
+
+    The lock (not a bare ``+= 1``) keeps tick/merge atomic so clock
+    assignments are reproducible under the seeded scheduler — the
+    determinism tests compare exact values across runs.
+    """
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, start: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._value = int(start)
+
+    def tick(self) -> int:
+        """Advance for a local event (frame send); return the new value."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def merge(self, remote: int) -> int:
+        """Fold in a received frame's clock; return the new local value."""
+        with self._lock:
+            if remote > self._value:
+                self._value = remote
+            self._value += 1
+            return self._value
+
+    def value(self) -> int:
+        """The current clock (introspection/metrics; not an event)."""
+        with self._lock:
+            return self._value

@@ -3,15 +3,27 @@
 niodev and smdev speak the same frame format, because they run the
 same protocol engine over different transports.  Each frame is::
 
-    +------+---------+-----+----------+----------+--------------+---------+
-    | type | context | tag | send_id  | recv_id  | payload_len  | payload |
-    | (u8) | (i32)   |(i32)| (i64)    | (i64)    | (i64)        | bytes   |
-    +------+---------+-----+----------+----------+--------------+---------+
+    +------+---------+-----+---------+---------+-------------+
+    | type | context | tag | send_id | recv_id | payload_len |
+    | (u8) | (i32)   |(i32)| (i64)   | (i64)   | (i64)       |
+    +------+---------+-----+---------+---------+-------------+
+    | clock | flow_src | flow_seq | payload |
+    | (i64) | (i32)    | (i64)    | bytes   |
+    +-------+----------+----------+---------+
 
 The source process is identified by the channel a frame arrives on
 (transports hand the engine a ``(src ProcessID, frame)`` pair), so it
 does not appear in the header — the same economy the paper's niodev
 gets from its per-peer channels.
+
+The trailing three fields are the *causal context* (see
+:mod:`repro.xdev.causal`): a Lamport clock ticked at every frame send
+and merged at every receipt, plus the message's flow id
+``(flow_src, flow_seq)`` — origin engine uid and per-engine send
+sequence — which every frame of one message carries so the obs layer
+can pair sends to recvs across ranks by a true happened-before edge.
+Byte 0 stays the frame type, so transports that peek at it raw
+(procdev's ring dispatch) are unaffected by the header growth.
 
 Frame types (paper Sections IV-A.1 and IV-A.2):
 
@@ -45,7 +57,7 @@ class FrameType(enum.IntEnum):
     BYE = 5
 
 
-HEADER = struct.Struct("<Biiqqq")
+HEADER = struct.Struct("<Biiqqqqiq")
 HEADER_SIZE = HEADER.size
 
 
@@ -59,6 +71,13 @@ class FrameHeader:
     send_id: int
     recv_id: int
     payload_len: int
+    #: Lamport clock at the moment this frame was sent.
+    clock: int = 0
+    #: Flow id: origin engine uid + per-engine send sequence.  A
+    #: ``flow_seq`` of 0 means "no flow" (control frames predating the
+    #: field, or synthetic test frames); real flows count from 1.
+    flow_src: int = 0
+    flow_seq: int = 0
 
     def encode(self) -> bytes:
         return HEADER.pack(
@@ -68,6 +87,9 @@ class FrameHeader:
             self.send_id,
             self.recv_id,
             self.payload_len,
+            self.clock,
+            self.flow_src,
+            self.flow_seq,
         )
 
     @classmethod
@@ -78,8 +100,28 @@ class FrameHeader:
         ``memoryview`` callers alike straight from their backing
         storage — no ``bytes()`` cast, no slice materialization.
         """
-        t, context, tag, send_id, recv_id, payload_len = HEADER.unpack_from(data)
-        return cls(FrameType(t), context, tag, send_id, recv_id, payload_len)
+        (
+            t,
+            context,
+            tag,
+            send_id,
+            recv_id,
+            payload_len,
+            clock,
+            flow_src,
+            flow_seq,
+        ) = HEADER.unpack_from(data)
+        return cls(
+            FrameType(t),
+            context,
+            tag,
+            send_id,
+            recv_id,
+            payload_len,
+            clock,
+            flow_src,
+            flow_seq,
+        )
 
 
 def encode_frame(
@@ -89,6 +131,9 @@ def encode_frame(
     send_id: int = 0,
     recv_id: int = 0,
     payload: bytes | memoryview | list | None = None,
+    clock: int = 0,
+    flow_src: int = 0,
+    flow_seq: int = 0,
 ) -> list[bytes | memoryview]:
     """Build a frame as a segment list: [header, *payload segments].
 
@@ -105,5 +150,7 @@ def encode_frame(
     else:
         segments = [payload]
     plen = sum(len(s) for s in segments)
-    header = FrameHeader(ftype, context, tag, send_id, recv_id, plen).encode()
+    header = FrameHeader(
+        ftype, context, tag, send_id, recv_id, plen, clock, flow_src, flow_seq
+    ).encode()
     return [header, *segments]

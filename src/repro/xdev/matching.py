@@ -82,6 +82,10 @@ class ArrivedMessage:
     send_id: int = 0  # sender-side request id (rendezvous)
     src_pid: Any = None
     is_rts: bool = False
+    #: Causal flow id from the frame header (repro.xdev.causal);
+    #: ``flow_seq == 0`` means the frame carried no flow.
+    flow_src: int = 0
+    flow_seq: int = 0
     seqno: int = 0
     claimed: bool = False
 

@@ -69,6 +69,7 @@ from repro.xdev.exceptions import (
     DuplicateControlFrameError,
     XDevException,
 )
+from repro.xdev.causal import LamportClock
 from repro.xdev.frames import FrameHeader, FrameType, encode_frame
 from repro.xdev.matching import ArrivedMessage, PostedRecv, ShardedMatcher
 from repro.xdev.processid import ProcessID
@@ -238,13 +239,14 @@ class ProtocolEngine:
         # receive-communication-sets, sharded per endpoint (the seed's
         # single lock + MessageQueues is the nshards=1 special case).
         self._matcher = ShardedMatcher(self.endpoints)
-        #: recv_id -> (Request, src, tag, context, send_id), for
-        #: rendezvous data addressed by id; with the active-RTS set,
-        #: id-addressed state outside any matching shard, under its own
-        #: rendezvous-ids lock.
+        #: recv_id -> (Request, src, tag, context, send_id, flow_src,
+        #: flow_seq), for rendezvous data addressed by id; with the
+        #: active-RTS set, id-addressed state outside any matching
+        #: shard, under its own rendezvous-ids lock.  The flow fields
+        #: come from the RTS and stamp the eventual recv.complete.
         self._rndz_lock = threading.Lock()
         self._rendezvous_recvs: dict[
-            int, tuple[Request, ProcessID, int, int, int]
+            int, tuple[Request, ProcessID, int, int, int, int, int]
         ] = {}
         #: (src uid, send_id) of every RTS seen but not yet satisfied
         #: by its RNDZ_DATA — duplicates are rejected against this set.
@@ -265,6 +267,15 @@ class ProtocolEngine:
         self._ids = itertools.count(1)
         self._finished = False
 
+        #: Causal wire context (repro.xdev.causal): the Lamport clock
+        #: ticked on every frame send and merged on every receipt, and
+        #: the per-engine flow sequence assigned once per user-level
+        #: send.  Always on — headers carry the context whether or not
+        #: tracing is enabled, at the cost of one locked increment per
+        #: frame (no allocation on the REPRO_TRACE-unset fast path).
+        self.clock = LamportClock()
+        self._flow_seq = itertools.count(1)
+
         # statistics (tests + benches)
         self.stats = {
             "eager_sends": 0,
@@ -274,6 +285,7 @@ class ProtocolEngine:
             "completions": 0,
             "duplicate_control_frames": 0,
             "failed_deliveries": 0,
+            "flows": 0,
         }
 
         # Observability: hot paths go through pre-bound instruments —
@@ -297,6 +309,14 @@ class ProtocolEngine:
         m.attach("queues", self.introspect_queues)
         m.attach("endpoints", self.introspect_endpoints)
         m.attach("raw_pool", lambda: dict(self.raw_pool.stats))
+        # The causal clock rides in every metrics snapshot (and so in
+        # every bench cell's embedded metrics block): the final value
+        # counts the frames this engine sent or received, and diffing
+        # it across ranks bounds how causally chatty the job was.
+        m.attach(
+            "causal",
+            lambda: {"clock": self.clock.value(), "flows": self.stats["flows"]},
+        )
         #: JSONL trace writer, created when REPRO_TRACE names a
         #: directory — every rank of every launcher/daemon job traces
         #: automatically; finish() flushes the file.
@@ -425,6 +445,12 @@ class ProtocolEngine:
         else:
             use_eager = wire_len <= self.eager_threshold
 
+        # Causal context: one flow id per user-level send, carried by
+        # every frame of this message; the clock ticks once per frame
+        # at the moment that frame is built.
+        flow_seq = next(self._flow_seq)
+        self.stats["flows"] += 1
+
         tracer = self.tracer
         if use_eager:
             # Fig. 3: lock dest channel / send the data / unlock /
@@ -435,17 +461,27 @@ class ProtocolEngine:
             # non-pending while the frame sits in the peer's inbox.
             self.stats["eager_sends"] += 1
             self._h_eager_bytes.observe(buf.size)
+            lc = self.clock.tick()
             if tracer is not None:
                 request.trace_id = next(self._ids)
                 tracer.emit(
                     "send.post", id=request.trace_id, peer=dest.uid,
                     tag=tag, ctx=context, size=buf.size, proto="eager", ep=ep,
+                    lc=lc, fq=flow_seq,
                 )
             payload, release = self._stable_segments(segments, wire_len)
             try:
                 self._write(
                     dest,
-                    encode_frame(FrameType.EAGER, context, tag, payload=payload),
+                    encode_frame(
+                        FrameType.EAGER,
+                        context,
+                        tag,
+                        payload=payload,
+                        clock=lc,
+                        flow_src=self.my_pid.uid,
+                        flow_seq=flow_seq,
+                    ),
                     on_delivered=release,
                     route=route,
                 )
@@ -468,10 +504,12 @@ class ProtocolEngine:
         self._h_rndz_bytes.observe(buf.size)
         send_id = next(self._ids)
         request.trace_id = send_id
+        lc = self.clock.tick()
         if tracer is not None:
             tracer.emit(
                 "send.post", id=send_id, peer=dest.uid,
                 tag=tag, ctx=context, size=buf.size, proto="rndz", ep=ep,
+                lc=lc, fq=flow_seq,
             )
         with self._send_lock:
             # The park is the documented zero-copy window: MPI forbids
@@ -490,7 +528,14 @@ class ProtocolEngine:
             self._write(
                 dest,
                 encode_frame(
-                    FrameType.RTS, context, tag, send_id=send_id, recv_id=buf.size
+                    FrameType.RTS,
+                    context,
+                    tag,
+                    send_id=send_id,
+                    recv_id=buf.size,
+                    clock=lc,
+                    flow_src=self.my_pid.uid,
+                    flow_seq=flow_seq,
                 ),
                 route=route,
             )
@@ -501,7 +546,7 @@ class ProtocolEngine:
                 self._pending_sends.pop(send_id, None)
             raise
         if tracer is not None:
-            tracer.emit("rts.out", id=send_id, peer=dest.uid)
+            tracer.emit("rts.out", id=send_id, peer=dest.uid, fq=flow_seq)
         return request
 
     def _stable_segments(
@@ -598,6 +643,8 @@ class ProtocolEngine:
                 rts.tag,
                 rts.context,
                 rts.send_id,
+                rts.flow_src,
+                rts.flow_seq,
             )
         return recv_id
 
@@ -607,7 +654,10 @@ class ProtocolEngine:
         """Send ready-to-recv for a matched RTS (Fig. 7 / Fig. 8)."""
         # RTR frames are id-addressed: route by the send id so the
         # answer always takes the same path regardless of which thread
-        # sends it.
+        # sends it.  The RTR echoes the RTS's flow id back, so the
+        # sender's RNDZ_DATA can carry it without parking flow state
+        # in the pending-send set.
+        lc = self.clock.tick()
         self._write(
             rts.src_pid,
             encode_frame(
@@ -616,11 +666,17 @@ class ProtocolEngine:
                 rts.tag,
                 send_id=rts.send_id,
                 recv_id=recv_id,
+                clock=lc,
+                flow_src=rts.flow_src,
+                flow_seq=rts.flow_seq,
             ),
             route=route_of_id(rts.send_id),
         )
         if self.tracer is not None:
-            self.tracer.emit("rtr.out", id=trace_id, peer=rts.src_uid)
+            self.tracer.emit(
+                "rtr.out", id=trace_id, peer=rts.src_uid,
+                lc=lc, fs=rts.flow_src, fq=rts.flow_seq,
+            )
 
     def recv(self, buf: Buffer, src: ProcessID | int, tag: int, context: int) -> Status:
         return self.irecv(buf, src, tag, context).wait()
@@ -660,6 +716,7 @@ class ProtocolEngine:
             self.tracer.emit(
                 "recv.complete", id=request.trace_id,
                 peer=msg.src_uid, size=buf.size, proto="eager",
+                fs=msg.flow_src, fq=msg.flow_seq, lc=self.clock.value(),
             )
 
     def _release_message_storage(self, msg: ArrivedMessage) -> None:
@@ -787,16 +844,22 @@ class ProtocolEngine:
         either keeps it alive as unexpected-message storage or
         releases it (including on error paths).
         """
+        # Causal receipt: fold the sender's Lamport clock in before any
+        # handler runs, so every event this frame causes is stamped
+        # after every event that preceded its send.
+        lc = self.clock.merge(header.clock)
         ftype = header.type
         try:
             if ftype == FrameType.EAGER:
-                owned = self._handle_eager(src_pid, header, payload, owned)
+                owned = self._handle_eager(src_pid, header, payload, owned, lc=lc)
             elif ftype == FrameType.RTS:
-                self._handle_rts(src_pid, header)
+                self._handle_rts(src_pid, header, lc=lc)
             elif ftype == FrameType.RTR:
-                self._handle_rtr(src_pid, header)
+                self._handle_rtr(src_pid, header, lc=lc)
             elif ftype == FrameType.RNDZ_DATA:
-                self._handle_rndz_data(src_pid, header, payload, in_place=in_place)
+                self._handle_rndz_data(
+                    src_pid, header, payload, in_place=in_place, lc=lc
+                )
             elif ftype == FrameType.BYE:
                 pass  # orderly peer shutdown; nothing to match
             else:  # pragma: no cover - decode guards against this
@@ -811,6 +874,7 @@ class ProtocolEngine:
         header: FrameHeader,
         payload: memoryview | bytes | list,
         owned: Optional[bytearray] = None,
+        lc: int = 0,
     ) -> Optional[bytearray]:
         # Fig. 5: lock receive sets; if matched, receive into the user
         # buffer; else store into an input buffer and record the
@@ -822,6 +886,7 @@ class ProtocolEngine:
             self.tracer.emit(
                 "eager.in", peer=src_pid.uid, tag=header.tag,
                 ctx=header.context, size=max(0, total - WIRE_HEADER_SIZE),
+                lc=lc, fs=header.flow_src, fq=header.flow_seq,
             )
         msg = ArrivedMessage(
             context=header.context,
@@ -832,6 +897,8 @@ class ProtocolEngine:
             size=max(0, total - WIRE_HEADER_SIZE),
             payload=None,
             src_pid=src_pid,
+            flow_src=header.flow_src,
+            flow_seq=header.flow_seq,
         )
         adopted = owned
 
@@ -878,7 +945,9 @@ class ProtocolEngine:
             self._deliver(matched.request, matched.request.buffer, msg)
         return adopted
 
-    def _handle_rts(self, src_pid: ProcessID, header: FrameHeader) -> None:
+    def _handle_rts(
+        self, src_pid: ProcessID, header: FrameHeader, lc: int = 0
+    ) -> None:
         # Fig. 8, ready-to-send branch.  A duplicated RTS would claim
         # (and forever wedge) a second posted receive; reject it before
         # it can match anything.  Duplicates of one RTS share its
@@ -901,6 +970,8 @@ class ProtocolEngine:
             send_id=header.send_id,
             src_pid=src_pid,
             is_rts=True,
+            flow_src=header.flow_src,
+            flow_seq=header.flow_seq,
         )
 
         def count_unexpected(m: ArrivedMessage) -> None:
@@ -915,13 +986,16 @@ class ProtocolEngine:
                 "rts.in",
                 id=matched.request.trace_id if matched is not None else None,
                 peer=src_pid.uid, tag=header.tag, size=header.recv_id,
+                lc=lc, fs=header.flow_src, fq=header.flow_seq,
             )
         if matched is not None:
             # "unlock receive-communication-sets / lock src channel /
             # send ready-to-recv message to sender / unlock".
             self._answer_rts(msg, recv_id, matched.request.trace_id)
 
-    def _handle_rtr(self, src_pid: ProcessID, header: FrameHeader) -> None:
+    def _handle_rtr(
+        self, src_pid: ProcessID, header: FrameHeader, lc: int = 0
+    ) -> None:
         # Fig. 8, ready-to-receive branch: fork a rendez-write-thread.
         with self._send_lock:
             pending = self._pending_sends.pop(header.send_id, None)
@@ -938,7 +1012,10 @@ class ProtocolEngine:
         status = Status(source=self.my_pid, tag=header.tag, size=pending.size)
         tracer = self.tracer
         if tracer is not None:
-            tracer.emit("rtr.in", id=header.send_id, peer=src_pid.uid)
+            tracer.emit(
+                "rtr.in", id=header.send_id, peer=src_pid.uid,
+                lc=lc, fs=header.flow_src, fq=header.flow_seq,
+            )
 
         def on_delivered() -> None:
             # The transport no longer references the user's buffer
@@ -950,9 +1027,15 @@ class ProtocolEngine:
 
         def rendez_write() -> None:
             # lock dest channel / send the data / unlock, then complete
-            # once the live segment views have been consumed.
+            # once the live segment views have been consumed.  The data
+            # frame inherits the flow id the RTR echoed back, so all
+            # four frames of one rendezvous share one flow.
+            data_lc = self.clock.tick()
             if tracer is not None:
-                tracer.emit("rndz.out", id=header.send_id, size=pending.size)
+                tracer.emit(
+                    "rndz.out", id=header.send_id, size=pending.size,
+                    lc=data_lc, fq=header.flow_seq,
+                )
             # RNDZ_DATA is id-addressed: route by recv id, matching
             # the landing lookup on the receiving side.
             self._write(
@@ -963,6 +1046,9 @@ class ProtocolEngine:
                     header.tag,
                     recv_id=header.recv_id,
                     payload=pending.segments,
+                    clock=data_lc,
+                    flow_src=header.flow_src,
+                    flow_seq=header.flow_seq,
                 ),
                 on_delivered=on_delivered,
                 route=route_of_id(header.recv_id),
@@ -1003,6 +1089,7 @@ class ProtocolEngine:
         header: FrameHeader,
         payload: memoryview | bytes | list | None,
         in_place: bool = False,
+        lc: int = 0,
     ) -> None:
         with self._rndz_lock:
             entry = self._rendezvous_recvs.pop(header.recv_id, None)
@@ -1013,11 +1100,12 @@ class ProtocolEngine:
                 f"rendezvous data for unknown recv id {header.recv_id}"
                 " (duplicate or corrupt)"
             )
-        request, peer, tag, context, _send_id = entry
+        request, peer, tag, context, _send_id, flow_src, flow_seq = entry
         if self.tracer is not None:
             self.tracer.emit(
                 "rndz.in", id=request.trace_id,
                 peer=src_pid.uid, size=header.payload_len,
+                lc=lc, fs=flow_src, fq=flow_seq,
             )
         try:
             if in_place:
@@ -1044,6 +1132,7 @@ class ProtocolEngine:
             self.tracer.emit(
                 "recv.complete", id=request.trace_id,
                 peer=src_pid.uid, size=request.buffer.size, proto="rndz",
+                fs=flow_src, fq=flow_seq, lc=self.clock.value(),
             )
 
     # ------------------------------------------------------------------

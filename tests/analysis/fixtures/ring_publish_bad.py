@@ -7,6 +7,9 @@ are not written yet — the store must dominate the publish.
 import struct
 
 _HDR = struct.Struct("<I")
+#: The frame-header layout including the causal context (clock,
+#: flow_src, flow_seq) — mirrors repro.xdev.frames.HEADER.
+_FRAME = struct.Struct("<Biiqqqqiq")
 
 
 class Ring:
@@ -26,3 +29,10 @@ class Ring:
         tail = self._tail
         self._set_tail(tail + 1)
         _HDR.pack_into(self._view, 0, value)
+
+    def push_causal_header_late(self, clock: int, flow_seq: int) -> None:
+        # Publishes the cursor before the causal header fields land: a
+        # consumer could decode a frame whose clock/flow id are stale.
+        tail = self._tail
+        self._set_tail(tail + 1)
+        _FRAME.pack_into(self._view, 0, 1, 0, 0, 0, 0, 0, clock, 0, flow_seq)

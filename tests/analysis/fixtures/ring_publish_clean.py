@@ -3,6 +3,9 @@
 import struct
 
 _HDR = struct.Struct("<I")
+#: The frame-header layout including the causal context (clock,
+#: flow_src, flow_seq) — mirrors repro.xdev.frames.HEADER.
+_FRAME = struct.Struct("<Biiqqqqiq")
 
 
 class Ring:
@@ -21,4 +24,11 @@ class Ring:
     def push_packed(self, value: int) -> None:
         tail = self._tail
         _HDR.pack_into(self._view, 0, value)
+        self._set_tail(tail + 1)
+
+    def push_causal_header(self, clock: int, flow_seq: int) -> None:
+        # Every header byte — including the causal clock and flow id —
+        # is stored before the cursor makes the slot visible.
+        tail = self._tail
+        _FRAME.pack_into(self._view, 0, 1, 0, 0, 0, 0, 0, clock, 0, flow_seq)
         self._set_tail(tail + 1)

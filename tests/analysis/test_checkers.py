@@ -81,6 +81,9 @@ class TestPublishAfterWrite:
         symbols = {f.symbol for f in findings}
         assert "Ring.push_publishes_early" in symbols
         assert "Ring.push_packs_late" in symbols
+        # The causal header fields (clock/flow id) are store-before-
+        # publish state like any other header byte.
+        assert "Ring.push_causal_header_late" in symbols
 
     def test_store_before_publish_passes(self):
         assert run_one("publish-after-write", load("ring_publish_clean")) == []

@@ -116,7 +116,9 @@ class TestWireBehaviour:
     def test_send_overhead_reported(self):
         devices, _pids = make_job("niodev", 1)
         try:
-            assert devices[0].get_send_overhead() == 33  # frame header
+            # Frame header: 33 base bytes + 20 of causal context
+            # (Lamport clock + flow id, see repro.xdev.causal).
+            assert devices[0].get_send_overhead() == 53
         finally:
             devices[0].finish()
 

@@ -103,6 +103,48 @@ class TestLocalJob:
         assert all(t["landings_in_place"] >= 3 for t in transports)
         assert all(t["frame_errors"] == 0 for t in transports)
 
+    def test_trace_dir_propagates_to_every_rank(self, tmp_path):
+        """A traced --local job: REPRO_TRACE rides into each worker,
+        per-rank JSONL files come back on the result, and the merge
+        pairs the cross-process flows (satellite of the causal-tracing
+        work; see repro.obs.merge)."""
+        trace_dir = tmp_path / "traces"
+        job = run_local_job(
+            2, module_source=PINGPONG_SOURCE, timeout=120,
+            trace_dir=trace_dir,
+        )
+        assert job.exit_codes == [0, 0]
+        assert job.trace_dir == str(trace_dir.resolve())
+        assert len(job.trace_files) >= 2  # at least one file per rank
+
+        from repro.obs.merge import analyze_directory, load_trace_dir
+
+        # One trace file per worker process (ranks are engine uids).
+        ranks = {t.rank for t in load_trace_dir(trace_dir)}
+        assert len(ranks) == 2
+        analysis = analyze_directory(trace_dir)
+        flows = analysis.flows
+        # 3 pingpong rounds = 6 messages, all stitched across the
+        # process boundary by flow id.
+        assert flows.recvs >= 6
+        assert flows.pair_ratio >= 0.99, flows
+
+    def test_trace_env_inherited_when_no_explicit_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", str(tmp_path / "env-traces"))
+        job = run_local_job(2, module_source=PINGPONG_SOURCE, timeout=120)
+        assert job.trace_dir == str((tmp_path / "env-traces").resolve())
+        assert len(job.trace_files) >= 2
+        # Only this job's files are claimed (pid-filtered), and they
+        # all exist.
+        import os
+        assert all(os.path.exists(f) for f in job.trace_files)
+
+    def test_untraced_job_reports_no_traces(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        job = run_local_job(2, module_source=RING_SOURCE, timeout=120)
+        assert job.trace_dir is None
+        assert job.trace_files == []
+
     def test_bad_arguments_rejected(self):
         with pytest.raises(JobError):
             run_local_job(0, module_source=RING_SOURCE)

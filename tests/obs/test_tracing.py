@@ -45,7 +45,7 @@ class TestRoundTrip:
         (trace,) = load_trace_dir(tmp_path)
         assert trace.rank == 2
         assert trace.label == "testdev"
-        assert trace.meta["version"] == 1
+        assert trace.meta["version"] == 2
         assert len(trace.events) == 2
         post = trace.events[0]
         assert post["ev"] == "send.post"

@@ -32,8 +32,31 @@ class TestHeader:
         assert back.payload_len == 2**33
 
     def test_header_size_is_stable(self):
-        # Wire format constant: 1 + 4 + 4 + 8 + 8 + 8 bytes.
-        assert HEADER_SIZE == 33
+        # Wire format constant: 1 + 4 + 4 + 8 + 8 + 8 bytes of
+        # protocol fields plus 8 + 4 + 8 bytes of causal context
+        # (Lamport clock, flow_src, flow_seq).
+        assert HEADER_SIZE == 53
+
+    def test_frame_type_stays_byte_zero(self):
+        # procdev peeks at the raw first byte to pick its dispatch
+        # path; the causal fields must append, never shift.
+        hdr = FrameHeader(FrameType.RNDZ_DATA, 0, 0, 0, 0, 0, clock=99)
+        assert hdr.encode()[0] == int(FrameType.RNDZ_DATA)
+
+    def test_causal_fields_roundtrip(self):
+        hdr = FrameHeader(
+            FrameType.EAGER, context=1, tag=2, send_id=3, recv_id=4,
+            payload_len=5, clock=2**40, flow_src=7, flow_seq=2**35,
+        )
+        back = FrameHeader.decode(hdr.encode())
+        assert back.clock == 2**40
+        assert back.flow_src == 7
+        assert back.flow_seq == 2**35
+
+    def test_causal_fields_default_to_no_flow(self):
+        hdr = FrameHeader(FrameType.BYE, 0, 0, 0, 0, 0)
+        back = FrameHeader.decode(hdr.encode())
+        assert (back.clock, back.flow_src, back.flow_seq) == (0, 0, 0)
 
     def test_unknown_type_raises(self):
         raw = bytearray(FrameHeader(FrameType.EAGER, 0, 0, 0, 0, 0).encode())
@@ -61,3 +84,11 @@ class TestEncodeFrame:
         payload = memoryview(b"0123456789")[2:6]
         segs = encode_frame(FrameType.RNDZ_DATA, payload=payload)
         assert FrameHeader.decode(segs[0]).payload_len == 4
+
+    def test_causal_kwargs(self):
+        segs = encode_frame(
+            FrameType.RTS, context=1, tag=2, send_id=3,
+            clock=11, flow_src=4, flow_seq=12,
+        )
+        hdr = FrameHeader.decode(segs[0])
+        assert (hdr.clock, hdr.flow_src, hdr.flow_seq) == (11, 4, 12)
