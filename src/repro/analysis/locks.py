@@ -50,6 +50,7 @@ _ATTR_CLASS = {
     "_send_lock": locknames.SEND_SETS,
     "_rndz_lock": locknames.RENDEZVOUS_IDS,
     "_channel_locks_guard": locknames.CHANNEL_GUARD,
+    "_cache_lock": locknames.CONN_CACHE,
     "_out_locks": locknames.PROC_OUT,
     "ticker": locknames.TICKER,
     "_ticker": locknames.TICKER,

@@ -106,6 +106,16 @@ def main(argv: list[str] | None = None) -> int:
              "single-endpoint engine) and print JSON; honors --quick/--out",
     )
     parser.add_argument(
+        "--scaleout", action="store_true",
+        help="run the thousand-rank niodev scale-out bench (barrier + "
+             "allgatherv at 128..1024 thread-ranks; connection-count and "
+             "FD columns) and print JSON; honors --quick/--out",
+    )
+    parser.add_argument(
+        "--sizes", metavar="N,N,...",
+        help="with --scaleout: comma-separated rank counts to sweep",
+    )
+    parser.add_argument(
         "--procdev", action="store_true",
         help="run the cross-process procdev bench (ranks as OS processes "
              "over shared-memory rings, vs the same workload on smdev "
@@ -115,6 +125,25 @@ def main(argv: list[str] | None = None) -> int:
 
     if ns.figures and ns.figures[0] == "tune-coll":
         return _tune_coll(ns)
+
+    if ns.scaleout:
+        import json
+        from pathlib import Path
+
+        from repro.bench.scaleout import run_scaleout_bench
+
+        result = run_scaleout_bench(
+            quick=ns.quick,
+            sizes=(
+                [int(s) for s in ns.sizes.split(",")] if ns.sizes else None
+            ),
+            progress=lambda msg: print(f"# {msg}", file=sys.stderr),
+        )
+        text = json.dumps(result, indent=1)
+        print(text)
+        if ns.out:
+            Path(ns.out).write_text(text + "\n", encoding="utf-8")
+        return 0
 
     if ns.procdev:
         import json

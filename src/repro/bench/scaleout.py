@@ -1,0 +1,203 @@
+"""Thousand-rank scale-out benchmark: the lazy-connection proof.
+
+``python -m repro.bench --scaleout`` runs a barrier + small Allgatherv
+job over niodev at 128/256/512/1024 thread-ranks on one host and
+reports, per size, what the connection economy actually did — peak
+open channels, dials, evictions, redials (all read from each rank's
+obs registry, never estimated) alongside process-wide file-descriptor
+samples from ``/proc/self/fd``.  The committed ``BENCH_scaleout.json``
+at the repo root is one such run.
+
+The eager era's ``_connect_all`` opened 2·n·(n−1) sockets job-wide
+before any message moved — 2 M sockets at 1024 ranks, far past any
+RLIMIT_NOFILE.  The lazy cache bounds per-rank channels by
+``min(budget, distinct peers actually messaged)``; for this workload
+the dissemination barrier talks to ⌈log₂ n⌉ peers and the
+gather+bcast Allgatherv adds the root, so the *per-rank* working set
+is ~log n and the job-wide connection count grows as n·log n — the
+``conn_per_rank`` column printing ~log n while ``2·(n−1)`` explodes is
+the sublinearity claim, measured.
+
+Per-size FD budgets exercise both cache regimes:
+
+* **budget above the working set** (128–512 ranks, budget = n/2): no
+  eviction churn, the cache is a plain lazy table;
+* **budget below the working set** (1024 ranks, budget = 4 < log₂ n
+  + 1): every rank constantly evicts and re-dials, proving the
+  graceful-eviction path at scale — and keeping worst-case job FDs
+  (2 FDs per intra-process connection) far under the host's
+  RLIMIT_NOFILE.
+
+Methodology notes: thread-ranks share one process, so ``/proc/self/fd``
+covers the whole job; ``fd_final`` returning to ``fd_baseline`` after
+Finalize is the leak check CI asserts.  On a single core the wall
+times are GIL-bound and only the *connection* columns are the
+benchmark's claim.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro import mpi
+from repro.runtime.launcher import run_spmd
+
+#: Rank counts swept by the committed bench.
+DEFAULT_SIZES = [128, 256, 512, 1024]
+QUICK_SIZES = [32, 64, 128]
+
+#: Per-size connection-cache budget (see module docstring).
+BUDGETS = {32: 16, 64: 32, 128: 64, 256: 128, 512: 256, 1024: 4}
+
+#: Whole-job timeout per size; 1024 GIL-bound thread-ranks on one core
+#: need room.
+JOB_TIMEOUT = 900.0
+
+
+def fd_count() -> int:
+    """Open file descriptors in this process (−1 where /proc is absent)."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:  # pragma: no cover - non-Linux
+        return -1
+
+
+class _FdSampler(threading.Thread):
+    """Samples ``/proc/self/fd`` while a job runs; keeps the max."""
+
+    def __init__(self, interval: float = 0.05) -> None:
+        super().__init__(name="fd-sampler", daemon=True)
+        self.peak = fd_count()
+        self.interval = interval
+        # NB: not named _stop — threading.Thread owns that attribute.
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        while not self._halt.is_set():
+            self.peak = max(self.peak, fd_count())
+            self._halt.wait(self.interval)
+
+    def stop(self) -> int:
+        self._halt.set()
+        self.join(timeout=5)
+        self.peak = max(self.peak, fd_count())
+        return self.peak
+
+
+def _workload(env) -> dict[str, Any]:
+    """One rank's work: barrier, tiny Allgatherv, barrier, then report
+    this rank's connection economy from its obs registry."""
+    comm = env.COMM_WORLD
+    n = comm.size()
+    rank = comm.rank()
+
+    t0 = time.monotonic()
+    comm.Barrier()
+    barrier_s = time.monotonic() - t0
+
+    mine = np.full(1, rank, dtype=np.int32)
+    recv = np.zeros(n, dtype=np.int32)
+    counts = [1] * n
+    displs = list(range(n))
+    t0 = time.monotonic()
+    comm.Allgatherv(mine, 0, 1, mpi.INT, recv, 0, counts, displs, mpi.INT)
+    allgatherv_s = time.monotonic() - t0
+    if not np.array_equal(recv, np.arange(n, dtype=np.int32)):
+        raise AssertionError(f"rank {rank}: allgatherv result corrupt: {recv}")
+
+    comm.Barrier()
+
+    snap = env.device.engine.metrics.snapshot()
+    counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
+    return {
+        "barrier_s": barrier_s,
+        "allgatherv_s": allgatherv_s,
+        # The obs registry is the source of truth for every connection
+        # number in the committed JSON.
+        "connects": counters.get("net.connects_total", 0),
+        "evictions": counters.get("net.evictions_total", 0),
+        "redials": counters.get("net.redials_total", 0),
+        "connect_errors": counters.get("net.connect_errors_total", 0),
+        "open": gauges.get("net.connections_open", 0),
+        "peak": gauges.get("net.connections_peak", 0),
+        "budget": gauges.get("net.fd_budget", 0),
+    }
+
+
+def _run_size(nprocs: int, budget: int) -> dict[str, Any]:
+    fd_baseline = fd_count()
+    sampler = _FdSampler()
+    sampler.start()
+    t0 = time.monotonic()
+    per_rank = run_spmd(
+        _workload,
+        nprocs,
+        device="niodev",
+        options={"fd_budget": budget},
+        timeout=JOB_TIMEOUT,
+    )
+    wall_s = time.monotonic() - t0
+    fd_peak = sampler.stop()
+    fd_final = fd_count()
+
+    peaks = [r["peak"] for r in per_rank]
+    total_connects = sum(r["connects"] for r in per_rank)
+    row = {
+        "nprocs": nprocs,
+        "fd_budget": budget,
+        "wall_s": round(wall_s, 3),
+        "barrier_max_s": round(max(r["barrier_s"] for r in per_rank), 3),
+        "allgatherv_max_s": round(max(r["allgatherv_s"] for r in per_rank), 3),
+        # Connection economy (obs registry numbers, summed/maxed over ranks).
+        "connects_total": total_connects,
+        "evictions_total": sum(r["evictions"] for r in per_rank),
+        "redials_total": sum(r["redials"] for r in per_rank),
+        "connect_errors_total": sum(r["connect_errors"] for r in per_rank),
+        "peak_channels_per_rank_max": max(peaks),
+        "peak_channels_per_rank_mean": round(sum(peaks) / len(peaks), 2),
+        "open_after_job": sum(r["open"] for r in per_rank),
+        # What the eager all-to-all era would have opened, for the
+        # sublinearity comparison column.
+        "eager_era_connections": 2 * nprocs * (nprocs - 1),
+        # Process-wide FD truth (thread-ranks share this process).
+        "fd_baseline": fd_baseline,
+        "fd_peak": fd_peak,
+        "fd_final": fd_final,
+    }
+    return row
+
+
+def run_scaleout_bench(
+    quick: bool = False,
+    sizes: Optional[list[int]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> dict[str, Any]:
+    """The ``--scaleout`` entry point; returns the committed JSON shape."""
+    say = progress or (lambda _msg: None)
+    chosen = sizes or (QUICK_SIZES if quick else DEFAULT_SIZES)
+    rows = []
+    for nprocs in chosen:
+        budget = BUDGETS.get(nprocs, max(4, nprocs // 2))
+        say(f"scaleout: {nprocs} ranks (fd_budget={budget}) ...")
+        row = _run_size(nprocs, budget)
+        say(
+            f"scaleout: {nprocs} ranks done in {row['wall_s']}s — "
+            f"{row['connects_total']} dials, "
+            f"peak {row['peak_channels_per_rank_max']} ch/rank, "
+            f"fd peak {row['fd_peak']}"
+        )
+        rows.append(row)
+    return {
+        "bench": "scaleout",
+        "device": "niodev",
+        "workload": "Barrier + Allgatherv(int32 x1/rank) + Barrier",
+        "budgets": {str(n): BUDGETS.get(n, max(4, n // 2)) for n in chosen},
+        "quick": quick,
+        "rows": rows,
+    }

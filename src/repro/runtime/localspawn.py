@@ -1,12 +1,14 @@
-"""Local process spawner: procdev ranks as child processes.
+"""Local process spawner: procdev or niodev ranks as child processes.
 
 The daemon/mpjrun pair launches ranks across hosts over TCP; procdev
 ranks instead share memory, so they must share a *host* — and then no
 daemon is needed at all.  ``run_local_job`` is the local counterpart of
-:func:`repro.runtime.mpjrun.run_job`: it creates the job's shared-memory
-bootstrap (rings segment + descriptor), forks one
-``python -m repro.runtime.worker`` per rank with the descriptor in its
-device options, and babysits the children:
+:func:`repro.runtime.mpjrun.run_job`: it creates the job's bootstrap —
+a shared-memory segment (rings + descriptor) for procdev, an
+*addresses-only* peer table for niodev (no sockets: lazy connections
+appear on first traffic) — forks one
+``python -m repro.runtime.worker`` per rank with the bootstrap in its
+config, and babysits the children:
 
 * any rank exiting non-zero (or dying on a signal) gets the rest of
   the job terminated and a :class:`JobError` raised with the failing
@@ -116,19 +118,34 @@ def run_local_job(
     workdir = Path(tempfile.mkdtemp(prefix=f"repro-job-{job_id}-"))
     stats_dir = workdir / "stats"
     stats_dir.mkdir()
-    bootstrap = ShmBootstrap.create(
-        job_id,
-        nprocs,
-        nslots=nslots,
-        slot_bytes=slot_bytes,
-        stats_dir=str(stats_dir),
-    )
     opts = dict(options or {})
-    opts["shm_bootstrap"] = bootstrap.descriptor()
+    peers: list[Any] = []
+    bootstrap = None
+    if device == "niodev":
+        # Addresses-only bootstrap: pre-pick one listen address per
+        # rank by briefly binding it, then close the placeholders —
+        # each child re-binds its own ``peers[rank]`` (SO_REUSEADDR)
+        # and no connection exists until first traffic, so job-wide
+        # startup cost is O(n) sockets, not the eager era's O(n²).
+        from repro.xdev.niodev import allocate_local_endpoints
+
+        addrs, placeholders = allocate_local_endpoints(nprocs)
+        for s in placeholders:
+            s.close()
+        peers = [list(a) for a in addrs]
+    else:
+        bootstrap = ShmBootstrap.create(
+            job_id,
+            nprocs,
+            nslots=nslots,
+            slot_bytes=slot_bytes,
+            stats_dir=str(stats_dir),
+        )
+        opts["shm_bootstrap"] = bootstrap.descriptor()
 
     base_config: dict[str, Any] = {
         "nprocs": nprocs,
-        "peers": [],
+        "peers": peers,
         "device": device,
         "options": opts,
         "entry": entry,
@@ -191,7 +208,11 @@ def run_local_job(
                 f"job {job_id}: workers failed:\n{detail}", job_id=job_id
             )
 
-        stats = _collect_stats(str(stats_dir), nprocs)
+        stats = (
+            _collect_stats(str(stats_dir), nprocs)
+            if bootstrap is not None
+            else None
+        )
         job_trace_dir, trace_files = _collect_traces(
             env, [p.pid for p in procs]
         )
@@ -211,10 +232,12 @@ def run_local_job(
         raise
     finally:
         _terminate(procs)
-        bootstrap.close()
-        # Reap anything a killed rank had no chance to unlink itself.
-        swept.extend(sweep(job_id))
-        leftovers = active_segments(job_id)
+        leftovers: list[str] = []
+        if bootstrap is not None:
+            bootstrap.close()
+            # Reap anything a killed rank had no chance to unlink itself.
+            swept.extend(sweep(job_id))
+            leftovers = active_segments(job_id)
         shutil.rmtree(workdir, ignore_errors=True)
         # Record sweep results on an in-flight JobError (leak audits
         # read these to prove cleanup actually happened).

@@ -262,7 +262,37 @@ class ChaosTransport(Transport):
                 self._write_locks[dest.uid] = lock
             return lock
 
+    #: Same-dest ordering comes from this transport's own per-dest
+    #: ``_write_lock`` — it has to, because replay/delay threads write
+    #: too and the engine's channel lock cannot cover them.  Declaring
+    #: it makes the engine skip its channel lock, so the inner
+    #: transport's prepare_write (which may take the conn-cache lock)
+    #: never runs under 'channel'.
+    self_locking = True
+
+    def prepare_write(self, dest: ProcessID, route: int = 0) -> None:
+        """No-op: delayed/replayed frames perform the actual inner
+        write on chaos worker threads, so the inner transport's
+        prepare/finish (which pins per-*thread* state) must bracket
+        :meth:`_inner_write` on whichever thread runs it — not the
+        caller's thread here."""
+
+    def finish_write(self, dest: ProcessID, route: int = 0) -> None:
+        """No-op; see :meth:`prepare_write`."""
+
+    def extend_peers(self, pids) -> int:
+        return self.inner.extend_peers(pids)
+
     def _inner_write(
+        self, dest: ProcessID, segments, on_delivered=None, route: int = 0
+    ) -> None:
+        self.inner.prepare_write(dest, route)
+        try:
+            self._locked_inner_write(dest, segments, on_delivered, route)
+        finally:
+            self.inner.finish_write(dest, route)
+
+    def _locked_inner_write(
         self, dest: ProcessID, segments, on_delivered=None, route: int = 0
     ) -> None:
         with self._write_lock(dest):

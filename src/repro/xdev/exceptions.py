@@ -19,6 +19,37 @@ class ConnectionSetupError(XDevException):
     """A device failed to establish its peer connections during ``init``."""
 
 
+class ConnectError(ConnectionSetupError):
+    """A lazy dial to a peer failed after exhausting its retry window.
+
+    Unlike the bare errno the eager ``_connect_all`` era surfaced, the
+    message and attributes carry everything an operator needs to place
+    the failure: the dialing rank, the peer's uid and listen address,
+    how many attempts were made and over how long.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        peer_uid: int,
+        address,
+        attempts: int,
+        elapsed: float,
+        cause: BaseException | None = None,
+    ) -> None:
+        self.rank = rank
+        self.peer_uid = peer_uid
+        self.address = address
+        self.attempts = attempts
+        self.elapsed = elapsed
+        self.cause = cause
+        super().__init__(
+            f"rank {rank} could not connect to peer uid={peer_uid} at "
+            f"{address}: {attempts} attempt(s) over {elapsed:.2f}s, "
+            f"last error: {cause}"
+        )
+
+
 class DuplicateControlFrameError(XDevException):
     """A rendezvous control frame (RTS/RTR) arrived more than once.
 

@@ -34,15 +34,22 @@ Rank order (outermost first):
     nested this is the required order (Fig. 6 commentary).
 4.  ``rendezvous-ids`` — recv-id table and active-RTS set.
 5.  ``channel-guard`` — the tiny map guard creating channel locks.
-6.  ``channel`` — per-(destination, route-shard) write locks.
-7.  ``proc-out`` — procdev's per-destination outbound-ring locks
+6.  ``conn-cache`` — niodev's connection-cache condition (LRU table,
+    FD-budget accounting, dial/evict state).  Deliberately *outside*
+    the channel locks: the engine pins a connection via
+    ``Transport.prepare_write`` **before** taking the channel lock, so
+    a write never dials or evicts while holding a channel — taking the
+    cache lock under a channel lock is a hierarchy violation the
+    static checker flags.
+7.  ``channel`` — per-(destination, route-shard) write locks.
+8.  ``proc-out`` — procdev's per-destination outbound-ring locks
     (restore the SPSC single-producer invariant under the channel
     lock).
-8.  ``ring-set`` — RingSet's producer locks (same role as proc-out for
+9.  ``ring-set`` — RingSet's producer locks (same role as proc-out for
     the generic wrapper).
-9.  ``ticker`` — arrival/probe condition variables.
-10. ``completed`` — completion-shard locks and the completions counter.
-11. ``internal`` — leaf locks private to one object (CopyStats, pool
+10. ``ticker`` — arrival/probe condition variables.
+11. ``completed`` — completion-shard locks and the completions counter.
+12. ``internal`` — leaf locks private to one object (CopyStats, pool
     free lists, metric registries, arenas...).  They guard a few
     statements, never another lock.
 """
@@ -54,6 +61,7 @@ RECV_WILDCARD = "recv-wildcard"
 SEND_SETS = "send-sets"
 RENDEZVOUS_IDS = "rendezvous-ids"
 CHANNEL_GUARD = "channel-guard"
+CONN_CACHE = "conn-cache"
 CHANNEL = "channel"
 PROC_OUT = "proc-out"
 RING_SET = "ring-set"
@@ -70,6 +78,7 @@ HIERARCHY: dict[str, int] = {
     SEND_SETS: 30,
     RENDEZVOUS_IDS: 40,
     CHANNEL_GUARD: 50,
+    CONN_CACHE: 55,
     CHANNEL: 60,
     PROC_OUT: 70,
     RING_SET: 75,

@@ -1,4 +1,4 @@
-"""niodev — the selector-based TCP device (paper Section IV-A).
+"""niodev — the selector-based TCP device (paper Section IV-A), scaled.
 
 Faithful to the paper's structure:
 
@@ -7,8 +7,7 @@ Faithful to the paper's structure:
   messages and non-blocking mode for reading messages".  Concretely,
   for every ordered pair (A → B) there is one TCP connection created
   by A and used *only* for A's writes; B registers its end with its
-  selector and uses it *only* for reads.  Between a pair of processes
-  that yields exactly two connections, one per direction.
+  selector and uses it *only* for reads.
 * **Per-destination write locks**: held by the protocol engine around
   every write ("there is a separate lock (per destination) associated
   with each write channel").
@@ -18,36 +17,108 @@ Faithful to the paper's structure:
 * **Non-blocking reads with resumable state**: if a full message has
   not arrived, the partial read state stays attached to the
   connection's selector key data, and reading resumes when the
-  selector reports more bytes — the paper's SelectionKey attachment
-  dance (Fig. 8, "attach src channel to selection key").
+  selector reports more bytes (Fig. 8's SelectionKey attachment).
 
-Messages to *self* go over a real loopback connection, keeping the
-code path uniform.
+Where this implementation departs from the paper is *scale*.  The
+paper's eager all-to-all setup is O(n²) sockets job-wide — fatal at
+hundreds of ranks on one host — so connections here are **lazy**:
+
+* the bootstrap ships *addresses only*; no socket exists until the
+  first send to a peer;
+* live write sockets sit in a :class:`ConnectionCache` — an LRU with a
+  configurable FD budget (``REPRO_FD_BUDGET``, default derived from
+  ``RLIMIT_NOFILE``).  Accept-side read channels register against the
+  same budget;
+* over budget, the least-recently-used unpinned write socket is
+  **gracefully evicted**: a BYE frame, then FIN (``SHUT_WR``), then a
+  wait for the peer's EOF.  TCP delivers everything queued ahead of
+  the FIN and the peer processes frames in stream order, so the EOF
+  proves every frame on the old connection was consumed *before* a
+  redial can create a new one — eviction cannot reorder messages;
+* the next send to an evicted peer transparently re-dials;
+* rank-to-self traffic short-circuits through an in-process inbox (no
+  loopback TCP: two FDs and a syscall round-trip saved per rank);
+* the address table is growable (:meth:`NIOTransport.extend_peers`),
+  so dynamic join/leave never touches established sockets.
+
+The selector loop is batched: the full ready list is drained per
+wakeup, accepts are coalesced, and each channel's reads are capped per
+wakeup (:data:`READ_CAP`) so one flooding peer cannot starve the rest
+— the level-triggered epoll backend re-reports leftover bytes.
 
 Eager/rendezvous protocols come from the shared
-:class:`~repro.xdev.protocol.ProtocolEngine`.
+:class:`~repro.xdev.protocol.ProtocolEngine`; the engine pins a
+connection via :meth:`~repro.xdev.protocol.Transport.prepare_write`
+*before* taking the channel lock, so ``write`` itself never dials,
+evicts, or touches the cache lock (the ``conn-cache`` lock class ranks
+below ``channel`` — see :mod:`repro.xdev.locknames`).
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import selectors
 import socket
 import struct
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.xdev.base import ProtocolDevice
 from repro.xdev.device import DeviceConfig, register_device
-from repro.xdev.exceptions import ConnectionSetupError, XDevException
-from repro.xdev.frames import HEADER_SIZE, FrameHeader, FrameType
+from repro.xdev.exceptions import ConnectError, ConnectionSetupError, XDevException
+from repro.xdev.frames import HEADER_SIZE, FrameHeader, FrameType, encode_frame
 from repro.xdev.processid import ProcessID
 from repro.xdev.protocol import ProtocolEngine, Transport
 
 _HANDSHAKE = struct.Struct("<i")  # sender's rank
 
-#: How long init() keeps retrying connections while peers start up.
+#: How long a lazy dial keeps retrying while the peer starts up.
 CONNECT_TIMEOUT = 30.0
+
+#: Environment knob for the connection-cache FD budget.
+FD_BUDGET_ENV = "REPRO_FD_BUDGET"
+
+#: Per-channel byte cap per selector wakeup: a flooding peer yields the
+#: input handler after this many bytes; level-triggered readiness
+#: re-reports the leftovers on the next wakeup.
+READ_CAP = 256 * 1024
+
+#: Bound on the eviction drain: how long to wait for the peer's EOF
+#: after BYE + FIN before closing anyway.
+EVICT_DRAIN_TIMEOUT = 5.0
+
+
+def fd_budget(explicit: int | None = None) -> int:
+    """The connection-cache FD budget.
+
+    Explicit option > ``REPRO_FD_BUDGET`` env > a quarter of the soft
+    ``RLIMIT_NOFILE`` (leaving room for listen sockets, wakeup fds,
+    files, and sibling transports in thread-rank jobs).
+    """
+    if explicit is not None:
+        return max(2, int(explicit))
+    env = os.environ.get(FD_BUDGET_ENV, "").strip()
+    if env:
+        return max(2, int(env))
+    try:
+        import resource
+
+        soft, _hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft == resource.RLIM_INFINITY:
+            soft = 1 << 16
+    except (ImportError, OSError, ValueError):  # pragma: no cover
+        soft = 1024
+    return max(16, soft // 4)
+
+
+def _make_selector() -> selectors.BaseSelector:
+    """Prefer epoll explicitly (batched level-triggered readiness)."""
+    if hasattr(selectors, "EpollSelector"):
+        return selectors.EpollSelector()
+    return selectors.DefaultSelector()  # pragma: no cover - non-Linux
 
 
 def allocate_local_endpoints(nprocs: int, host: str = "127.0.0.1"):
@@ -64,10 +135,277 @@ def allocate_local_endpoints(nprocs: int, host: str = "127.0.0.1"):
         s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         s.bind((host, 0))
-        s.listen(nprocs + 2)
+        s.listen(min(nprocs + 2, 1024))
         socks.append(s)
         addrs.append(s.getsockname())
     return addrs, socks
+
+
+class _CacheEntry:
+    """One write connection in the cache.
+
+    ``pins`` counts writers between ``prepare_write`` and
+    ``finish_write``; only unpinned LIVE entries are eviction
+    candidates.  ``dead`` is set (lock-free, GIL-atomic) by a failed
+    write so the next pin discards and re-dials instead of reusing a
+    broken socket.
+    """
+
+    DIALING = "dialing"
+    LIVE = "live"
+    EVICTING = "evicting"
+
+    __slots__ = ("uid", "sock", "state", "pins", "tick", "dead")
+
+    def __init__(self, uid: int) -> None:
+        self.uid = uid
+        self.sock: socket.socket | None = None
+        self.state = _CacheEntry.DIALING
+        self.pins = 0
+        self.tick = 0
+        self.dead = False
+
+
+class ConnectionCache:
+    """LRU of live write sockets under an FD budget.
+
+    One condition — the ``conn-cache`` lock class — guards the entry
+    table, the LRU ticks, the read-channel count and the dial/evict
+    state machine.  All blocking work (dialing, the eviction drain)
+    happens *outside* it: a miss reserves a DIALING placeholder, over
+    budget marks LRU victims EVICTING, and concurrent pins of an
+    in-flux uid wait on the condition until the state settles.
+
+    Eviction requires ``pins == 0``; an evictor never waits on a
+    pinned victim (it would be waiting on itself when the victim's pin
+    belongs to the evicting thread), so a fully-pinned cache
+    temporarily overshoots the budget instead of deadlocking.
+    """
+
+    def __init__(self, budget: int) -> None:
+        self.budget = budget
+        self._cache_lock = threading.Condition()
+        self._entries: dict[int, _CacheEntry] = {}
+        self._reads = 0
+        self._ticks = itertools.count(1)
+        self._ever_connected: set[int] = set()
+        #: Peak simultaneous open channels (write + read), maintained
+        #: under the cache lock — the scale-out bench's headline number.
+        self.peak = 0
+        self.stats = {
+            "connects": 0,
+            "redials": 0,
+            "evictions": 0,
+            "evict_drain_timeouts": 0,
+            "evict_overshoots": 0,
+        }
+        # Obs counters, bound by the transport once it has a registry.
+        self._c_connects = None
+        self._c_evictions = None
+        self._c_redials = None
+
+    def bind_metrics(self, registry) -> None:
+        registry.gauge("net.connections_open", fn=self.open_connections)
+        registry.gauge("net.connections_peak", fn=lambda: self.peak)
+        registry.gauge("net.fd_budget", fn=lambda: self.budget)
+        self._c_connects = registry.counter("net.connects_total")
+        self._c_evictions = registry.counter("net.evictions_total")
+        self._c_redials = registry.counter("net.redials_total")
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def open_connections(self) -> int:
+        """Write entries (incl. in-flight dials) + read channels."""
+        with self._cache_lock:
+            return len(self._entries) + self._reads
+
+    def register_read(self) -> None:
+        """An accepted read channel counts against the same budget."""
+        with self._cache_lock:
+            self._reads += 1
+            self._note_peak_locked()
+
+    def unregister_read(self) -> None:
+        with self._cache_lock:
+            self._reads = max(0, self._reads - 1)
+
+    def _note_peak_locked(self) -> None:
+        open_now = len(self._entries) + self._reads
+        if open_now > self.peak:
+            self.peak = open_now
+
+    # ------------------------------------------------------------------
+    # pin / unpin — the prepare_write / finish_write backend
+
+    def pin(self, uid: int, dial) -> _CacheEntry:
+        """Return a pinned LIVE entry for *uid*, dialing on a miss.
+
+        *dial* is a zero-argument callable returning a connected
+        socket; it runs outside the cache lock.  Evictions needed to
+        make room are performed by this thread, also outside the lock,
+        *before* the dial — the drain-then-dial order is what keeps
+        messages from overtaking across a redial.
+        """
+        while True:
+            with self._cache_lock:
+                entry = self._entries.get(uid)
+                if entry is not None and entry.state == _CacheEntry.LIVE:
+                    if entry.dead:
+                        # A failed write marked it; retire the corpse
+                        # and fall through to a fresh dial.
+                        self._retire_locked(entry)
+                    else:
+                        entry.pins += 1
+                        entry.tick = next(self._ticks)
+                        return entry
+                elif entry is not None:
+                    # Another thread is dialing or evicting this uid:
+                    # wait for the state to settle, then retry.
+                    self._cache_lock.wait(timeout=1.0)
+                    continue
+                # Miss: reserve the slot, pick LRU victims to make room.
+                entry = _CacheEntry(uid)
+                entry.pins = 1
+                entry.tick = next(self._ticks)
+                self._entries[uid] = entry
+                victims = self._select_victims_locked()
+            for victim in victims:
+                self._drain_and_close(victim)
+            try:
+                sock = dial()
+            except BaseException:
+                with self._cache_lock:
+                    self._entries.pop(uid, None)
+                    self._cache_lock.notify_all()
+                raise
+            with self._cache_lock:
+                entry.sock = sock
+                entry.state = _CacheEntry.LIVE
+                self.stats["connects"] += 1
+                redial = uid in self._ever_connected
+                if redial:
+                    self.stats["redials"] += 1
+                self._ever_connected.add(uid)
+                self._note_peak_locked()
+                self._cache_lock.notify_all()
+            if self._c_connects is not None:
+                self._c_connects.inc()
+                if redial:
+                    self._c_redials.inc()
+            return entry
+
+    def unpin(self, entry: _CacheEntry) -> None:
+        with self._cache_lock:
+            entry.pins -= 1
+            if entry.pins == 0 and entry.dead:
+                self._retire_locked(entry)
+            if entry.pins == 0:
+                self._cache_lock.notify_all()
+
+    def _retire_locked(self, entry: _CacheEntry) -> None:
+        """Drop a broken entry (no drain: the socket already failed)."""
+        if self._entries.get(entry.uid) is entry:
+            del self._entries[entry.uid]
+        sock = entry.sock
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._cache_lock.notify_all()
+
+    # ------------------------------------------------------------------
+    # eviction
+
+    def _select_victims_locked(self) -> list[_CacheEntry]:
+        victims: list[_CacheEntry] = []
+        excess = len(self._entries) + self._reads - self.budget
+        if excess <= 0:
+            return victims
+        candidates = sorted(
+            (
+                e
+                for e in self._entries.values()
+                if e.state == _CacheEntry.LIVE and e.pins == 0 and not e.dead
+            ),
+            key=lambda e: e.tick,
+        )
+        for entry in candidates[:excess]:
+            entry.state = _CacheEntry.EVICTING
+            victims.append(entry)
+        if len(victims) < excess:
+            # Everything is pinned or in flux: overshoot rather than
+            # wait on a pin this thread may itself be holding.
+            self.stats["evict_overshoots"] += 1
+        return victims
+
+    def _drain_and_close(self, entry: _CacheEntry) -> None:
+        """Graceful eviction: BYE, FIN, then wait for the peer's EOF.
+
+        The victim is EVICTING with ``pins == 0``, so no writer can
+        touch its socket and new pins wait for its removal.  TCP
+        delivers everything queued ahead of the FIN and the receiver
+        processes frames in stream order, so its close (on seeing the
+        BYE) — our EOF — proves every in-flight write was fully
+        consumed.  Only after that EOF is the entry removed, which is
+        what licenses a redial: a new connection to the same peer
+        cannot exist while undelivered frames remain on the old one.
+
+        If the peer takes longer than :data:`EVICT_DRAIN_TIMEOUT`
+        (e.g. two input handlers evicting each other's channels at
+        once), the drain gives up, counts it, and closes anyway —
+        bounded, never a deadlock.
+        """
+        sock = entry.sock
+        assert sock is not None
+        try:
+            sock.sendall(b"".join(encode_frame(FrameType.BYE)))  # reprolint: allow[no-block-in-poller] -- one 53-byte control frame; the kernel send buffer absorbs it (and the whole drain is bounded by EVICT_DRAIN_TIMEOUT below)
+            sock.shutdown(socket.SHUT_WR)
+            sock.settimeout(EVICT_DRAIN_TIMEOUT)
+            while sock.recv(4096):  # reprolint: allow[no-block-in-poller] -- EOF drain bounded by the settimeout(EVICT_DRAIN_TIMEOUT) above; on timeout the eviction proceeds without the ordering proof (counted)
+                pass
+        except (TimeoutError, socket.timeout):
+            self.stats["evict_drain_timeouts"] += 1
+        except OSError:
+            pass  # peer already reset the channel; nothing left to drain
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        with self._cache_lock:
+            self._entries.pop(entry.uid, None)
+            self.stats["evictions"] += 1
+            self._cache_lock.notify_all()
+        if self._c_evictions is not None:
+            self._c_evictions.inc()
+
+    # ------------------------------------------------------------------
+    # shutdown / diagnostics
+
+    def close_all(self) -> None:
+        with self._cache_lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+            self._cache_lock.notify_all()
+        for entry in entries:
+            if entry.sock is not None:
+                try:
+                    entry.sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+    def introspect(self) -> dict:
+        with self._cache_lock:
+            return {
+                "budget": self.budget,
+                "open": len(self._entries) + self._reads,
+                "write_entries": len(self._entries),
+                "read_channels": self._reads,
+                "peak": self.peak,
+                **self.stats,
+            }
 
 
 @dataclass
@@ -102,7 +440,7 @@ class _ReadState:
 
 
 class NIOTransport(Transport):
-    """TCP transport: blocking write sockets + one selector read loop."""
+    """TCP transport: lazy cached write sockets + one batched read loop."""
 
     def __init__(
         self,
@@ -110,42 +448,70 @@ class NIOTransport(Transport):
         pids: list[ProcessID],
         listen_sock: socket.socket,
         socket_buffer_size: int | None = None,
+        fd_budget_opt: int | None = None,
     ) -> None:
         self._rank = rank
-        self._pids = pids
+        self._pids = list(pids)
         self._nprocs = len(pids)
+        self._my_pid = pids[rank]
+        self._my_uid = pids[rank].uid
+        #: uid -> ProcessID; grows under dynamic join (extend_peers,
+        #: or a handshake from a rank we have no address for yet).
+        self._pids_by_uid = {p.uid: p for p in pids}
+        self._peers_lock = threading.Lock()
         self._listen = listen_sock
         self._socket_buffer_size = socket_buffer_size
         self._engine: ProtocolEngine | None = None
-        self._selector = selectors.DefaultSelector()
+        self._selector = _make_selector()
         self._thread: threading.Thread | None = None
-        self._write_socks: dict[int, socket.socket] = {}  # uid -> socket
-        self._inbound = 0
-        self._inbound_cond = threading.Condition()
+        self._cache = ConnectionCache(fd_budget(fd_budget_opt))
+        #: Entries pinned by prepare_write, per thread; write() reads
+        #: them here so it never touches the cache lock under the
+        #: channel lock.
+        self._pinned = threading.local()
+        #: Rank-to-self frames: joined blobs drained by the input
+        #: handler — no loopback TCP, no FDs, no syscall round-trip.
+        self._self_inbox: deque[bytes] = deque()
+        self._handshakes = 0
         self._closed = False
         #: Per-connection errors the input handler contained (bad
         #: handshakes, corrupt frames) — surfaced for diagnostics.
         self.errors: list[Exception] = []
-        # Self-pipe so close() can wake the selector.
-        self._wakeup_r, self._wakeup_w = socket.socketpair()
-        self._wakeup_r.setblocking(False)
+        # Selector wakeup channel: one eventfd where the platform has
+        # it, a socketpair (two FDs) otherwise.
+        if hasattr(os, "eventfd"):
+            self._wakeup_fd: int | None = os.eventfd(0, os.EFD_NONBLOCK)
+            self._wakeup_r = None
+            self._wakeup_w = None
+        else:  # pragma: no cover - non-Linux
+            self._wakeup_fd = None
+            self._wakeup_r, self._wakeup_w = socket.socketpair()
+            self._wakeup_r.setblocking(False)
+        self._c_connect_errors = None
+        self._h_connect_latency = None
 
     # ------------------------------------------------------------------
     # setup
 
     def start(self, engine: ProtocolEngine) -> None:
         self._engine = engine
+        m = engine.metrics
+        self._cache.bind_metrics(m)
+        self._c_connect_errors = m.counter("net.connect_errors_total")
+        self._h_connect_latency = m.histogram("net.connect_latency_us")
         self._listen.setblocking(False)
         self._selector.register(self._listen, selectors.EVENT_READ, "accept")
-        self._selector.register(self._wakeup_r, selectors.EVENT_READ, "wakeup")
+        wakeup_obj = self._wakeup_fd if self._wakeup_r is None else self._wakeup_r
+        self._selector.register(wakeup_obj, selectors.EVENT_READ, "wakeup")
         self._thread = threading.Thread(
             target=self._input_handler,
             name=f"niodev-input-handler-{self._rank}",
             daemon=True,
         )
         self._thread.start()
-        self._connect_all()
-        self._await_inbound()
+        # No connection setup: the bootstrap shipped addresses only.
+        # Sockets appear on first send (prepare_write -> cache miss ->
+        # dial) and on first inbound accept.
 
     def _tune(self, sock: socket.socket) -> None:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -157,42 +523,104 @@ class NIOTransport(Transport):
                 socket.SOL_SOCKET, socket.SO_RCVBUF, self._socket_buffer_size
             )
 
-    def _connect_all(self) -> None:
-        """Open this process's write channel to every peer (incl. self)."""
-        deadline = time.monotonic() + CONNECT_TIMEOUT
-        for pid in self._pids:
-            host, port = pid.address
-            last_err: Exception | None = None
-            while time.monotonic() < deadline:
-                try:
-                    sock = socket.create_connection((host, port), timeout=5)
-                    break
-                except OSError as exc:  # peer not listening yet
-                    last_err = exc
-                    time.sleep(0.02)
-            else:
-                raise ConnectionSetupError(
-                    f"rank {self._rank} could not connect to {pid}: {last_err}"
-                )
-            self._tune(sock)
-            sock.setblocking(True)  # the blocking write channel
-            sock.sendall(_HANDSHAKE.pack(self._rank))
-            self._write_socks[pid.uid] = sock
+    def _wake(self) -> None:
+        try:
+            if self._wakeup_fd is not None:
+                os.eventfd_write(self._wakeup_fd, 1)
+            else:  # pragma: no cover - non-Linux
+                self._wakeup_w.send(b"x")
+        except OSError:  # pragma: no cover
+            pass
 
-    def _await_inbound(self) -> None:
-        """Wait until every peer's write channel has reached us."""
-        with self._inbound_cond:
-            ok = self._inbound_cond.wait_for(
-                lambda: self._inbound >= self._nprocs, timeout=CONNECT_TIMEOUT
-            )
-        if not ok:
-            raise ConnectionSetupError(
-                f"rank {self._rank} accepted only {self._inbound}/{self._nprocs} "
-                "inbound channels"
-            )
+    def _drain_wakeup(self) -> None:
+        try:
+            if self._wakeup_fd is not None:
+                os.eventfd_read(self._wakeup_fd)
+            else:  # pragma: no cover - non-Linux
+                self._wakeup_r.recv(4096)
+        except (BlockingIOError, OSError):  # pragma: no cover
+            pass
 
     # ------------------------------------------------------------------
-    # writing (called by the engine under the per-destination lock)
+    # dialing (lazy, from prepare_write)
+
+    def _dial(self, dest: ProcessID) -> socket.socket:
+        """Dial *dest* with a bounded retry window (it may still be
+        binding its listen socket — the lazy-connect replacement for
+        the old ``_connect_all`` startup rendezvous)."""
+        address = dest.address
+        if address is None:
+            with self._peers_lock:
+                pid = self._pids_by_uid.get(dest.uid)
+            address = pid.address if pid is not None else None
+        if address is None:
+            self._count_connect_error()
+            raise ConnectError(
+                self._rank, dest.uid, None, 0, 0.0,
+                XDevException("no known address (peer never announced one)"),
+            )
+        host, port = address
+        t0 = time.monotonic()
+        deadline = t0 + CONNECT_TIMEOUT
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                sock = socket.create_connection((host, port), timeout=5)
+                break
+            except OSError as exc:  # peer not listening yet, or gone
+                if time.monotonic() >= deadline:
+                    self._count_connect_error()
+                    raise ConnectError(
+                        self._rank,
+                        dest.uid,
+                        (host, port),
+                        attempts,
+                        time.monotonic() - t0,
+                        exc,
+                    ) from exc
+                time.sleep(0.02)  # reprolint: allow[no-block-in-poller] -- dial retry backoff, bounded by CONNECT_TIMEOUT; reachable from the input handler only via an RTR answer that misses the cache
+        self._tune(sock)
+        sock.setblocking(True)  # the blocking write channel
+        sock.sendall(_HANDSHAKE.pack(self._rank))  # reprolint: allow[no-block-in-poller] -- 4-byte handshake on a freshly-connected socket; the empty send buffer absorbs it
+        if self._h_connect_latency is not None:
+            self._h_connect_latency.observe((time.monotonic() - t0) * 1e6)
+        return sock
+
+    def _count_connect_error(self) -> None:
+        if self._c_connect_errors is not None:
+            self._c_connect_errors.inc()
+
+    # ------------------------------------------------------------------
+    # writing (called by the engine; prepare/finish bracket the
+    # channel lock, write runs under it)
+
+    def prepare_write(self, dest: ProcessID, route: int = 0) -> None:
+        if self._closed:
+            raise XDevException("transport closed")
+        if dest.uid == self._my_uid:
+            return  # self-sends ride the in-process inbox: no socket
+        entry = self._cache.pin(dest.uid, lambda: self._dial(dest))
+        stack = getattr(self._pinned, "stack", None)
+        if stack is None:
+            stack = self._pinned.stack = []
+        stack.append(entry)
+
+    def finish_write(self, dest: ProcessID, route: int = 0) -> None:
+        if dest.uid == self._my_uid:
+            return
+        stack = getattr(self._pinned, "stack", None) or []
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i].uid == dest.uid:
+                self._cache.unpin(stack.pop(i))
+                return
+
+    def _pinned_entry(self, uid: int) -> _CacheEntry | None:
+        stack = getattr(self._pinned, "stack", None) or []
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i].uid == uid:
+                return stack[i]
+        return None
 
     def write(self, dest: ProcessID, segments, route: int = 0) -> None:
         # *route* is accepted for signature uniformity with routed
@@ -205,9 +633,20 @@ class NIOTransport(Transport):
         # ShardedMatcher picks the (context, tag) shard by content.
         if self._closed:
             raise XDevException("transport closed")
-        sock = self._write_socks.get(dest.uid)
-        if sock is None:
-            raise XDevException(f"no write channel to {dest}")
+        if dest.uid == self._my_uid:
+            self._write_self(segments)
+            return
+        entry = self._pinned_entry(dest.uid)
+        if entry is None:
+            # The engine contract: prepare_write pins the connection
+            # before the channel lock.  Touching the cache from here
+            # would acquire conn-cache under channel — the hierarchy
+            # inversion the lock-order checker exists to flag.
+            raise XDevException(
+                f"write to {dest} without a pinned connection "
+                "(prepare_write not called)"
+            )
+        sock = entry.sock
         views = [memoryview(s).cast("B") for s in segments]
         # The user's payload goes straight from its own memory into the
         # kernel socket buffer — its final destination on this host.
@@ -217,18 +656,45 @@ class NIOTransport(Transport):
                 self._engine.copy_stats.moved(payload_len)
         # Gather-write without joining (the mpjbuf zero-copy argument):
         # sendmsg may accept only part; advance through the segment list.
-        while views:
-            try:
-                sent = sock.sendmsg(views)  # reprolint: allow[no-block-in-poller] -- input-handler writes are small control frames (RTR/ack) the socket buffer absorbs; the large rendezvous DATA write is forked onto rendez-write-thread (fork_rendezvous_writer, paper Fig. 8)
-            except InterruptedError:  # pragma: no cover - EINTR
-                continue
-            while sent > 0 and views:
-                if sent >= len(views[0]):
-                    sent -= len(views[0])
-                    views.pop(0)
-                else:
-                    views[0] = views[0][sent:]
-                    sent = 0
+        try:
+            while views:
+                try:
+                    sent = sock.sendmsg(views)  # reprolint: allow[no-block-in-poller] -- input-handler writes are small control frames (RTR/ack) the socket buffer absorbs; the large rendezvous DATA write is forked onto rendez-write-thread (fork_rendezvous_writer, paper Fig. 8)
+                except InterruptedError:  # pragma: no cover - EINTR
+                    continue
+                while sent > 0 and views:
+                    if sent >= len(views[0]):
+                        sent -= len(views[0])
+                        views.pop(0)
+                    else:
+                        views[0] = views[0][sent:]
+                        sent = 0
+        except OSError as exc:
+            # Mark (lock-free) rather than discard: removing the entry
+            # needs the cache lock, which must not be taken under the
+            # channel lock.  unpin retires the corpse; the next send
+            # transparently re-dials.
+            entry.dead = True
+            raise XDevException(
+                f"write channel to {dest} failed: {exc}"
+            ) from exc
+
+    def _write_self(self, segments) -> None:
+        """Satellite: the rank-to-self short-circuit.
+
+        The joined blob plays the kernel socket buffer's role (the
+        consuming-transport contract — caller segments are dead once
+        ``write`` returns); the input handler drains the inbox exactly
+        as it drains a ready channel, so delivery still happens on the
+        progress thread and the no-lock-for-reading rule holds.
+        """
+        blob = b"".join(memoryview(s).cast("B") for s in segments)
+        if self._engine is not None:
+            payload_len = len(blob) - HEADER_SIZE
+            if payload_len > 0:
+                self._engine.copy_stats.moved(payload_len)
+        self._self_inbox.append(blob)
+        self._wake()
 
     # ------------------------------------------------------------------
     # reading — the input handler / progress engine
@@ -239,14 +705,13 @@ class NIOTransport(Transport):
                 events = self._selector.select(timeout=1.0)
             except OSError:  # selector closed under us
                 return
+            # Batched readiness: drain the whole ready list per wakeup,
+            # in readiness order, each channel capped at READ_CAP bytes.
             for key, _mask in events:
                 if key.data == "accept":
-                    self._accept()
+                    self._accept_batch()
                 elif key.data == "wakeup":
-                    try:
-                        self._wakeup_r.recv(4096)
-                    except BlockingIOError:  # pragma: no cover
-                        pass
+                    self._drain_wakeup()
                 else:
                     try:
                         self._read_ready(key)
@@ -256,20 +721,46 @@ class NIOTransport(Transport):
                         # progress engine.
                         self.errors.append(exc)
                         self._drop(key.data)
+            if self._self_inbox:
+                self._drain_self_inbox()
 
-    def _accept(self) -> None:
-        try:
-            conn, _addr = self._listen.accept()  # reprolint: allow[no-block-in-poller] -- _listen is non-blocking (setblocking(False) in start); spurious readiness raises BlockingIOError instead of blocking
-        except BlockingIOError:  # pragma: no cover - spurious readiness
+    def _drain_self_inbox(self) -> None:
+        engine = self._engine
+        if engine is None:  # pragma: no cover - start() wires it first
             return
-        self._tune(conn)
-        conn.setblocking(False)  # the non-blocking read channel
-        state = _ReadState(sock=conn)
-        self._selector.register(conn, selectors.EVENT_READ, state)
+        while True:
+            try:
+                blob = self._self_inbox.popleft()
+            except IndexError:
+                return
+            try:
+                header = FrameHeader.decode(blob)
+                payload = (
+                    memoryview(blob)[HEADER_SIZE:] if header.payload_len else b""
+                )
+                engine.handle_frame(self._my_pid, header, payload)
+            except Exception as exc:  # noqa: BLE001 - contained like a channel fault
+                self.errors.append(exc)
+
+    def _accept_batch(self) -> None:
+        """Coalesced accepts: drain the whole backlog per readiness
+        event (one ``accept`` readiness at 512 ranks can hide dozens of
+        queued connections)."""
+        while True:
+            try:
+                conn, _addr = self._listen.accept()  # reprolint: allow[no-block-in-poller] -- _listen is non-blocking (setblocking(False) in start); backlog exhaustion raises BlockingIOError instead of blocking
+            except (BlockingIOError, OSError):
+                return
+            self._tune(conn)
+            conn.setblocking(False)  # the non-blocking read channel
+            state = _ReadState(sock=conn)
+            self._selector.register(conn, selectors.EVENT_READ, state)
+            self._cache.register_read()
 
     def _read_ready(self, key: selectors.SelectorKey) -> None:
         state: _ReadState = key.data
         sock = state.sock
+        budget = READ_CAP
         while True:
             try:
                 n = sock.recv_into(state.view[state.filled : state.needed])  # reprolint: allow[no-block-in-poller] -- read channels are non-blocking; exhaustion raises BlockingIOError and returns to the selector
@@ -282,12 +773,20 @@ class NIOTransport(Transport):
                 self._drop(state)
                 return
             state.filled += n
+            budget -= n
             if state.filled < state.needed:
-                # Partial message: state stays attached to the key and
+                # Partial unit: state stays attached to the key and
                 # reading resumes on the next readiness event (paper
                 # Fig. 8's selection-key attachment).
+                if budget <= 0:
+                    return
+                continue
+            if not self._advance(state):
+                return  # channel closed (orderly BYE)
+            if budget <= 0:
+                # Per-wakeup fairness cap: a flooding peer yields;
+                # level-triggered epoll re-reports the leftovers.
                 return
-            self._advance(state)
 
     def _begin_unit(self, state: _ReadState, phase: str, needed: int) -> None:
         state.phase = phase
@@ -297,27 +796,47 @@ class NIOTransport(Transport):
         state.owned = None
         state.in_place = False
 
-    def _advance(self, state: _ReadState) -> None:
-        """One complete unit (handshake/header/payload) has arrived."""
+    def _lookup_peer(self, uid: int) -> ProcessID:
+        with self._peers_lock:
+            pid = self._pids_by_uid.get(uid)
+            if pid is None:
+                # Dynamic join: a rank the bootstrap never told us
+                # about.  Identity is the uid; its address arrives via
+                # extend_peers (we only need one to dial back).
+                pid = ProcessID(uid=uid, address=None)
+                self._pids_by_uid[uid] = pid
+        return pid
+
+    def _advance(self, state: _ReadState) -> bool:
+        """One complete unit (handshake/header/payload) has arrived.
+
+        Returns False when the channel was retired (orderly BYE) and
+        reading must stop.
+        """
         assert self._engine is not None
         engine = self._engine
         if state.phase == "handshake":
             (peer_rank,) = _HANDSHAKE.unpack_from(state.scratch)
-            if not (0 <= peer_rank < self._nprocs):
-                raise XDevException(f"handshake from unknown rank {peer_rank}")
-            state.src_pid = self._pids[peer_rank]
+            if peer_rank < 0:
+                raise XDevException(f"handshake from invalid rank {peer_rank}")
+            state.src_pid = self._lookup_peer(peer_rank)
             self._begin_unit(state, "header", HEADER_SIZE)
-            with self._inbound_cond:
-                self._inbound += 1
-                self._inbound_cond.notify_all()
+            self._handshakes += 1
         elif state.phase == "header":
             header = FrameHeader.decode(state.scratch)
+            if header.type == FrameType.BYE:
+                # The peer is evicting (or finishing) this channel.
+                # Every frame it sent beforehand has already been
+                # processed — stream order — so closing now EOFs the
+                # peer's drain wait and licenses its redial.
+                self._drop(state)
+                return False
             plen = header.payload_len
             if plen == 0:
                 state.header = None
                 self._begin_unit(state, "header", HEADER_SIZE)
                 engine.handle_frame(state.src_pid, header, b"")
-                return
+                return True
             state.header = header
             state.phase = "payload"
             state.needed = plen
@@ -343,6 +862,7 @@ class NIOTransport(Transport):
                 state.in_place = False
         else:  # payload complete
             self._dispatch(state)
+        return True
 
     def _dispatch(self, state: _ReadState) -> None:
         assert self._engine is not None and state.header is not None
@@ -365,14 +885,39 @@ class NIOTransport(Transport):
             self._selector.unregister(state.sock)
         except (KeyError, ValueError):  # pragma: no cover
             pass
+        else:
+            self._cache.unregister_read()
         state.sock.close()
         if state.owned is not None and self._engine is not None:
             # A connection cut mid-payload must not leak its scratch.
             self._engine.raw_pool.release(state.owned)
             state.owned = None
 
+    # ------------------------------------------------------------------
+    # dynamic membership
+
+    def extend_peers(self, pids) -> int:
+        """Grow the address table without touching established sockets.
+
+        New peers become dialable (and recognizable on accept) the
+        moment their ``ProcessID`` lands here; nothing connects until
+        traffic actually flows.  Returns the number of *new* uids.
+        Existing entries are upgraded in place when the caller brings
+        an address we lacked (a handshake-synthesized peer).
+        """
+        added = 0
+        with self._peers_lock:
+            for pid in pids:
+                cur = self._pids_by_uid.get(pid.uid)
+                if cur is None:
+                    self._pids_by_uid[pid.uid] = pid
+                    added += 1
+                elif cur.address is None and pid.address is not None:
+                    self._pids_by_uid[pid.uid] = pid
+        return added
+
     def introspect(self) -> dict:
-        """Selector backlog: read channels and partially-read units.
+        """Selector backlog, cache state, and self-inbox depth.
 
         Best-effort from outside the input-handler thread: the
         selector map is read without a lock, so a channel registering
@@ -390,11 +935,17 @@ class NIOTransport(Transport):
             read_channels += 1
             if key.data.filled > 0:
                 partial_reads += 1
+        with self._peers_lock:
+            peers_known = len(self._pids_by_uid)
         return {
             "selector_read_channels": read_channels,
             "selector_partial_reads": partial_reads,
-            "write_channels": len(self._write_socks),
+            "write_channels": len(self._cache._entries),
             "frame_errors": len(self.errors),
+            "self_inbox_depth": len(self._self_inbox),
+            "handshakes_accepted": self._handshakes,
+            "peers_known": peers_known,
+            "connection_cache": self._cache.introspect(),
         }
 
     # ------------------------------------------------------------------
@@ -404,24 +955,23 @@ class NIOTransport(Transport):
         if self._closed:
             return
         self._closed = True
-        try:
-            self._wakeup_w.send(b"x")
-        except OSError:  # pragma: no cover
-            pass
+        self._wake()
         if self._thread is not None and self._thread is not threading.current_thread():
             self._thread.join(timeout=5)
-        for sock in self._write_socks.values():
-            try:
-                sock.close()
-            except OSError:  # pragma: no cover
-                pass
+        self._cache.close_all()
         try:
             self._selector.close()
         except OSError:  # pragma: no cover
             pass
         self._listen.close()
-        self._wakeup_r.close()
-        self._wakeup_w.close()
+        if self._wakeup_fd is not None:
+            try:
+                os.close(self._wakeup_fd)
+            except OSError:  # pragma: no cover
+                pass
+        else:  # pragma: no cover - non-Linux
+            self._wakeup_r.close()
+            self._wakeup_w.close()
 
 
 @register_device("niodev")
@@ -431,12 +981,15 @@ class NIODevice(ProtocolDevice):
     ``DeviceConfig`` fields used:
 
     * ``rank``, ``nprocs`` — this process's place in the job;
-    * ``peers`` — list of ``(host, port)`` listen addresses by rank;
+    * ``peers`` — list of ``(host, port)`` listen addresses by rank
+      (addresses only: no connection exists until first traffic);
     * ``options["listen_socket"]`` — an already-bound listening socket
       (optional; otherwise the device binds ``peers[rank]`` itself);
     * ``options["socket_buffer_size"]`` — SO_SNDBUF/SO_RCVBUF, the
       paper's 512 KB Gigabit-Ethernet tuning knob;
-    * ``options["eager_threshold"]`` — protocol switch point.
+    * ``options["eager_threshold"]`` — protocol switch point;
+    * ``options["fd_budget"]`` — connection-cache FD budget (else
+      ``REPRO_FD_BUDGET``, else RLIMIT_NOFILE / 4).
     """
 
     def _setup(self, args: DeviceConfig):
@@ -459,11 +1012,12 @@ class NIODevice(ProtocolDevice):
                 raise ConnectionSetupError(
                     f"rank {args.rank} could not bind {host}:{port}: {exc}"
                 ) from exc
-            listen.listen(args.nprocs + 2)
+            listen.listen(min(args.nprocs + 2, 1024))
         transport = NIOTransport(
             args.rank,
             pids,
             listen,
             socket_buffer_size=options.get("socket_buffer_size"),
+            fd_budget_opt=options.get("fd_budget"),
         )
         return pids[args.rank], pids, transport

@@ -124,9 +124,39 @@ class Transport(abc.ABC):
     #: two writes would corrupt the stream.
     routed: bool = False
 
+    #: True when the transport serializes same-destination writes
+    #: itself (decorators like ChaosTransport, whose replay threads
+    #: must share the serialization lock with caller threads anyway).
+    #: The engine then skips its channel lock entirely — holding it
+    #: across such a transport's ``write`` would stack the engine's
+    #: channel lock *over* the inner transport's ``prepare_write``
+    #: resources (the conn-cache, rank 55 < channel 60): a hierarchy
+    #: inversion.
+    self_locking: bool = False
+
     @abc.abstractmethod
     def start(self, engine: "ProtocolEngine") -> None:
         """Begin delivering inbound frames to ``engine.handle_frame``."""
+
+    def prepare_write(self, dest: ProcessID, route: int = 0) -> None:
+        """Reserve transport resources for an imminent ``write``.
+
+        Called by the engine *before* it takes the (dest, route shard)
+        channel lock, paired with :meth:`finish_write` after the lock
+        is released.  Connection-oriented transports use this to dial
+        or evict under their own cache lock while **no** channel lock
+        is held — dialing under a channel lock would invert the
+        documented hierarchy (``conn-cache`` ranks below ``channel``,
+        see :mod:`repro.xdev.locknames`) and stall unrelated senders
+        behind a slow connect.  Default: no-op.
+        """
+
+    def finish_write(self, dest: ProcessID, route: int = 0) -> None:
+        """Release resources reserved by :meth:`prepare_write`.
+
+        Called in a ``finally`` after the channel lock is released, so
+        it runs even when ``write`` raises.  Default: no-op.
+        """
 
     @abc.abstractmethod
     def write(self, dest: ProcessID, segments: list[bytes | memoryview]) -> None:
@@ -135,6 +165,17 @@ class Transport(abc.ABC):
     @abc.abstractmethod
     def close(self) -> None:
         """Stop the input handler and release transport resources."""
+
+    def extend_peers(self, pids: list[ProcessID]) -> int:
+        """Teach the transport new peers without touching live state.
+
+        Dynamic join (intercommunicator construction, daemon ``grow``)
+        announces new ranks' addresses here; transports that keep an
+        address table add the unknown uids and return how many were
+        new.  Established connections are never disturbed — a new peer
+        becomes reachable, not connected.  Default: no table, 0.
+        """
+        return 0
 
     def introspect(self) -> dict[str, Any]:
         """Transport-specific live depths (inbox backlog, selector
@@ -235,6 +276,9 @@ class ProtocolEngine:
         #: per-endpoint inboxes); decides channel-lock sharding and
         #: whether ``write`` receives the route.
         self._routed = bool(getattr(transport, "routed", False))
+        #: Whether the transport serializes same-dest writes itself
+        #: (ChaosTransport); the engine then skips its channel lock.
+        self._self_locking = bool(getattr(transport, "self_locking", False))
 
         # receive-communication-sets, sharded per endpoint (the seed's
         # single lock + MessageQueues is the nshards=1 special case).
@@ -385,30 +429,69 @@ class ProtocolEngine:
         :mod:`repro.xdev.endpoints`): it picks the channel-lock shard
         and, on routed transports, the destination endpoint inbox.
         """
-        lock = self.channel_lock(dest, route)
-        if self._metrics_on:
-            t0 = time.monotonic()
-            lock.acquire()
-            wait_us = (time.monotonic() - t0) * 1e6
-            self._h_lock_wait.observe(wait_us)
-            self._h_ep_lock_wait[self._binding.current()].observe(wait_us)
-        else:
-            lock.acquire()
+        # Resource reservation (connection pin/dial/evict) happens
+        # BEFORE the channel lock: the cache lock ranks below the
+        # channel lock, so taking it the other way around is a
+        # hierarchy violation (and would serialize a dial behind
+        # unrelated writes).  finish_write runs after release, even on
+        # a failed write.
+        self.transport.prepare_write(dest, route)
+        handed_off = False
         try:
-            if self._routed:
-                if on_delivered is not None and self.transport.retains_segments:
-                    self.transport.write(dest, segments, on_delivered, route=route)
-                    return
-                self.transport.write(dest, segments, route=route)
-            elif on_delivered is not None and self.transport.retains_segments:
-                self.transport.write(dest, segments, on_delivered)
-                return
+            if self._self_locking:
+                # The transport orders same-dest writes with its own
+                # lock (its replay threads must share that lock with
+                # caller threads, so the engine's channel lock could
+                # not serialize them anyway).  Skipping the channel
+                # lock here also keeps the engine from holding
+                # 'channel' over the inner transport's prepare_write
+                # resources — a hierarchy inversion.
+                handed_off = self._dispatch_write(
+                    dest, segments, on_delivered, route
+                )
             else:
-                self.transport.write(dest, segments)
+                lock = self.channel_lock(dest, route)
+                if self._metrics_on:
+                    t0 = time.monotonic()
+                    lock.acquire()
+                    wait_us = (time.monotonic() - t0) * 1e6
+                    self._h_lock_wait.observe(wait_us)
+                    self._h_ep_lock_wait[self._binding.current()].observe(wait_us)
+                else:
+                    lock.acquire()
+                try:
+                    handed_off = self._dispatch_write(dest, segments, on_delivered, route)  # reprolint: allow[lock-order] -- abstract dispatch fans to every Transport.write, including self-locking decorators whose closure reaches conn-cache via inner.prepare_write; those transports are dynamically routed to the unlocked branch above and never reach this line
+                finally:
+                    lock.release()
         finally:
-            lock.release()
-        if on_delivered is not None:
+            self.transport.finish_write(dest, route)
+        if on_delivered is not None and not handed_off:
             on_delivered()
+
+    def _dispatch_write(
+        self,
+        dest: ProcessID,
+        segments: list,
+        on_delivered: Optional[Callable[[], None]],
+        route: int,
+    ) -> bool:
+        """Invoke ``transport.write`` with the right signature.
+
+        Returns True when the transport took ownership of the
+        *on_delivered* fence (retaining transports), so the caller
+        must not fire it itself.
+        """
+        if self._routed:
+            if on_delivered is not None and self.transport.retains_segments:
+                self.transport.write(dest, segments, on_delivered, route=route)
+                return True
+            self.transport.write(dest, segments, route=route)
+        elif on_delivered is not None and self.transport.retains_segments:
+            self.transport.write(dest, segments, on_delivered)
+            return True
+        else:
+            self.transport.write(dest, segments)
+        return False
 
     # ------------------------------------------------------------------
     # sends

@@ -40,6 +40,24 @@ class TestLockOrder:
     def test_clean_nesting_passes(self):
         assert run_one("lock-order", load("lockorder_clean")) == []
 
+    def test_flags_cache_lock_under_channel_lock(self):
+        findings = run_one("lock-order", load("lockorder_cache_bad"))
+        assert findings, "conn-cache under channel must be flagged"
+        symbols = {f.symbol for f in findings}
+        assert "Transport.dial_under_channel" in symbols
+        assert "Transport.evict_under_channel" in symbols
+        assert "Transport.transitive_under_channel" in symbols, (
+            "dialing via a helper under the channel lock must be caught "
+            "transitively"
+        )
+        assert all(
+            "conn-cache" in f.message and "channel" in f.message
+            for f in findings
+        )
+
+    def test_pin_before_channel_lock_passes(self):
+        assert run_one("lock-order", load("lockorder_cache_clean")) == []
+
 
 class TestNoBlockInPoller:
     def test_flags_transitive_sleep(self):
